@@ -1,0 +1,105 @@
+// Micro-benchmarks of the slot schedulers (google-benchmark): how the
+// exact BILP branch-and-bound, the local search, and greedy Algorithm 1
+// scale with the number of sensors and queries. These back the paper's
+// complexity discussion (Sections 3.1-3.2) and DESIGN.md's ablations.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/aggregate_query.h"
+#include "core/greedy.h"
+#include "core/point_scheduling.h"
+#include "sim/workload.h"
+
+namespace psens {
+namespace {
+
+SlotContext MakeSlot(int num_sensors, uint64_t seed) {
+  Rng rng(seed);
+  SlotContext slot;
+  slot.time = 0;
+  slot.dmax = 5.0;
+  for (int i = 0; i < num_sensors; ++i) {
+    SlotSensor s;
+    s.index = i;
+    s.sensor_id = i;
+    s.location = Point{rng.Uniform(0.0, 50.0), rng.Uniform(0.0, 50.0)};
+    s.cost = 10.0;
+    s.inaccuracy = rng.Uniform(0.0, 0.2);
+    s.trust = 1.0;
+    slot.sensors.push_back(s);
+  }
+  return slot;
+}
+
+std::vector<PointQuery> MakeQueries(int count, uint64_t seed) {
+  Rng rng(seed);
+  const Rect region{0, 0, 50, 50};
+  return GeneratePointQueries(count, region, BudgetScheme{15.0, false, 0.0}, 0.2,
+                              0, rng);
+}
+
+void BM_PointOptimal(benchmark::State& state) {
+  const SlotContext slot = MakeSlot(static_cast<int>(state.range(0)), 7);
+  const std::vector<PointQuery> queries =
+      MakeQueries(static_cast<int>(state.range(1)), 8);
+  PointSchedulingOptions options;
+  options.scheduler = PointScheduler::kOptimal;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SchedulePointQueries(queries, slot, options));
+  }
+}
+BENCHMARK(BM_PointOptimal)->Args({50, 100})->Args({100, 300})->Args({200, 300});
+
+void BM_PointLocalSearch(benchmark::State& state) {
+  const SlotContext slot = MakeSlot(static_cast<int>(state.range(0)), 7);
+  const std::vector<PointQuery> queries =
+      MakeQueries(static_cast<int>(state.range(1)), 8);
+  PointSchedulingOptions options;
+  options.scheduler = PointScheduler::kLocalSearch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SchedulePointQueries(queries, slot, options));
+  }
+}
+BENCHMARK(BM_PointLocalSearch)
+    ->Args({50, 100})
+    ->Args({100, 300})
+    ->Args({200, 300})
+    ->Args({400, 1000});
+
+void BM_PointBaseline(benchmark::State& state) {
+  const SlotContext slot = MakeSlot(static_cast<int>(state.range(0)), 7);
+  const std::vector<PointQuery> queries =
+      MakeQueries(static_cast<int>(state.range(1)), 8);
+  PointSchedulingOptions options;
+  options.scheduler = PointScheduler::kBaseline;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SchedulePointQueries(queries, slot, options));
+  }
+}
+BENCHMARK(BM_PointBaseline)->Args({100, 300})->Args({200, 300});
+
+void BM_GreedyAggregate(benchmark::State& state) {
+  const SlotContext slot = MakeSlot(static_cast<int>(state.range(0)), 7);
+  Rng rng(9);
+  const std::vector<AggregateQuery::Params> params = GenerateAggregateQueries(
+      static_cast<int>(state.range(1)), Rect{0, 0, 50, 50}, 10.0, 15.0, 0, rng);
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<AggregateQuery>> queries;
+    for (const auto& p : params) {
+      queries.push_back(std::make_unique<AggregateQuery>(p, slot));
+    }
+    std::vector<MultiQuery*> ptrs;
+    for (auto& q : queries) ptrs.push_back(q.get());
+    benchmark::DoNotOptimize(GreedySensorSelection(ptrs, slot));
+  }
+}
+BENCHMARK(BM_GreedyAggregate)->Args({100, 30})->Args({200, 30});
+
+}  // namespace
+}  // namespace psens
+
+BENCHMARK_MAIN();

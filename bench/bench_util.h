@@ -1,0 +1,45 @@
+#ifndef PSENS_BENCH_BENCH_UTIL_H_
+#define PSENS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace psens::bench {
+
+/// Shared command-line handling for the figure binaries:
+///   --slots N    simulate N time slots (default 50, the paper's setting)
+///   --seed S     base RNG seed
+///   --quick      shorthand for a fast smoke run (--slots 10)
+struct BenchArgs {
+  int slots = 50;
+  uint64_t seed = 123;
+  bool quick = false;
+  bool ablation = false;
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quick") == 0) {
+        args.quick = true;
+        args.slots = 10;
+      } else if (std::strcmp(argv[i], "--ablation") == 0) {
+        args.ablation = true;
+      } else if (std::strcmp(argv[i], "--slots") == 0 && i + 1 < argc) {
+        args.slots = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        args.seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+      }
+    }
+    return args;
+  }
+};
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace psens::bench
+
+#endif  // PSENS_BENCH_BENCH_UTIL_H_

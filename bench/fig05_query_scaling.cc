@@ -1,0 +1,65 @@
+// Reproduces Figure 5 (EDBT'13): varying the number of point queries per
+// slot in {250, 500, 750, 1000} with the query budget fixed to 15 (RNC
+// trace). More queries -> more sharing opportunities -> higher utility and
+// slightly higher satisfaction.
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "mobility/synthetic_nokia.h"
+#include "sim/experiments.h"
+
+namespace {
+
+using psens::bench::BenchArgs;
+
+void Run(const BenchArgs& args) {
+  psens::SyntheticNokiaConfig nokia;
+  nokia.num_slots = args.slots;
+  nokia.seed = args.seed;
+  const psens::Trace trace = psens::GenerateSyntheticNokia(nokia);
+  const psens::Rect working = psens::NokiaWorkingRegion(nokia);
+
+  const std::vector<int> query_counts = {250, 500, 750, 1000};
+  psens::Table utility({"num_queries", "Optimal", "LocalSearch", "Baseline"});
+  psens::Table satisfaction({"num_queries", "Optimal", "LocalSearch", "Baseline"});
+
+  for (int count : query_counts) {
+    std::vector<double> util_row = {static_cast<double>(count)};
+    std::vector<double> sat_row = {static_cast<double>(count)};
+    for (const psens::PointScheduler scheduler :
+         {psens::PointScheduler::kOptimal, psens::PointScheduler::kLocalSearch,
+          psens::PointScheduler::kBaseline}) {
+      psens::PointExperimentConfig config;
+      config.trace = &trace;
+      config.working_region = working;
+      config.dmax = 10.0;
+      config.num_slots = args.slots;
+      config.queries_per_slot = count;
+      config.budget = psens::BudgetScheme{15.0, false, 0.0};
+      config.scheduler = scheduler;
+      config.sensors.lifetime = args.slots;
+      config.seed = args.seed;
+      const psens::ExperimentResult r = psens::RunPointExperiment(config);
+      util_row.push_back(r.avg_utility);
+      sat_row.push_back(r.satisfaction);
+    }
+    utility.AddRow(util_row);
+    satisfaction.AddRow(sat_row, 3);
+  }
+
+  psens::bench::PrintHeader(
+      "Fig 5(a): varying #queries (budget 15) - average utility per time slot");
+  utility.Print();
+  psens::bench::PrintHeader(
+      "Fig 5(b): varying #queries (budget 15) - query satisfaction ratio");
+  satisfaction.Print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Run(BenchArgs::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Reproduces Figure 10 (EDBT'13): a mix of point, spatial-aggregate and
+// location-monitoring queries on the RNC trace (region monitoring is
+// excluded, as in the paper, for lack of complete measurement data).
+// Sensor lifetime 25, random privacy sensitivity levels, linear energy
+// cost with beta U[0,4]. Workload sizes per type match Figs. 3/7/8.
+//   (a) average utility per time slot vs. budget factor b
+//   (b) average quality of results for point queries
+//   (c) average quality of results for aggregate queries
+//   (d) average quality of results for location-monitoring queries
+// Series: Alg5 (joint greedy selection) vs. Baseline (sequential).
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "data/ozone_trace.h"
+#include "mobility/synthetic_nokia.h"
+#include "sim/experiments.h"
+
+namespace {
+
+using psens::bench::BenchArgs;
+
+void Run(const BenchArgs& args) {
+  psens::SyntheticNokiaConfig nokia;
+  nokia.num_slots = args.slots;
+  nokia.seed = args.seed;
+  const psens::Trace trace = psens::GenerateSyntheticNokia(nokia);
+  const psens::Rect working = psens::NokiaWorkingRegion(nokia);
+
+  psens::OzoneTraceConfig ozone;
+  ozone.num_days = 2;
+  ozone.slots_per_day = args.slots;
+  ozone.seed = args.seed + 5;
+  const psens::OzoneTrace history = psens::GenerateOzoneTrace(ozone);
+  std::vector<double> hist_times;
+  std::vector<double> hist_values;
+  history.DaySlice(0, &hist_times, &hist_values);
+
+  const std::vector<double> budget_factors = {7, 10, 15, 20, 25};
+  psens::Table utility({"budget_factor", "Alg5", "Baseline"});
+  psens::Table point_quality({"budget_factor", "Alg5", "Baseline"});
+  psens::Table aggregate_quality({"budget_factor", "Alg5", "Baseline"});
+  psens::Table monitoring_quality({"budget_factor", "Alg5", "Baseline"});
+
+  for (double b : budget_factors) {
+    std::vector<double> util_row = {b};
+    std::vector<double> pq_row = {b};
+    std::vector<double> aq_row = {b};
+    std::vector<double> mq_row = {b};
+    for (bool alg5 : {true, false}) {
+      psens::QueryMixExperimentConfig config;
+      config.trace = &trace;
+      config.working_region = working;
+      config.dmax = 10.0;
+      config.num_slots = args.slots;
+      config.budget_factor = b;
+      config.point_queries_per_slot = 300;
+      config.mean_aggregate_queries = 30;
+      config.use_alg5 = alg5;
+      config.history_times = hist_times;
+      config.history_values = hist_values;
+      config.sensors.lifetime = 25;
+      config.sensors.random_privacy = true;
+      config.sensors.linear_energy = true;
+      config.sensors.beta_max = 4.0;
+      config.seed = args.seed;
+      const psens::QueryMixResultSummary r = psens::RunQueryMixExperiment(config);
+      util_row.push_back(r.avg_utility);
+      pq_row.push_back(r.point_quality);
+      aq_row.push_back(r.aggregate_quality);
+      mq_row.push_back(r.monitoring_quality);
+    }
+    utility.AddRow(util_row);
+    point_quality.AddRow(pq_row, 3);
+    aggregate_quality.AddRow(aq_row, 3);
+    monitoring_quality.AddRow(mq_row, 3);
+  }
+
+  psens::bench::PrintHeader("Fig 10(a): query mix - average utility per time slot");
+  utility.Print();
+  psens::bench::PrintHeader("Fig 10(b): query mix - point query quality");
+  point_quality.Print();
+  psens::bench::PrintHeader("Fig 10(c): query mix - aggregate query quality");
+  aggregate_quality.Print();
+  psens::bench::PrintHeader("Fig 10(d): query mix - location monitoring quality");
+  monitoring_quality.Print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Run(BenchArgs::Parse(argc, argv));
+  return 0;
+}

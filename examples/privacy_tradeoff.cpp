@@ -1,0 +1,81 @@
+// Privacy/cost trade-off study: how participants' privacy sensitivity
+// (Eq. 14/15) shapes prices, selection, and social welfare. Sweeps the
+// fleet's privacy sensitivity level and reports per-level welfare and how
+// the privacy surcharge spreads measurements across sensors (a sensor that
+// just reported becomes expensive, so the scheduler rotates the load).
+
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/point_scheduling.h"
+#include "core/slot.h"
+#include "mobility/random_waypoint.h"
+#include "sim/workload.h"
+#include "sim/experiments.h"
+
+int main() {
+  using namespace psens;
+  constexpr int kSlots = 30;
+
+  RandomWaypointConfig mobility;
+  mobility.num_sensors = 120;
+  mobility.num_slots = kSlots;
+  const Trace trace = GenerateRandomWaypoint(mobility);
+  const Rect working = CentralSubregion(80, 50);
+
+  std::printf("%-10s %12s %12s %14s %16s\n", "PSL", "avg_utility",
+              "avg_price", "satisfaction", "distinct_sensors");
+  for (const PrivacySensitivity level :
+       {PrivacySensitivity::kZero, PrivacySensitivity::kLow,
+        PrivacySensitivity::kModerate, PrivacySensitivity::kHigh,
+        PrivacySensitivity::kVeryHigh}) {
+    Rng rng(11);
+    SensorPopulationConfig population;
+    population.count = mobility.num_sensors;
+    population.lifetime = kSlots;
+    std::vector<Sensor> sensors = GenerateSensors(population, rng);
+    for (Sensor& s : sensors) {
+      SensorProfile profile = s.profile();
+      profile.privacy = level;
+      s = Sensor(s.id(), profile);
+    }
+
+    Rng workload_rng(77);
+    RunningStat utility, price;
+    int64_t asked = 0, answered = 0;
+    std::vector<int> readings_per_sensor(mobility.num_sensors, 0);
+    for (int t = 0; t < kSlots; ++t) {
+      ApplyTraceSlot(trace, t, &sensors);
+      const SlotContext slot = BuildSlotContext(sensors, working, t, 5.0);
+      for (const SlotSensor& s : slot.sensors) price.Add(s.cost);
+      Rng slot_rng = workload_rng.Fork(t);
+      const auto queries = GeneratePointQueries(
+          150, working, BudgetScheme{20.0, false, 0.0}, 0.2, 0, slot_rng);
+      PointSchedulingOptions options;
+      options.scheduler = PointScheduler::kLocalSearch;
+      const PointScheduleResult r = SchedulePointQueries(queries, slot, options);
+      utility.Add(r.Utility());
+      asked += static_cast<int64_t>(queries.size());
+      answered += r.NumSatisfied();
+      for (int si : r.selected_sensors) {
+        const int id = slot.sensors[si].sensor_id;
+        sensors[id].RecordReading(t);
+        ++readings_per_sensor[id];
+      }
+    }
+    int distinct = 0;
+    for (int c : readings_per_sensor) distinct += c > 0 ? 1 : 0;
+    const char* names[] = {"Zero", "Low", "Moderate", "High", "VeryHigh"};
+    std::printf("%-10s %12.1f %12.2f %14.3f %16d\n",
+                names[static_cast<int>(level)], utility.Mean(), price.Mean(),
+                static_cast<double>(answered) / static_cast<double>(asked),
+                distinct);
+  }
+  std::printf(
+      "\nHigher privacy sensitivity raises announced prices (Eq. 15), which\n"
+      "lowers welfare and satisfaction but spreads readings over more\n"
+      "sensors: recently-used sensors price themselves out (Eq. 14).\n");
+  return 0;
+}

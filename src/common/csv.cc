@@ -1,0 +1,106 @@
+#include "common/csv.h"
+
+#include <cstdio>
+
+#include <fstream>
+#include <sstream>
+
+namespace psens {
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  file_ = f;
+  ok_ = f != nullptr;
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(static_cast<FILE*>(file_));
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (!ok_) return;
+  FILE* f = static_cast<FILE*>(file_);
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) std::fputc(',', f);
+    const std::string quoted = QuoteField(fields[i]);
+    std::fwrite(quoted.data(), 1, quoted.size(), f);
+  }
+  std::fputc('\n', f);
+}
+
+void CsvWriter::WriteRow(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.10g", v);
+    fields.emplace_back(buffer);
+  }
+  WriteRow(fields);
+}
+
+std::vector<std::string> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(current);
+  return fields;
+}
+
+std::vector<std::vector<std::string>> ReadCsv(const std::string& path, bool* ok) {
+  std::vector<std::vector<std::string>> rows;
+  std::ifstream in(path);
+  if (!in) {
+    if (ok != nullptr) *ok = false;
+    return rows;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    rows.push_back(ParseCsvLine(line));
+  }
+  if (ok != nullptr) *ok = true;
+  return rows;
+}
+
+}  // namespace psens

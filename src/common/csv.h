@@ -1,0 +1,40 @@
+#ifndef PSENS_COMMON_CSV_H_
+#define PSENS_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+namespace psens {
+
+/// Minimal CSV writer: quotes fields containing separators, writes rows of
+/// strings or doubles. Used to export experiment series for plotting.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Check Ok() afterwards.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  bool Ok() const { return ok_; }
+
+  void WriteRow(const std::vector<std::string>& fields);
+  void WriteRow(const std::vector<double>& values);
+
+ private:
+  void* file_ = nullptr;  // FILE*, kept opaque to avoid <cstdio> in the header
+  bool ok_ = false;
+};
+
+/// Parses one CSV line into fields, honoring double-quote quoting.
+std::vector<std::string> ParseCsvLine(const std::string& line);
+
+/// Reads an entire CSV file into rows of fields. Returns an empty vector on
+/// open failure (distinguishable from an empty file via `ok` if provided).
+std::vector<std::vector<std::string>> ReadCsv(const std::string& path,
+                                              bool* ok = nullptr);
+
+}  // namespace psens
+
+#endif  // PSENS_COMMON_CSV_H_

@@ -1,0 +1,124 @@
+#ifndef PSENS_COMMON_GEOMETRY_H_
+#define PSENS_COMMON_GEOMETRY_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace psens {
+
+/// A 2-D location on the (continuous) sensing field. The paper discretizes
+/// space into unit grid cells; a `Point` holds grid coordinates but is kept
+/// continuous so mobility models can move sensors smoothly.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Euclidean distance between two points.
+inline double Distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// An axis-aligned rectangular region [x_min, x_max] x [y_min, y_max].
+/// Used both for the simulation working region ("hotspot") and for the
+/// regions of spatial-aggregate and region-monitoring queries.
+struct Rect {
+  double x_min = 0.0;
+  double y_min = 0.0;
+  double x_max = 0.0;
+  double y_max = 0.0;
+
+  double Width() const { return x_max - x_min; }
+  double Height() const { return y_max - y_min; }
+  double Area() const { return std::max(0.0, Width()) * std::max(0.0, Height()); }
+
+  bool Contains(const Point& p) const {
+    return p.x >= x_min && p.x <= x_max && p.y >= y_min && p.y <= y_max;
+  }
+
+  /// Returns the intersection rectangle (possibly empty: Area() == 0).
+  Rect Intersect(const Rect& other) const {
+    Rect r;
+    r.x_min = std::max(x_min, other.x_min);
+    r.y_min = std::max(y_min, other.y_min);
+    r.x_max = std::min(x_max, other.x_max);
+    r.y_max = std::min(y_max, other.y_max);
+    if (r.x_max < r.x_min || r.y_max < r.y_min) return Rect{0, 0, 0, 0};
+    return r;
+  }
+
+  bool Overlaps(const Rect& other) const { return Intersect(other).Area() > 0; }
+
+  /// Clamps `p` into the rectangle.
+  Point Clamp(const Point& p) const {
+    return Point{std::clamp(p.x, x_min, x_max), std::clamp(p.y, y_min, y_max)};
+  }
+};
+
+/// A polyline trajectory (for queries over trajectories). The query asks
+/// for the aggregate value of a phenomenon along the waypoints.
+struct Trajectory {
+  std::vector<Point> waypoints;
+
+  /// Total length of the polyline.
+  double Length() const {
+    double total = 0.0;
+    for (size_t i = 1; i < waypoints.size(); ++i) {
+      total += Distance(waypoints[i - 1], waypoints[i]);
+    }
+    return total;
+  }
+
+  /// Bounding box of the waypoints (degenerate if fewer than 1 point).
+  Rect BoundingBox() const {
+    Rect r;
+    if (waypoints.empty()) return r;
+    r.x_min = r.x_max = waypoints[0].x;
+    r.y_min = r.y_max = waypoints[0].y;
+    for (const Point& p : waypoints) {
+      r.x_min = std::min(r.x_min, p.x);
+      r.x_max = std::max(r.x_max, p.x);
+      r.y_min = std::min(r.y_min, p.y);
+      r.y_max = std::max(r.y_max, p.y);
+    }
+    return r;
+  }
+
+  /// Minimum distance from `p` to any segment of the trajectory.
+  double DistanceTo(const Point& p) const;
+};
+
+/// Distance from point `p` to segment [a, b].
+double PointSegmentDistance(const Point& p, const Point& a, const Point& b);
+
+inline double Trajectory::DistanceTo(const Point& p) const {
+  if (waypoints.empty()) return std::numeric_limits<double>::infinity();
+  if (waypoints.size() == 1) return Distance(p, waypoints[0]);
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 1; i < waypoints.size(); ++i) {
+    best = std::min(best, PointSegmentDistance(p, waypoints[i - 1], waypoints[i]));
+  }
+  return best;
+}
+
+inline double PointSegmentDistance(const Point& p, const Point& a, const Point& b) {
+  const double abx = b.x - a.x;
+  const double aby = b.y - a.y;
+  const double len2 = abx * abx + aby * aby;
+  if (len2 == 0.0) return Distance(p, a);
+  double t = ((p.x - a.x) * abx + (p.y - a.y) * aby) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return Distance(p, Point{a.x + t * abx, a.y + t * aby});
+}
+
+}  // namespace psens
+
+#endif  // PSENS_COMMON_GEOMETRY_H_

@@ -1,0 +1,91 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace psens {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+  // Avoid the (astronomically unlikely) all-zero state.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 1;
+  }
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextUint64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  uint64_t value = NextUint64();
+  while (value >= limit) value = NextUint64();
+  return lo + static_cast<int64_t>(value % span);
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = UniformDouble();
+  while (u1 <= 0.0) u1 = UniformDouble();
+  const double u2 = UniformDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+double Rng::Exponential(double lambda) {
+  double u = UniformDouble();
+  while (u <= 0.0) u = UniformDouble();
+  return -std::log(u) / lambda;
+}
+
+Rng Rng::Fork(uint64_t stream) {
+  return Rng(NextUint64() ^ (stream * 0xD1B54A32D192ED03ULL));
+}
+
+}  // namespace psens

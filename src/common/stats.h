@@ -1,0 +1,45 @@
+#ifndef PSENS_COMMON_STATS_H_
+#define PSENS_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace psens {
+
+/// Online accumulator for mean / variance / extrema (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double value);
+
+  size_t Count() const { return count_; }
+  double Mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for fewer than two samples).
+  double Variance() const;
+  double StdDev() const;
+  /// Standard error of the mean.
+  double StdError() const;
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+  double Sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a vector (0 for empty input).
+double Mean(const std::vector<double>& values);
+
+/// Population standard deviation of a vector (0 for empty input).
+double StdDev(const std::vector<double>& values);
+
+/// `q`-quantile (0 <= q <= 1) using linear interpolation; 0 for empty input.
+double Quantile(std::vector<double> values, double q);
+
+}  // namespace psens
+
+#endif  // PSENS_COMMON_STATS_H_

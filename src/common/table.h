@@ -1,0 +1,38 @@
+#ifndef PSENS_COMMON_TABLE_H_
+#define PSENS_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace psens {
+
+/// Column-aligned plain-text table, used by the bench binaries to print the
+/// per-figure series the paper plots (one row per x-value, one column per
+/// algorithm). Renders with a header row and a separator line.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  /// Convenience: formats doubles with `precision` fractional digits.
+  void AddRow(const std::vector<double>& row, int precision = 2);
+
+  /// Renders the whole table to a string.
+  std::string ToString() const;
+
+  /// Renders to stdout.
+  void Print() const;
+
+  size_t NumRows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (printf "%.*f").
+std::string FormatDouble(double value, int precision);
+
+}  // namespace psens
+
+#endif  // PSENS_COMMON_TABLE_H_

@@ -1,0 +1,228 @@
+#include "core/aggregate_query.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace psens {
+namespace {
+
+int PopCount(const std::vector<uint64_t>& mask) {
+  int count = 0;
+  for (uint64_t word : mask) count += std::popcount(word);
+  return count;
+}
+
+int PopCountOr(const std::vector<uint64_t>& a, const std::vector<uint64_t>& b) {
+  int count = 0;
+  for (size_t i = 0; i < a.size(); ++i) count += std::popcount(a[i] | b[i]);
+  return count;
+}
+
+void OrInto(std::vector<uint64_t>& acc, const std::vector<uint64_t>& mask) {
+  for (size_t i = 0; i < acc.size(); ++i) acc[i] |= mask[i];
+}
+
+/// Location-independent sensor quality used by the aggregate valuation.
+double SensorTheta(const SlotSensor& s) { return (1.0 - s.inaccuracy) * s.trust; }
+
+}  // namespace
+
+AggregateQuery::AggregateQuery(const Params& params, const SlotContext& slot)
+    : MultiQueryBase(params.id), params_(params) {
+  const double cell = std::max(1e-9, params_.cell_size);
+  cells_x_ = std::max(1, static_cast<int>(std::ceil(params_.region.Width() / cell)));
+  const int cells_y =
+      std::max(1, static_cast<int>(std::ceil(params_.region.Height() / cell)));
+  num_cells_ = cells_x_ * cells_y;
+
+  cover_mask_.resize(slot.sensors.size());
+  theta_.assign(slot.sensors.size(), 0.0);
+  const double range = params_.sensing_range;
+  for (const SlotSensor& s : slot.sensors) {
+    // Quick reject: sensing disk does not touch the region.
+    const Rect grown{params_.region.x_min - range, params_.region.y_min - range,
+                     params_.region.x_max + range, params_.region.y_max + range};
+    if (!grown.Contains(s.location)) continue;
+    std::vector<uint64_t> mask(NumWords(), 0);
+    bool any = false;
+    for (int c = 0; c < num_cells_; ++c) {
+      const int cx = c % cells_x_;
+      const int cy = c / cells_x_;
+      const Point center{params_.region.x_min + (cx + 0.5) * cell,
+                         params_.region.y_min + (cy + 0.5) * cell};
+      if (Distance(center, s.location) <= range) {
+        mask[c / 64] |= uint64_t{1} << (c % 64);
+        any = true;
+      }
+    }
+    if (any) {
+      cover_mask_[s.index] = std::move(mask);
+      theta_[s.index] = SensorTheta(s);
+    }
+  }
+  acc_mask_.assign(NumWords(), 0);
+}
+
+double AggregateQuery::ValueFrom(int covered_cells, double theta_sum,
+                                 int count) const {
+  if (count == 0) return 0.0;
+  const double coverage = static_cast<double>(covered_cells) / num_cells_;
+  return params_.budget * coverage * (theta_sum / count);
+}
+
+double AggregateQuery::MarginalValue(int sensor) const {
+  ++valuation_calls_;
+  if (cover_mask_[sensor].empty()) return 0.0;  // not a candidate: no change
+  const int new_covered = PopCountOr(acc_mask_, cover_mask_[sensor]);
+  const double new_value =
+      ValueFrom(new_covered, theta_sum_ + theta_[sensor],
+                static_cast<int>(selected_.size()) + 1);
+  return new_value - current_value_;
+}
+
+void AggregateQuery::Commit(int sensor, double payment) {
+  if (!cover_mask_[sensor].empty()) {
+    OrInto(acc_mask_, cover_mask_[sensor]);
+    covered_cells_ = PopCount(acc_mask_);
+    theta_sum_ += theta_[sensor];
+  }
+  selected_.push_back(sensor);
+  current_value_ = ValueFrom(covered_cells_, theta_sum_,
+                             static_cast<int>(selected_.size()));
+  total_payment_ += payment;
+}
+
+void AggregateQuery::ResetSelection() {
+  MultiQueryBase::ResetSelection();
+  acc_mask_.assign(NumWords(), 0);
+  covered_cells_ = 0;
+  theta_sum_ = 0.0;
+}
+
+double AggregateQuery::CurrentCoverage() const {
+  return num_cells_ > 0 ? static_cast<double>(covered_cells_) / num_cells_ : 0.0;
+}
+
+double AggregateQuery::ValueOf(const std::vector<int>& sensors) const {
+  std::vector<uint64_t> acc(NumWords(), 0);
+  double theta_sum = 0.0;
+  int count = 0;
+  for (int s : sensors) {
+    if (!cover_mask_[s].empty()) {
+      OrInto(acc, cover_mask_[s]);
+      theta_sum += theta_[s];
+    }
+    ++count;
+  }
+  return ValueFrom(PopCount(acc), theta_sum, count);
+}
+
+// ---------------------------------------------------------------------------
+// TrajectoryQuery
+// ---------------------------------------------------------------------------
+
+TrajectoryQuery::TrajectoryQuery(const Params& params, const SlotContext& slot)
+    : MultiQueryBase(params.id), params_(params) {
+  // Cells of interest: grid cells of the trajectory's bounding box whose
+  // center lies within `corridor` of the polyline.
+  const double cell = std::max(1e-9, params_.cell_size);
+  const Rect box = params_.trajectory.BoundingBox();
+  const int nx = std::max(1, static_cast<int>(std::ceil((box.Width() + 2 * params_.corridor) / cell)));
+  const int ny = std::max(1, static_cast<int>(std::ceil((box.Height() + 2 * params_.corridor) / cell)));
+  for (int y = 0; y < ny; ++y) {
+    for (int x = 0; x < nx; ++x) {
+      const Point center{box.x_min - params_.corridor + (x + 0.5) * cell,
+                         box.y_min - params_.corridor + (y + 0.5) * cell};
+      if (params_.trajectory.DistanceTo(center) <= params_.corridor) {
+        cell_centers_.push_back(center);
+      }
+    }
+  }
+  num_cells_ = static_cast<int>(cell_centers_.size());
+  if (num_cells_ == 0) {
+    // Degenerate trajectory: treat its first waypoint (if any) as the
+    // single cell of interest.
+    if (!params_.trajectory.waypoints.empty()) {
+      cell_centers_.push_back(params_.trajectory.waypoints.front());
+      num_cells_ = 1;
+    } else {
+      num_cells_ = 1;
+      cell_centers_.push_back(Point{0, 0});
+    }
+  }
+
+  cover_mask_.resize(slot.sensors.size());
+  theta_.assign(slot.sensors.size(), 0.0);
+  for (const SlotSensor& s : slot.sensors) {
+    std::vector<uint64_t> mask(NumWords(), 0);
+    bool any = false;
+    for (int c = 0; c < num_cells_; ++c) {
+      if (Distance(cell_centers_[c], s.location) <= params_.sensing_range) {
+        mask[c / 64] |= uint64_t{1} << (c % 64);
+        any = true;
+      }
+    }
+    if (any) {
+      cover_mask_[s.index] = std::move(mask);
+      theta_[s.index] = SensorTheta(s);
+    }
+  }
+  acc_mask_.assign(NumWords(), 0);
+}
+
+double TrajectoryQuery::ValueFrom(int covered_cells, double theta_sum,
+                                  int count) const {
+  if (count == 0) return 0.0;
+  const double coverage = static_cast<double>(covered_cells) / num_cells_;
+  return params_.budget * coverage * (theta_sum / count);
+}
+
+double TrajectoryQuery::MarginalValue(int sensor) const {
+  ++valuation_calls_;
+  if (cover_mask_[sensor].empty()) return 0.0;
+  const int new_covered = PopCountOr(acc_mask_, cover_mask_[sensor]);
+  const double new_value =
+      ValueFrom(new_covered, theta_sum_ + theta_[sensor],
+                static_cast<int>(selected_.size()) + 1);
+  return new_value - current_value_;
+}
+
+void TrajectoryQuery::Commit(int sensor, double payment) {
+  if (!cover_mask_[sensor].empty()) {
+    OrInto(acc_mask_, cover_mask_[sensor]);
+    covered_cells_ = PopCount(acc_mask_);
+    theta_sum_ += theta_[sensor];
+  }
+  selected_.push_back(sensor);
+  current_value_ = ValueFrom(covered_cells_, theta_sum_,
+                             static_cast<int>(selected_.size()));
+  total_payment_ += payment;
+}
+
+void TrajectoryQuery::ResetSelection() {
+  MultiQueryBase::ResetSelection();
+  acc_mask_.assign(NumWords(), 0);
+  covered_cells_ = 0;
+  theta_sum_ = 0.0;
+}
+
+double TrajectoryQuery::CurrentCoverage() const {
+  return num_cells_ > 0 ? static_cast<double>(covered_cells_) / num_cells_ : 0.0;
+}
+
+double TrajectoryQuery::ValueOf(const std::vector<int>& sensors) const {
+  std::vector<uint64_t> acc(NumWords(), 0);
+  double theta_sum = 0.0;
+  int count = 0;
+  for (int s : sensors) {
+    if (!cover_mask_[s].empty()) {
+      OrInto(acc, cover_mask_[s]);
+      theta_sum += theta_[s];
+    }
+    ++count;
+  }
+  return ValueFrom(PopCount(acc), theta_sum, count);
+}
+
+}  // namespace psens

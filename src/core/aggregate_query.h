@@ -1,0 +1,117 @@
+#ifndef PSENS_CORE_AGGREGATE_QUERY_H_
+#define PSENS_CORE_AGGREGATE_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "core/multi_query.h"
+
+namespace psens {
+
+/// Spatial-aggregate query (Section 2.2.2) with the example valuation of
+/// Eq. (5):
+///
+///   v_q(S) = B_q * G_q(S) * (sum_{s in S} theta_s) / |S|,
+///
+/// where G_q is the fraction of the query region covered by the selected
+/// sensors' sensing disks and theta_s = (1 - gamma_s) * tau_s is the
+/// sensor's location-independent reading quality. The mean-quality factor
+/// makes the valuation non-submodular and non-monotone (Section 3.2),
+/// which is why the paper schedules these queries with greedy Algorithm 1
+/// rather than the local-search approximation.
+///
+/// Queries over trajectories (Section 2.2.3) are the same valuation with
+/// the coverage computed over cells near the trajectory; see
+/// `TrajectoryQuery`.
+class AggregateQuery : public MultiQueryBase {
+ public:
+  struct Params {
+    int id = 0;
+    Rect region;
+    double budget = 0.0;
+    /// Sensing range of a sensor (disk radius), Section 4.4 sets 10 units.
+    double sensing_range = 10.0;
+    /// Rasterization cell size for the coverage function.
+    double cell_size = 2.0;
+  };
+
+  /// Binds the query to the slot: precomputes each candidate sensor's
+  /// covered-cell bitset. Sensors whose disk misses the region entirely
+  /// are not candidates.
+  AggregateQuery(const Params& params, const SlotContext& slot);
+
+  double MarginalValue(int sensor) const override;
+  void Commit(int sensor, double payment) override;
+  double MaxValue() const override { return params_.budget; }
+
+  void ResetSelection() override;
+
+  /// Coverage G(S) in [0, 1] for the current selection.
+  double CurrentCoverage() const;
+
+  /// Value of an arbitrary sensor set (non-incremental; used by the
+  /// baseline and tests).
+  double ValueOf(const std::vector<int>& sensors) const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  int NumWords() const { return static_cast<int>((num_cells_ + 63) / 64); }
+  double ValueFrom(int covered_cells, double theta_sum, int count) const;
+
+  Params params_;
+  int num_cells_ = 0;
+  int cells_x_ = 0;
+  /// Per slot-sensor: covered-cell bitset (empty when not a candidate).
+  std::vector<std::vector<uint64_t>> cover_mask_;
+  std::vector<double> theta_;
+
+  // Incremental selection state.
+  std::vector<uint64_t> acc_mask_;
+  int covered_cells_ = 0;
+  double theta_sum_ = 0.0;
+};
+
+/// Query over a trajectory (Section 2.2.3): treated as a spatial-aggregate
+/// query whose cells are those within `corridor` of the polyline.
+class TrajectoryQuery : public MultiQueryBase {
+ public:
+  struct Params {
+    int id = 0;
+    Trajectory trajectory;
+    double budget = 0.0;
+    double sensing_range = 10.0;
+    double cell_size = 2.0;
+    /// Half-width of the corridor of interest around the trajectory.
+    double corridor = 2.0;
+  };
+
+  TrajectoryQuery(const Params& params, const SlotContext& slot);
+
+  double MarginalValue(int sensor) const override;
+  void Commit(int sensor, double payment) override;
+  double MaxValue() const override { return params_.budget; }
+  void ResetSelection() override;
+
+  double CurrentCoverage() const;
+  double ValueOf(const std::vector<int>& sensors) const;
+
+ private:
+  int NumWords() const { return static_cast<int>((num_cells_ + 63) / 64); }
+  double ValueFrom(int covered_cells, double theta_sum, int count) const;
+
+  Params params_;
+  int num_cells_ = 0;
+  std::vector<Point> cell_centers_;
+  std::vector<std::vector<uint64_t>> cover_mask_;
+  std::vector<double> theta_;
+
+  std::vector<uint64_t> acc_mask_;
+  int covered_cells_ = 0;
+  double theta_sum_ = 0.0;
+};
+
+}  // namespace psens
+
+#endif  // PSENS_CORE_AGGREGATE_QUERY_H_

@@ -1,0 +1,81 @@
+#ifndef PSENS_CORE_AGGREGATOR_H_
+#define PSENS_CORE_AGGREGATOR_H_
+
+#include <vector>
+
+#include "core/aggregate_query.h"
+#include "core/location_monitoring.h"
+#include "core/query_mix.h"
+#include "core/region_monitoring.h"
+#include "core/sensor.h"
+#include "mobility/trace.h"
+
+namespace psens {
+
+/// The aggregator of Section 2: the central server sensors announce their
+/// location and price to at the beginning of every slot, and that end
+/// users submit queries to. This facade owns the sensor registry and the
+/// per-slot pipeline (Algorithm 5), so a downstream application only
+/// queues queries and calls RunSlot once per time slot:
+///
+///   Aggregator aggregator(std::move(sensors), config);
+///   aggregator.SubmitPointQuery(q);
+///   ...
+///   const QueryMixSlotResult r = aggregator.RunSlot(trace, t);
+///
+/// One-shot queries queue for the *next* slot only (the paper's model:
+/// the aggregator periodically collects queries and answers the batch);
+/// continuous queries live in the attached managers until they expire.
+class Aggregator {
+ public:
+  struct Config {
+    Rect working_region;
+    double dmax = 10.0;
+    /// Algorithm 5 (true) or the sequential baseline (false).
+    bool use_greedy = true;
+  };
+
+  Aggregator(std::vector<Sensor> sensors, const Config& config);
+
+  /// Queues a one-shot single-sensor point query for the next slot.
+  void SubmitPointQuery(const PointQuery& query);
+
+  /// Queues a one-shot spatial-aggregate query for the next slot.
+  void SubmitAggregateQuery(const AggregateQuery::Params& params);
+
+  /// Attaches continuous-query managers (not owned; may be null).
+  void AttachLocationMonitoring(LocationMonitoringManager* manager) {
+    location_manager_ = manager;
+  }
+  void AttachRegionMonitoring(RegionMonitoringManager* manager) {
+    region_manager_ = manager;
+  }
+
+  /// Runs one time slot: applies trace positions to the registry, answers
+  /// the queued one-shot queries jointly with the continuous queries'
+  /// generated point queries (Algorithm 5), charges the selected sensors
+  /// one reading each, expires finished continuous queries, and clears the
+  /// one-shot queues.
+  QueryMixSlotResult RunSlot(const Trace& trace, int time);
+
+  /// Sum of per-slot utilities so far (social welfare).
+  double TotalWelfare() const { return total_welfare_; }
+  int SlotsRun() const { return slots_run_; }
+
+  const std::vector<Sensor>& sensors() const { return sensors_; }
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  std::vector<Sensor> sensors_;
+  std::vector<PointQuery> pending_points_;
+  std::vector<AggregateQuery::Params> pending_aggregates_;
+  LocationMonitoringManager* location_manager_ = nullptr;
+  RegionMonitoringManager* region_manager_ = nullptr;
+  double total_welfare_ = 0.0;
+  int slots_run_ = 0;
+};
+
+}  // namespace psens
+
+#endif  // PSENS_CORE_AGGREGATOR_H_

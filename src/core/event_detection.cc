@@ -1,0 +1,122 @@
+#include "core/event_detection.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace psens {
+
+double DetectionConfidence(const std::vector<double>& qualities) {
+  double miss = 1.0;
+  for (double theta : qualities) {
+    miss *= 1.0 - std::clamp(theta, 0.0, 1.0);
+  }
+  return 1.0 - miss;
+}
+
+int RequiredRedundancy(double confidence, double theta, int max_readings) {
+  confidence = std::clamp(confidence, 0.0, 0.999999);
+  theta = std::clamp(theta, 1e-6, 1.0 - 1e-9);
+  // Smallest k with 1 - (1 - theta)^k >= confidence.
+  const double k = std::log(1.0 - confidence) / std::log(1.0 - theta);
+  return std::clamp(static_cast<int>(std::ceil(k - 1e-12)), 1, max_readings);
+}
+
+void EventDetectionManager::AddQuery(const EventDetectionQuery& query) {
+  queries_.push_back(query);
+  EventDetectionQuery& q = queries_.back();
+  q.spent = 0.0;
+  q.slots_detecting = 0;
+  q.slots_active = 0;
+  q.triggered = false;
+}
+
+std::vector<PointQuery> EventDetectionManager::CreatePointQueries(int t) {
+  std::vector<PointQuery> created;
+  for (size_t qi = 0; qi < queries_.size(); ++qi) {
+    EventDetectionQuery& q = queries_[qi];
+    if (!q.ActiveAt(t)) continue;
+    ++q.slots_active;
+    const int redundancy = RequiredRedundancy(
+        q.confidence, config_.expected_theta, config_.max_redundancy);
+    if (q.budget_per_slot <= 0.0) continue;
+    // Split the slot budget across the redundant readings. Each reading is
+    // an independent point query on a small ring around the target (the
+    // point schedulers assign one sensor per distinct location, so the
+    // ring makes them eligible for *distinct* sensors — redundant
+    // sampling of the same spot by different participants).
+    const double share = q.budget_per_slot / redundancy;
+    for (int r = 0; r < redundancy; ++r) {
+      const double angle = 2.0 * M_PI * r / redundancy;
+      PointQuery pq;
+      pq.id = q.id * 1000 + r;
+      pq.location = Point{q.location.x + 0.5 * std::cos(angle),
+                          q.location.y + 0.5 * std::sin(angle)};
+      pq.budget = share;
+      pq.theta_min = q.theta_min;
+      pq.parent = static_cast<int>(qi);
+      created.push_back(pq);
+    }
+  }
+  return created;
+}
+
+int EventDetectionManager::ApplyResults(int t, const std::vector<PointQuery>& created,
+                                        const std::vector<PointAssignment>& assignments,
+                                        const std::vector<double>& readings) {
+  (void)t;
+  int fired = 0;
+  for (size_t qi = 0; qi < queries_.size(); ++qi) {
+    EventDetectionQuery& q = queries_[qi];
+    std::vector<double> qualities;
+    std::vector<int> used_sensors;
+    bool any_above_threshold = false;
+    for (size_t i = 0; i < created.size() && i < assignments.size(); ++i) {
+      if (created[i].parent != static_cast<int>(qi)) continue;
+      const PointAssignment& a = assignments[i];
+      if (!a.satisfied()) continue;
+      // Only distinct sensors count toward the confidence target: the same
+      // sensor answering two ring queries is still a single measurement.
+      if (std::find(used_sensors.begin(), used_sensors.end(), a.sensor) !=
+          used_sensors.end()) {
+        continue;
+      }
+      used_sensors.push_back(a.sensor);
+      qualities.push_back(a.quality);
+      q.spent += a.payment;
+      if (i < readings.size() && readings[i] > q.threshold) {
+        any_above_threshold = true;
+      }
+    }
+    if (qualities.empty()) continue;
+    const double achieved = DetectionConfidence(qualities);
+    if (achieved >= q.confidence) {
+      ++q.slots_detecting;
+      ++detecting_slots_;
+      if (any_above_threshold) {
+        q.triggered = true;
+        ++fired;
+      }
+    }
+  }
+  for (const EventDetectionQuery& q : queries_) {
+    if (q.ActiveAt(t)) ++active_slots_;
+  }
+  return fired;
+}
+
+void EventDetectionManager::RemoveExpired(int t) {
+  std::vector<EventDetectionQuery> alive;
+  alive.reserve(queries_.size());
+  for (EventDetectionQuery& q : queries_) {
+    if (q.t2 >= t) alive.push_back(std::move(q));
+  }
+  queries_ = std::move(alive);
+}
+
+double EventDetectionManager::DetectionRate() const {
+  return active_slots_ > 0
+             ? static_cast<double>(detecting_slots_) / static_cast<double>(active_slots_)
+             : 0.0;
+}
+
+}  // namespace psens

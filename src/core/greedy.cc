@@ -1,0 +1,111 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+
+namespace psens {
+namespace {
+
+int64_t TotalValuationCalls(const std::vector<MultiQuery*>& queries) {
+  int64_t total = 0;
+  for (const MultiQuery* q : queries) total += q->ValuationCalls();
+  return total;
+}
+
+}  // namespace
+
+SelectionResult GreedySensorSelection(const std::vector<MultiQuery*>& queries,
+                                      const SlotContext& slot,
+                                      const std::vector<double>* cost_scale) {
+  SelectionResult result;
+  const int64_t calls_before = TotalValuationCalls(queries);
+  const int n = static_cast<int>(slot.sensors.size());
+  std::vector<char> remaining(n, 1);
+
+  std::vector<double> marginals(queries.size());
+  while (true) {
+    int best_sensor = -1;
+    double best_net = 0.0;
+    for (int s = 0; s < n; ++s) {
+      if (!remaining[s]) continue;
+      double scale = 1.0;
+      if (cost_scale != nullptr) scale = (*cost_scale)[s];
+      const double cost = slot.sensors[s].cost * scale;
+      double positive_sum = 0.0;
+      for (MultiQuery* q : queries) {
+        const double delta = q->MarginalValue(s);
+        if (delta > 0.0) positive_sum += delta;
+      }
+      const double net = positive_sum - cost;
+      if (net > best_net) {
+        best_net = net;
+        best_sensor = s;
+      }
+    }
+    if (best_sensor < 0) break;  // line 12: no sensor with positive net gain
+
+    // Recompute the winning sensor's per-query marginals and commit with
+    // proportionate payments (line 10). The *true* cost is charged.
+    const double true_cost = slot.sensors[best_sensor].cost;
+    double positive_sum = 0.0;
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      marginals[qi] = queries[qi]->MarginalValue(best_sensor);
+      if (marginals[qi] > 0.0) positive_sum += marginals[qi];
+    }
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      if (marginals[qi] > 0.0) {
+        const double payment = marginals[qi] * true_cost / positive_sum;
+        queries[qi]->Commit(best_sensor, payment);
+      }
+    }
+    remaining[best_sensor] = 0;
+    result.selected_sensors.push_back(best_sensor);
+    result.total_cost += true_cost;
+  }
+
+  for (const MultiQuery* q : queries) result.total_value += q->CurrentValue();
+  result.valuation_calls = TotalValuationCalls(queries) - calls_before;
+  return result;
+}
+
+SelectionResult BaselineSequentialSelection(const std::vector<MultiQuery*>& queries,
+                                            const SlotContext& slot) {
+  SelectionResult result;
+  const int64_t calls_before = TotalValuationCalls(queries);
+  const int n = static_cast<int>(slot.sensors.size());
+  std::vector<double> remaining_cost(n);
+  for (int s = 0; s < n; ++s) remaining_cost[s] = slot.sensors[s].cost;
+  std::vector<char> selected(n, 0);
+
+  for (MultiQuery* q : queries) {
+    // Greedily buy sensors maximizing this query's own net utility at the
+    // sensors' remaining (possibly zero) cost.
+    std::vector<char> used(n, 0);
+    while (true) {
+      int best_sensor = -1;
+      double best_net = 0.0;
+      for (int s = 0; s < n; ++s) {
+        if (used[s]) continue;
+        const double net = q->MarginalValue(s) - remaining_cost[s];
+        if (net > best_net) {
+          best_net = net;
+          best_sensor = s;
+        }
+      }
+      if (best_sensor < 0) break;
+      q->Commit(best_sensor, remaining_cost[best_sensor]);
+      used[best_sensor] = 1;
+      if (!selected[best_sensor]) {
+        selected[best_sensor] = 1;
+        result.selected_sensors.push_back(best_sensor);
+        result.total_cost += slot.sensors[best_sensor].cost;
+      }
+      remaining_cost[best_sensor] = 0.0;  // buffered data is free from now on
+    }
+  }
+
+  for (const MultiQuery* q : queries) result.total_value += q->CurrentValue();
+  result.valuation_calls = TotalValuationCalls(queries) - calls_before;
+  return result;
+}
+
+}  // namespace psens

@@ -1,0 +1,52 @@
+#ifndef PSENS_CORE_GREEDY_H_
+#define PSENS_CORE_GREEDY_H_
+
+#include <vector>
+
+#include "core/multi_query.h"
+#include "core/slot.h"
+
+namespace psens {
+
+/// Outcome of joint multi-query sensor selection. Per-query values and
+/// payments live on the MultiQuery objects themselves (they are mutated by
+/// the run); this struct aggregates the slot-level accounting.
+struct SelectionResult {
+  /// Selected slot-sensor indices (cost paid once per sensor).
+  std::vector<int> selected_sensors;
+  double total_value = 0.0;
+  double total_cost = 0.0;
+  /// Total valuation-function calls made during the run (Theorem 1
+  /// property 4 bounds this by O(|Q| |S|^2) for Algorithm 1).
+  int64_t valuation_calls = 0;
+
+  double Utility() const { return total_value - total_cost; }
+};
+
+/// Algorithm 1 ("Greedy Sensor Selection"): iteratively pick the sensor a
+/// maximizing sum_{q: delta_v > 0} delta_v_{q,a} - c_a; stop when no sensor
+/// has positive net benefit. Each selected sensor's cost is split among
+/// the benefiting queries proportionally to their marginal values
+/// (pi_{q,a} = delta_v_{q,a} c_a / sum delta_v, line 10), which yields
+/// Theorem 1's guarantees: positive total utility and non-negative
+/// individual utility.
+///
+/// `cost_scale[s]`, when provided, multiplies sensor s's cost during
+/// selection (used by Algorithm 3's sharing weights, Eq. 18, and by
+/// Algorithm 5's payment adjustment); the *paid* cost is still the true
+/// slot cost.
+SelectionResult GreedySensorSelection(const std::vector<MultiQuery*>& queries,
+                                      const SlotContext& slot,
+                                      const std::vector<double>* cost_scale = nullptr);
+
+/// The paper's baseline for multi-sensor one-shot queries (Section 4.4):
+/// sequential execution with data buffering. Queries are processed one by
+/// one; each greedily buys the sensors that maximize its own utility at
+/// the sensors' *remaining* cost, and bought sensors become free for
+/// subsequent queries in the slot.
+SelectionResult BaselineSequentialSelection(const std::vector<MultiQuery*>& queries,
+                                            const SlotContext& slot);
+
+}  // namespace psens
+
+#endif  // PSENS_CORE_GREEDY_H_

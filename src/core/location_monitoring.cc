@@ -1,0 +1,167 @@
+#include "core/location_monitoring.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "regress/sampling_time_selector.h"
+
+namespace psens {
+
+LocationMonitoringManager::LocationMonitoringManager(
+    std::vector<double> history_times, std::vector<double> history_values,
+    Config config)
+    : history_times_(std::move(history_times)),
+      history_values_(std::move(history_values)),
+      config_(config) {}
+
+void LocationMonitoringManager::AddQuery(const LocationMonitoringQuery& query) {
+  queries_.push_back(query);
+  LocationMonitoringQuery& q = queries_.back();
+  std::sort(q.desired.begin(), q.desired.end());
+  q.sampled.clear();
+  q.qualities.clear();
+  q.spent = 0.0;
+  q.last_satisfied = -1;
+  q.next_desired = 0;
+  q.value = 0.0;
+}
+
+double LocationMonitoringManager::Valuation(const LocationMonitoringQuery& q,
+                                            const std::vector<int>& sampled,
+                                            const std::vector<double>& qualities) const {
+  if (sampled.empty() || qualities.empty()) return 0.0;
+  // G of Eq. (17) is evaluated over the query's own monitoring window
+  // [t1, t2] of the historical series: the query cares about how well its
+  // samples explain the phenomenon during its lifetime, and the desired
+  // times were chosen to minimize exactly this window's residuals.
+  const int lo = std::max(0, std::min<int>(q.t1, static_cast<int>(history_times_.size()) - 1));
+  const int hi = std::max(lo, std::min<int>(q.t2, static_cast<int>(history_times_.size()) - 1));
+  std::vector<double> window_times;
+  std::vector<double> window_values;
+  window_times.reserve(hi - lo + 1);
+  for (int i = lo; i <= hi; ++i) {
+    window_times.push_back(history_times_[i]);
+    window_values.push_back(history_values_[i]);
+  }
+  auto to_window = [&](const std::vector<int>& slots) {
+    std::vector<int> indices;
+    indices.reserve(slots.size());
+    for (int s : slots) {
+      int i = s - lo;
+      if (i < 0) i = 0;
+      if (i > hi - lo) i = hi - lo;
+      indices.push_back(i);
+    }
+    return indices;
+  };
+  const double g = ResidualRatio(window_times, window_values, to_window(q.desired),
+                                 to_window(sampled), config_.model_degree);
+  double theta_sum = 0.0;
+  for (double theta : qualities) theta_sum += theta;
+  const double mean_theta = theta_sum / static_cast<double>(qualities.size());
+  return q.budget * g * mean_theta;
+}
+
+double LocationMonitoringManager::SampleGain(const LocationMonitoringQuery& q,
+                                             int t) const {
+  // Value if a perfect-quality sample is taken at t (Theta extended by 1.0
+  // — "the expected quality of a sensor reading before the actual sensor
+  // selection", Section 3.3).
+  std::vector<int> sampled = q.sampled;
+  sampled.push_back(t);
+  std::vector<double> qualities = q.qualities;
+  qualities.push_back(1.0);
+  const double with = Valuation(q, sampled, qualities);
+  return with - q.value;
+}
+
+std::vector<PointQuery> LocationMonitoringManager::CreatePointQueries(int t) {
+  std::vector<PointQuery> created;
+  for (size_t qi = 0; qi < queries_.size(); ++qi) {
+    LocationMonitoringQuery& q = queries_[qi];
+    if (!q.ActiveAt(t)) continue;
+
+    const bool is_desired =
+        std::binary_search(q.desired.begin(), q.desired.end(), t);
+    // nst: next desired slot not yet satisfied; "missed" when it already
+    // passed. "Overdue" when all desired slots are behind us.
+    const bool exhausted = q.next_desired >= q.desired.size();
+    const bool missed = !exhausted && q.desired[q.next_desired] < t;
+    const bool overdue = exhausted && !q.desired.empty() && t > q.desired.back();
+
+    const double delta_vt = SampleGain(q, t);
+    double delta_v;
+    if (config_.desired_times_only) {
+      if (!is_desired) continue;  // baseline: sample only at desired times
+      delta_v = delta_vt;
+    } else if (is_desired || missed || overdue) {
+      // Line 5 of CreatePointQuery: full value at desired slots, when the
+      // previous desired sample failed (catch-up), or past the final
+      // desired time.
+      delta_v = delta_vt;
+    } else {
+      // Line 6: opportunistic sample funded by a fraction alpha of the
+      // accrued surplus v_q(T') - C-hat.
+      const double surplus = q.value - q.spent;
+      delta_v = std::min(config_.alpha * surplus, delta_vt);
+    }
+    if (delta_v <= 0.0) continue;
+
+    PointQuery pq;
+    pq.id = q.id;
+    pq.location = q.location;
+    pq.budget = delta_v;
+    pq.theta_min = config_.theta_min;
+    pq.parent = static_cast<int>(qi);
+    created.push_back(pq);
+  }
+  return created;
+}
+
+double LocationMonitoringManager::ApplyResults(
+    int t, const std::vector<PointQuery>& created,
+    const std::vector<PointAssignment>& assignments) {
+  double realized = 0.0;
+  for (size_t i = 0; i < created.size() && i < assignments.size(); ++i) {
+    const PointAssignment& a = assignments[i];
+    const int qi = created[i].parent;
+    if (qi < 0 || static_cast<size_t>(qi) >= queries_.size()) continue;
+    LocationMonitoringQuery& q = queries_[static_cast<size_t>(qi)];
+    if (!a.satisfied()) continue;  // pi = -inf in the paper's notation
+    q.sampled.push_back(t);
+    q.qualities.push_back(a.quality);
+    q.spent += a.payment;
+    // Advance the desired-time cursor: a successful sample at or after a
+    // desired slot is treated as covering it (our reading of the paper's
+    // lst/nst updates — after a catch-up sample the query returns to
+    // opportunistic mode rather than staying in catch-up forever).
+    while (q.next_desired < q.desired.size() && q.desired[q.next_desired] <= t) {
+      q.last_satisfied = q.desired[q.next_desired];
+      ++q.next_desired;
+    }
+    const double new_value = Valuation(q, q.sampled, q.qualities);
+    realized += new_value - q.value;
+    q.value = new_value;
+  }
+  return realized;
+}
+
+void LocationMonitoringManager::RemoveExpired(int t) {
+  std::vector<LocationMonitoringQuery> alive;
+  alive.reserve(queries_.size());
+  for (LocationMonitoringQuery& q : queries_) {
+    if (q.t2 < t) {
+      ++num_completed_;
+      if (q.budget > 0.0) completed_quality_sum_ += q.value / q.budget;
+    } else {
+      alive.push_back(std::move(q));
+    }
+  }
+  queries_ = std::move(alive);
+}
+
+double LocationMonitoringManager::MeanCompletedQuality() const {
+  return num_completed_ > 0 ? completed_quality_sum_ / num_completed_ : 0.0;
+}
+
+}  // namespace psens

@@ -1,0 +1,114 @@
+#ifndef PSENS_CORE_LOCATION_MONITORING_H_
+#define PSENS_CORE_LOCATION_MONITORING_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/geometry.h"
+#include "core/point_query.h"
+#include "core/point_scheduling.h"
+
+namespace psens {
+
+/// A continuous location-monitoring query (Q1 of Section 2.3): monitor a
+/// phenomenon at `location` over slots [t1, t2], with desired sampling
+/// times `desired` (the set T). The valuation is Eq. (16):
+///
+///   v_q(T', Theta) = B_q * G(T') * mean(Theta),
+///
+/// where G is the residual ratio of Eq. (17) against the historical
+/// series, T' the sampled slots, and Theta the achieved reading qualities.
+struct LocationMonitoringQuery {
+  int id = 0;
+  Point location;
+  int t1 = 0;
+  int t2 = 0;  // inclusive
+  double budget = 0.0;
+  /// Desired sampling slots T (absolute slot numbers in [t1, t2]).
+  std::vector<int> desired;
+
+  // ---- Algorithm 2 state ----
+  std::vector<int> sampled;        // T'
+  std::vector<double> qualities;   // Theta
+  double spent = 0.0;              // C-hat, total payments so far
+  int last_satisfied = -1;         // lst
+  size_t next_desired = 0;         // index into `desired` (nst)
+  double value = 0.0;              // v_q(T', Theta), cached
+
+  bool ActiveAt(int t) const { return t >= t1 && t <= t2; }
+};
+
+/// Algorithm 2 ("Sensor Selection for Location Monitoring Queries"):
+/// each slot, CreatePointQueries derives one point query per active
+/// monitoring query (full budget at desired/missed/overdue slots, an
+/// alpha-fraction of the accrued surplus otherwise), and ApplyResults
+/// folds the point-query outcomes back into the query state.
+///
+/// The valuation's G factor is computed against a shared historical
+/// series (e.g. the previous day's ozone trace): slot t of the current
+/// period corresponds to index t of the series, exactly the "data values
+/// for the current time interval are almost the same as in the same time
+/// interval in the past" assumption of Section 4.5.
+class LocationMonitoringManager {
+ public:
+  struct Config {
+    /// Fraction alpha of the accrued surplus spendable on an
+    /// opportunistic (non-desired-time) sample.
+    double alpha = 0.5;
+    /// Baseline mode (Section 4.5): generate point queries only at the
+    /// desired sampling times, never opportunistically.
+    bool desired_times_only = false;
+    /// theta_min for generated point queries.
+    double theta_min = 0.2;
+    /// Polynomial degree of the historical model.
+    int model_degree = 1;
+  };
+
+  LocationMonitoringManager(std::vector<double> history_times,
+                            std::vector<double> history_values, Config config);
+
+  void AddQuery(const LocationMonitoringQuery& query);
+
+  /// Function CreatePointQuery for every active query at slot `t`.
+  /// Returned point queries have `parent` set to the internal query index;
+  /// queries that choose not to sample this slot produce nothing.
+  std::vector<PointQuery> CreatePointQueries(int t);
+
+  /// Procedure ApplyResults: `created` must be the vector returned by
+  /// CreatePointQueries(t) and `assignments` its scheduling outcome
+  /// (aligned by index). Returns the total valuation increase realized
+  /// this slot (for welfare accounting).
+  double ApplyResults(int t, const std::vector<PointQuery>& created,
+                      const std::vector<PointAssignment>& assignments);
+
+  /// Drops queries whose period ended before `t`, folding them into the
+  /// completed-query statistics.
+  void RemoveExpired(int t);
+
+  const std::vector<LocationMonitoringQuery>& queries() const { return queries_; }
+
+  /// Number of queries finished so far and their mean quality of results
+  /// (value / budget at expiry).
+  int num_completed() const { return num_completed_; }
+  double MeanCompletedQuality() const;
+
+  /// v_q(T', Theta) of Eq. (16) for an explicit state; exposed for tests.
+  double Valuation(const LocationMonitoringQuery& q,
+                   const std::vector<int>& sampled,
+                   const std::vector<double>& qualities) const;
+
+ private:
+  /// Delta-v_t: value increase if a (perfect-quality) sample is taken now.
+  double SampleGain(const LocationMonitoringQuery& q, int t) const;
+
+  std::vector<double> history_times_;
+  std::vector<double> history_values_;
+  Config config_;
+  std::vector<LocationMonitoringQuery> queries_;
+  int num_completed_ = 0;
+  double completed_quality_sum_ = 0.0;
+};
+
+}  // namespace psens
+
+#endif  // PSENS_CORE_LOCATION_MONITORING_H_

@@ -1,0 +1,41 @@
+#include "core/multi_query.h"
+
+#include <algorithm>
+
+namespace psens {
+
+double PointMultiQuery::MarginalValue(int sensor) const {
+  ++valuation_calls_;
+  const double v = PointQueryValue(query_, slot_->sensors[sensor], slot_->dmax);
+  return v - current_value_;  // current_value_ is the best committed value
+}
+
+void PointMultiQuery::Commit(int sensor, double payment) {
+  const double v = PointQueryValue(query_, slot_->sensors[sensor], slot_->dmax);
+  if (v > current_value_) {
+    current_value_ = v;
+    best_sensor_ = sensor;
+  }
+  selected_.push_back(sensor);
+  total_payment_ += payment;
+}
+
+double PointMultiQuery::BestQuality() const {
+  if (best_sensor_ < 0) return 0.0;
+  return SlotQuality(slot_->sensors[best_sensor_], query_.location, slot_->dmax);
+}
+
+double CallbackMultiQuery::MarginalValue(int sensor) const {
+  ++valuation_calls_;
+  std::vector<int> with = selected_;
+  with.push_back(sensor);
+  return valuation_(with) - current_value_;
+}
+
+void CallbackMultiQuery::Commit(int sensor, double payment) {
+  selected_.push_back(sensor);
+  current_value_ = valuation_(selected_);
+  total_payment_ += payment;
+}
+
+}  // namespace psens

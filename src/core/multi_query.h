@@ -1,0 +1,128 @@
+#ifndef PSENS_CORE_MULTI_QUERY_H_
+#define PSENS_CORE_MULTI_QUERY_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/point_query.h"
+#include "core/slot.h"
+
+namespace psens {
+
+/// A query participating in joint sensor selection (Algorithm 1 and the
+/// multi-sensor baseline). Valuations are black boxes supplied by the
+/// application (Section 2); schedulers only probe marginal values and
+/// commit selected sensors. Implementations keep incremental state so
+/// marginal evaluation is cheap.
+class MultiQuery {
+ public:
+  virtual ~MultiQuery() = default;
+
+  virtual int id() const = 0;
+
+  /// Marginal value delta-v_{q,s} = v_q(S_q + s) - v_q(S_q) of adding slot
+  /// sensor `sensor` to the current selection. May be negative (valuations
+  /// need not be monotone, e.g. Eq. 5).
+  virtual double MarginalValue(int sensor) const = 0;
+
+  /// Adds `sensor` to the selection, charging `payment` to the query.
+  virtual void Commit(int sensor, double payment) = 0;
+
+  /// v_q(S_q) for the current selection.
+  virtual double CurrentValue() const = 0;
+
+  /// The maximum attainable valuation (used for the "average quality of
+  /// results" metric of Section 4.4: achieved value / max value).
+  virtual double MaxValue() const = 0;
+
+  /// Sum of payments charged so far.
+  virtual double TotalPayment() const = 0;
+
+  virtual const std::vector<int>& SelectedSensors() const = 0;
+
+  /// Clears the selection (selection state only; not slot binding).
+  virtual void ResetSelection() = 0;
+
+  /// Number of valuation-function evaluations performed (for the
+  /// complexity property 4 of Theorem 1).
+  virtual int64_t ValuationCalls() const = 0;
+};
+
+/// Common bookkeeping for MultiQuery implementations.
+class MultiQueryBase : public MultiQuery {
+ public:
+  explicit MultiQueryBase(int id) : id_(id) {}
+
+  int id() const override { return id_; }
+  double CurrentValue() const override { return current_value_; }
+  double TotalPayment() const override { return total_payment_; }
+  const std::vector<int>& SelectedSensors() const override { return selected_; }
+  int64_t ValuationCalls() const override { return valuation_calls_; }
+
+  void ResetSelection() override {
+    selected_.clear();
+    current_value_ = 0.0;
+    total_payment_ = 0.0;
+  }
+
+ protected:
+  int id_;
+  std::vector<int> selected_;
+  double current_value_ = 0.0;
+  double total_payment_ = 0.0;
+  mutable int64_t valuation_calls_ = 0;
+};
+
+/// Single-sensor point query (Eq. 3) wrapped for joint selection: the set
+/// valuation is v_q(S) = max_{s in S} v_q(s), so the marginal of a second,
+/// better sensor is only its improvement.
+class PointMultiQuery : public MultiQueryBase {
+ public:
+  PointMultiQuery(const PointQuery& query, const SlotContext* slot)
+      : MultiQueryBase(query.id), query_(query), slot_(slot) {}
+
+  const PointQuery& query() const { return query_; }
+
+  double MarginalValue(int sensor) const override;
+  void Commit(int sensor, double payment) override;
+  double MaxValue() const override { return query_.budget; }
+
+  /// The slot sensor currently providing the best reading (-1 if none).
+  int BestSensor() const { return best_sensor_; }
+  /// Quality theta of the best committed reading.
+  double BestQuality() const;
+
+  void ResetSelection() override {
+    MultiQueryBase::ResetSelection();
+    best_sensor_ = -1;
+  }
+
+ private:
+  PointQuery query_;
+  const SlotContext* slot_;
+  int best_sensor_ = -1;
+};
+
+/// Arbitrary set-valuation query defined by a callback; used in tests and
+/// available to applications with custom utility functions (the paper
+/// treats valuations as black boxes).
+class CallbackMultiQuery : public MultiQueryBase {
+ public:
+  using SetValuation = std::function<double(const std::vector<int>&)>;
+
+  CallbackMultiQuery(int id, SetValuation valuation, double max_value)
+      : MultiQueryBase(id), valuation_(std::move(valuation)), max_value_(max_value) {}
+
+  double MarginalValue(int sensor) const override;
+  void Commit(int sensor, double payment) override;
+  double MaxValue() const override { return max_value_; }
+
+ private:
+  SetValuation valuation_;
+  double max_value_;
+};
+
+}  // namespace psens
+
+#endif  // PSENS_CORE_MULTI_QUERY_H_

@@ -1,0 +1,47 @@
+#include "core/multi_sensor_point_query.h"
+
+#include <algorithm>
+
+namespace psens {
+
+double MultiSensorPointQuery::Quality(int sensor) const {
+  const double theta = SlotQuality(slot_->sensors[sensor], params_.location,
+                                   slot_->dmax);
+  return theta >= params_.theta_min ? theta : 0.0;
+}
+
+double MultiSensorPointQuery::ValueFromQualities(
+    std::vector<double> qualities) const {
+  if (params_.redundancy <= 0) return 0.0;
+  std::sort(qualities.begin(), qualities.end(), std::greater<double>());
+  const size_t k = static_cast<size_t>(params_.redundancy);
+  double sum = 0.0;
+  for (size_t i = 0; i < qualities.size() && i < k; ++i) sum += qualities[i];
+  return params_.budget * sum / static_cast<double>(params_.redundancy);
+}
+
+double MultiSensorPointQuery::MarginalValue(int sensor) const {
+  ++valuation_calls_;
+  const double theta = Quality(sensor);
+  if (theta <= 0.0) return 0.0;
+  std::vector<double> with = qualities_;
+  with.push_back(theta);
+  return ValueFromQualities(std::move(with)) - current_value_;
+}
+
+void MultiSensorPointQuery::Commit(int sensor, double payment) {
+  const double theta = Quality(sensor);
+  if (theta > 0.0) {
+    qualities_.push_back(theta);
+    current_value_ = ValueFromQualities(qualities_);
+  }
+  selected_.push_back(sensor);
+  total_payment_ += payment;
+}
+
+int MultiSensorPointQuery::RemainingReadings() const {
+  const int have = static_cast<int>(qualities_.size());
+  return std::max(0, params_.redundancy - have);
+}
+
+}  // namespace psens

@@ -1,0 +1,64 @@
+#ifndef PSENS_CORE_MULTI_SENSOR_POINT_QUERY_H_
+#define PSENS_CORE_MULTI_SENSOR_POINT_QUERY_H_
+
+#include <vector>
+
+#include "core/multi_query.h"
+
+namespace psens {
+
+/// A multiple-sensor point query (Section 2.2.1): the application wants up
+/// to `redundancy` readings of the phenomenon at one location — e.g. "to
+/// assess the trustworthiness of a particular sensor", redundant
+/// measurements are needed. The valuation generalizes Eq. (3):
+///
+///   v_q(S) = B_q * (sum of the top-k qualities among S) / k,
+///
+/// with k = `redundancy` and per-reading qualities theta(s, l_q) of
+/// Eq. (4) filtered by theta_min. Monotone and submodular in S (adding a
+/// sensor can only raise a top-k sum, with diminishing returns), so both
+/// greedy Algorithm 1 and the local-search machinery apply.
+class MultiSensorPointQuery : public MultiQueryBase {
+ public:
+  struct Params {
+    int id = 0;
+    Point location;
+    double budget = 0.0;
+    double theta_min = 0.2;
+    /// Number of redundant readings wanted (k >= 1).
+    int redundancy = 3;
+  };
+
+  MultiSensorPointQuery(const Params& params, const SlotContext* slot)
+      : MultiQueryBase(params.id), params_(params), slot_(slot) {}
+
+  double MarginalValue(int sensor) const override;
+  void Commit(int sensor, double payment) override;
+  double MaxValue() const override { return params_.budget; }
+
+  void ResetSelection() override {
+    MultiQueryBase::ResetSelection();
+    qualities_.clear();
+  }
+
+  /// Qualities of the committed readings (unsorted).
+  const std::vector<double>& qualities() const { return qualities_; }
+
+  /// Number of readings still wanted to reach the redundancy target.
+  int RemainingReadings() const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  double Quality(int sensor) const;
+  /// Valuation from a set of reading qualities (top-k mean scaled by B).
+  double ValueFromQualities(std::vector<double> qualities) const;
+
+  Params params_;
+  const SlotContext* slot_;
+  std::vector<double> qualities_;
+};
+
+}  // namespace psens
+
+#endif  // PSENS_CORE_MULTI_SENSOR_POINT_QUERY_H_

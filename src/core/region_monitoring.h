@@ -1,0 +1,150 @@
+#ifndef PSENS_CORE_REGION_MONITORING_H_
+#define PSENS_CORE_REGION_MONITORING_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/geometry.h"
+#include "core/point_query.h"
+#include "core/point_scheduling.h"
+#include "gp/gp_selector.h"
+#include "gp/spatio_temporal.h"
+
+namespace psens {
+
+/// A continuous region-monitoring query (Q2 of Section 2.3): monitor a
+/// phenomenon over `region` during [t1, t2] with total budget B_q. The
+/// valuation is Eq. (7), v_q(S) = B_q * F(S) * mean(theta), with F the
+/// expected variance reduction of Eq. (6) under a Gaussian-process model
+/// extended with a time dimension (Section 2.3.1's sketched extension;
+/// see DESIGN.md): each slot's value is the variance reduction of that
+/// slot's field given the samples taken in a recent temporal window,
+/// normalized by the slot's prior variance and scaled by the per-slot
+/// budget share.
+struct RegionMonitoringQuery {
+  int id = 0;
+  Rect region;
+  int t1 = 0;
+  int t2 = 0;  // inclusive
+  double budget = 0.0;
+
+  // ---- Algorithm 3 state ----
+  /// All samples obtained for this query (location + slot), q.S.
+  std::vector<STPoint> samples;
+  std::vector<double> qualities;
+  double spent = 0.0;       // C-hat
+  double value = 0.0;       // accumulated valuation
+  double requested = 0.0;   // accumulated value of the *planned* samples
+
+  bool ActiveAt(int t) const { return t >= t1 && t <= t2; }
+  int DurationSlots() const { return t2 - t1 + 1; }
+};
+
+/// The Eq. (18) sharing weight: a sensor inside the regions of k region-
+/// monitoring queries has its cost scaled by w(k) during selection
+/// (w(1) = 1, decreasing to 0.1 for k >= 10), raising its chance of being
+/// picked and shared.
+double SharingWeight(int k);
+
+/// Algorithms 3 + 4: per slot, each active query plans its sampling
+/// locations with the greedy GP selection of Algorithm 4 (function f_q),
+/// emits point queries valued at their marginal variance reduction, and
+/// after scheduling folds results back, opportunistically contributing to
+/// sensors selected for other queries that happen to fall in its region
+/// (bounded by alpha * (C_t - C-hat_t)).
+class RegionMonitoringManager {
+ public:
+  struct Config {
+    double alpha = 0.5;
+    /// Enables the Eq. (18) cost weighting (ablation toggle; the paper's
+    /// baseline disables it).
+    bool cost_weighting = true;
+    /// Enables opportunistic sharing of sensors selected for other
+    /// queries (the paper's baseline disables it).
+    bool share_extra_sensors = true;
+    /// Observation-noise variance of the GP.
+    double noise_variance = 0.1;
+    /// Grid step for the region's target locations.
+    double target_step = 2.0;
+    /// Temporal length scale (slots) of the spatio-temporal kernel.
+    double temporal_length = 2.0;
+    /// Samples older than this many slots are dropped from the valuation
+    /// conditioning set (their temporal covariance is negligible).
+    int temporal_window = 3;
+    double theta_min = 0.05;
+  };
+
+  RegionMonitoringManager(std::shared_ptr<const Kernel> spatial_kernel,
+                          const Config& config);
+
+  void AddQuery(const RegionMonitoringQuery& query);
+
+  /// Function CreatePointQueries of Algorithm 3 for all active queries.
+  /// Returned point queries carry `parent` = internal query index. Also
+  /// records each query's planned sensors and expected cost C_t.
+  std::vector<PointQuery> CreatePointQueries(const SlotContext& slot);
+
+  /// Per-sensor cost scale for the slot: prod of Eq. (18) weights (1.0
+  /// when cost weighting is disabled). Size = slot.sensors.size().
+  std::vector<double> CostScale(const SlotContext& slot) const;
+
+  struct SlotOutcome {
+    /// Total valuation increase across queries this slot.
+    double value_gain = 0.0;
+    /// Extra payments contributed toward shared sensors (Algorithm 3's
+    /// ApplyResults line 4); reduces what other queries pay.
+    double contribution = 0.0;
+  };
+
+  /// Procedure ApplyResults of Algorithm 3. `created`/`assignments` as in
+  /// LocationMonitoringManager; `other_selected` lists slot-sensor indices
+  /// selected for *other* queries this slot (A_{r,t} candidates).
+  SlotOutcome ApplyResults(const SlotContext& slot,
+                           const std::vector<PointQuery>& created,
+                           const std::vector<PointAssignment>& assignments,
+                           const std::vector<int>& other_selected);
+
+  void RemoveExpired(int t);
+
+  const std::vector<RegionMonitoringQuery>& queries() const { return queries_; }
+  int num_completed() const { return num_completed_; }
+  /// Mean achieved/requested value ratio of completed queries ("average
+  /// quality of results"; can exceed 1 through sharing, Fig. 9b).
+  double MeanCompletedQuality() const;
+
+  /// Algorithm 4 ("Sampling point selection"): greedily picks sensors for
+  /// the current slot, trading variance reduction (discounted by remaining
+  /// time) against weighted costs, stopping at the budget. Exposed for
+  /// tests. Returns slot-sensor indices chosen for the current slot.
+  std::vector<int> SelectSamplingPoints(const RegionMonitoringQuery& query,
+                                        const SlotContext& slot,
+                                        const std::vector<int>& in_region,
+                                        const std::vector<double>& cost_scale,
+                                        double budget) const;
+
+ private:
+  /// Valuation increment for `query` if `new_samples` (with qualities) are
+  /// added at slot t: per-slot budget share * normalized variance
+  /// reduction of slot-t targets * mean quality.
+  double SlotValue(const RegionMonitoringQuery& query, int t,
+                   const std::vector<STPoint>& conditioning,
+                   double mean_quality) const;
+
+  /// Conditioning set: query samples within the temporal window of t.
+  std::vector<STPoint> RecentSamples(const RegionMonitoringQuery& query, int t) const;
+
+  std::shared_ptr<const Kernel> spatial_kernel_;
+  SpatioTemporalKernel st_kernel_;
+  Config config_;
+  std::vector<RegionMonitoringQuery> queries_;
+  /// Planned sensors (slot-sensor indices) and expected costs per query,
+  /// refreshed by CreatePointQueries each slot.
+  std::vector<std::vector<int>> planned_;
+  std::vector<double> expected_cost_;
+  int num_completed_ = 0;
+  double completed_quality_sum_ = 0.0;
+};
+
+}  // namespace psens
+
+#endif  // PSENS_CORE_REGION_MONITORING_H_

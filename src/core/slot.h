@@ -1,0 +1,65 @@
+#ifndef PSENS_CORE_SLOT_H_
+#define PSENS_CORE_SLOT_H_
+
+#include <vector>
+
+#include "common/geometry.h"
+#include "core/sensor.h"
+
+namespace psens {
+
+/// A sensor as announced to the aggregator at the beginning of a time slot
+/// (Section 2.1): its location and its price for providing one measurement
+/// now, plus the static quality attributes the aggregator knows.
+struct SlotSensor {
+  /// Index into the owning SlotContext::sensors (schedulers use this).
+  int index = 0;
+  /// Global sensor id (index into the aggregator's sensor registry).
+  int sensor_id = 0;
+  Point location;
+  /// Announced cost c_s for this slot (Eq. 8).
+  double cost = 0.0;
+  double inaccuracy = 0.0;
+  double trust = 1.0;
+};
+
+/// Everything schedulers need about the current time slot.
+struct SlotContext {
+  int time = 0;
+  /// Maximum distance at which a sensor can serve a queried location
+  /// (d_max of Eq. 4). Experiment-wide constant in the paper.
+  double dmax = 5.0;
+  std::vector<SlotSensor> sensors;
+};
+
+/// Builds the slot context from the sensor registry: available sensors
+/// inside `working_region` announce their location and cost.
+inline SlotContext BuildSlotContext(const std::vector<Sensor>& sensors,
+                                    const Rect& working_region, int time,
+                                    double dmax) {
+  SlotContext ctx;
+  ctx.time = time;
+  ctx.dmax = dmax;
+  for (const Sensor& s : sensors) {
+    if (!s.available()) continue;
+    if (!working_region.Contains(s.position())) continue;
+    SlotSensor slot_sensor;
+    slot_sensor.index = static_cast<int>(ctx.sensors.size());
+    slot_sensor.sensor_id = s.id();
+    slot_sensor.location = s.position();
+    slot_sensor.cost = s.Cost(time);
+    slot_sensor.inaccuracy = s.profile().inaccuracy;
+    slot_sensor.trust = s.profile().trust;
+    ctx.sensors.push_back(slot_sensor);
+  }
+  return ctx;
+}
+
+/// Quality (Eq. 4) of slot sensor `s` for queried location `lq`.
+inline double SlotQuality(const SlotSensor& s, const Point& lq, double dmax) {
+  return ReadingQuality(s.inaccuracy, s.trust, Distance(s.location, lq), dmax);
+}
+
+}  // namespace psens
+
+#endif  // PSENS_CORE_SLOT_H_

@@ -1,0 +1,75 @@
+#include "data/gaussian_field.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "la/cholesky.h"
+#include "la/matrix.h"
+
+namespace psens {
+
+GaussianField::GaussianField(const Config& config) : config_(config) {
+  kernel_ = std::make_shared<SquaredExponentialKernel>(config.variance,
+                                                       config.length_scale);
+  const int n = config.width * config.height;
+  std::vector<Point> cells;
+  cells.reserve(n);
+  for (int y = 0; y < config.height; ++y) {
+    for (int x = 0; x < config.width; ++x) {
+      cells.push_back(Point{static_cast<double>(x) + 0.5,
+                            static_cast<double>(y) + 0.5});
+    }
+  }
+  Matrix k = CovarianceMatrix(*kernel_, cells, cells);
+  Cholesky chol(k, 1e-6);
+  Rng rng(config.seed);
+  auto draw = [&]() {
+    // Sample z ~ N(0, I), return L z (a draw from N(0, K)).
+    std::vector<double> z(n);
+    for (double& v : z) v = rng.Normal();
+    std::vector<double> sample(n, 0.0);
+    if (!chol.Ok()) return sample;
+    const Matrix& l = chol.L();
+    for (int i = 0; i < n; ++i) {
+      double sum = 0.0;
+      for (int j = 0; j <= i; ++j) sum += l(i, j) * z[j];
+      sample[i] = sum;
+    }
+    return sample;
+  };
+
+  fields_.resize(config.num_slots);
+  std::vector<double> current = draw();
+  const double rho = config.temporal_rho;
+  const double innovation = std::sqrt(std::max(0.0, 1.0 - rho * rho));
+  for (int t = 0; t < config.num_slots; ++t) {
+    fields_[t].resize(n);
+    for (int i = 0; i < n; ++i) fields_[t][i] = config.mean + current[i];
+    // AR(1) evolution with a fresh spatially correlated innovation keeps
+    // the marginal spatial covariance stationary across slots.
+    const std::vector<double> fresh = draw();
+    for (int i = 0; i < n; ++i) {
+      current[i] = rho * current[i] +
+                   innovation * fresh[i] +
+                   config_.temporal_noise * 0.0;
+    }
+    if (config_.temporal_noise > 0.0) {
+      for (int i = 0; i < n; ++i) current[i] += config_.temporal_noise * rng.Normal() * 0.1;
+    }
+  }
+}
+
+double GaussianField::CellValue(int slot, int x, int y) const {
+  slot = std::clamp(slot, 0, config_.num_slots - 1);
+  x = std::clamp(x, 0, config_.width - 1);
+  y = std::clamp(y, 0, config_.height - 1);
+  return fields_[slot][y * config_.width + x];
+}
+
+double GaussianField::Value(int slot, const Point& p) const {
+  return CellValue(slot, static_cast<int>(std::floor(p.x)),
+                   static_cast<int>(std::floor(p.y)));
+}
+
+}  // namespace psens

@@ -1,0 +1,64 @@
+#ifndef PSENS_DATA_GAUSSIAN_FIELD_H_
+#define PSENS_DATA_GAUSSIAN_FIELD_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/geometry.h"
+#include "gp/kernel.h"
+
+namespace psens {
+
+/// Stationary Gaussian random field sampled on a W x H unit grid; the
+/// substitute for the Intel Lab sensor readings (see DESIGN.md). Readings
+/// are exactly a draw from the GP whose kernel the paper learns from a
+/// fraction of the real readings, so the region-monitoring valuation
+/// (Eq. 6/7) sees the same covariance structure it was trained on.
+///
+/// The field evolves over time slots with an AR(1) temporal component so
+/// that monitoring over 50 slots is non-trivial.
+class GaussianField {
+ public:
+  struct Config {
+    int width = 20;
+    int height = 15;
+    int num_slots = 50;
+    double mean = 20.0;          // e.g. degrees Celsius
+    double variance = 4.0;       // spatial kernel variance
+    double length_scale = 4.0;   // spatial kernel length scale
+    double temporal_rho = 0.9;   // AR(1) coefficient across slots
+    double temporal_noise = 0.3; // innovation std-dev per slot
+    uint64_t seed = 13;
+  };
+
+  explicit GaussianField(const Config& config);
+
+  int width() const { return config_.width; }
+  int height() const { return config_.height; }
+  int num_slots() const { return config_.num_slots; }
+  const Config& config() const { return config_; }
+
+  /// Reading of the grid cell containing `p` (clamped to the grid) at
+  /// `slot`. The paper assigns each stationary mote's reading to its grid
+  /// cell and lets imaginary mobile sensors report the value of the cell
+  /// they are in; this method implements that lookup.
+  double Value(int slot, const Point& p) const;
+
+  /// Reading of grid cell (x, y) at `slot`.
+  double CellValue(int slot, int x, int y) const;
+
+  /// The kernel that generated the field (what the paper would have
+  /// learned from a fraction of the readings).
+  std::shared_ptr<const Kernel> SpatialKernel() const { return kernel_; }
+
+ private:
+  Config config_;
+  std::shared_ptr<const Kernel> kernel_;
+  /// fields_[slot][y * width + x]
+  std::vector<std::vector<double>> fields_;
+};
+
+}  // namespace psens
+
+#endif  // PSENS_DATA_GAUSSIAN_FIELD_H_

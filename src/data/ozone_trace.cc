@@ -1,0 +1,51 @@
+#include "data/ozone_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace psens {
+
+void OzoneTrace::DaySlice(int day, std::vector<double>* times_out,
+                          std::vector<double>* values_out) const {
+  times_out->clear();
+  values_out->clear();
+  const int start = day * slots_per_day;
+  const int end = std::min(start + slots_per_day, static_cast<int>(times.size()));
+  for (int i = start; i < end; ++i) {
+    // Re-base times to the start of the day so consecutive days align.
+    times_out->push_back(times[i] - static_cast<double>(start));
+    values_out->push_back(values[i]);
+  }
+}
+
+OzoneTrace GenerateOzoneTrace(const OzoneTraceConfig& config) {
+  OzoneTrace trace;
+  trace.slots_per_day = config.slots_per_day;
+  Rng rng(config.seed);
+  const int total = config.num_days * config.slots_per_day;
+  trace.times.reserve(total);
+  trace.values.reserve(total);
+  double noise = 0.0;
+  const double innovation =
+      config.noise_std * std::sqrt(std::max(0.0, 1.0 - config.ar_rho * config.ar_rho));
+  for (int t = 0; t < total; ++t) {
+    const int slot_of_day = t % config.slots_per_day;
+    // Daylight covers the middle 70% of the day's slots.
+    const double day_frac =
+        static_cast<double>(slot_of_day) / static_cast<double>(config.slots_per_day);
+    const double sunrise = 0.15;
+    const double daylight = 0.7;
+    double solar = 0.0;
+    if (day_frac >= sunrise && day_frac <= sunrise + daylight) {
+      solar = std::sin(M_PI * (day_frac - sunrise) / daylight);
+    }
+    noise = config.ar_rho * noise + innovation * rng.Normal();
+    trace.times.push_back(static_cast<double>(t));
+    trace.values.push_back(config.base + config.amplitude * solar + noise);
+  }
+  return trace;
+}
+
+}  // namespace psens

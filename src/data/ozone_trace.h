@@ -1,0 +1,45 @@
+#ifndef PSENS_DATA_OZONE_TRACE_H_
+#define PSENS_DATA_OZONE_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace psens {
+
+/// Synthetic diurnal ozone series, the substitute for the OpenSense Zurich
+/// trace used in the location-monitoring experiments (Section 4.5). Ozone
+/// follows a strong daily cycle (photochemical production peaking in the
+/// afternoon); we generate `slots_per_day` samples per day as
+///
+///   y(t) = base + amplitude * max(0, sin(pi (h - sunrise) / daylight))
+///          + AR(1) noise,
+///
+/// which a linear/polynomial model fits imperfectly — exactly the regime
+/// the paper describes ("the weak assumption in the technique used in
+/// determining the best sampling times").
+struct OzoneTraceConfig {
+  int num_days = 5;
+  int slots_per_day = 50;
+  double base = 20.0;       // ppb
+  double amplitude = 40.0;  // ppb
+  double noise_std = 3.0;
+  double ar_rho = 0.8;
+  uint64_t seed = 11;
+};
+
+struct OzoneTrace {
+  /// Time axis in slots (0 .. num_days * slots_per_day - 1).
+  std::vector<double> times;
+  std::vector<double> values;
+  int slots_per_day = 0;
+
+  /// The historical sub-series for one day (day index in [0, num_days)).
+  void DaySlice(int day, std::vector<double>* times_out,
+                std::vector<double>* values_out) const;
+};
+
+OzoneTrace GenerateOzoneTrace(const OzoneTraceConfig& config);
+
+}  // namespace psens
+
+#endif  // PSENS_DATA_OZONE_TRACE_H_

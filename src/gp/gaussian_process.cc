@@ -1,0 +1,57 @@
+#include "gp/gaussian_process.h"
+
+#include <cmath>
+
+#include "la/cholesky.h"
+
+namespace psens {
+
+GaussianProcess::GaussianProcess(std::shared_ptr<const Kernel> kernel,
+                                 double noise_variance)
+    : kernel_(std::move(kernel)), noise_variance_(noise_variance) {}
+
+double GaussianProcess::PriorVariance(const std::vector<Point>& targets) const {
+  return static_cast<double>(targets.size()) * kernel_->Variance();
+}
+
+double GaussianProcess::PosteriorVariance(const std::vector<Point>& targets,
+                                          const std::vector<Point>& observed) const {
+  if (observed.empty()) return PriorVariance(targets);
+  // K_AA + noise I, factorized once.
+  Matrix kaa = CovarianceMatrix(*kernel_, observed, observed);
+  for (size_t i = 0; i < observed.size(); ++i) kaa(i, i) += noise_variance_;
+  Cholesky chol(kaa, 1e-10);
+  if (!chol.Ok()) return PriorVariance(targets);  // degenerate; no reduction
+  double total = 0.0;
+  for (const Point& v : targets) {
+    // Posterior variance at v: k(v,v) - k_vA (K_AA + nI)^-1 k_Av.
+    std::vector<double> kva(observed.size());
+    for (size_t j = 0; j < observed.size(); ++j) kva[j] = (*kernel_)(v, observed[j]);
+    const std::vector<double> alpha = chol.SolveLower(kva);
+    double reduction = 0.0;
+    for (double a : alpha) reduction += a * a;
+    double var = kernel_->Variance() - reduction;
+    if (var < 0.0) var = 0.0;  // numerical guard
+    total += var;
+  }
+  return total;
+}
+
+double GaussianProcess::VarianceReduction(const std::vector<Point>& targets,
+                                          const std::vector<Point>& observed) const {
+  const double reduction = PriorVariance(targets) - PosteriorVariance(targets, observed);
+  return reduction > 0.0 ? reduction : 0.0;
+}
+
+std::vector<Point> GridTargets(const Rect& region, double step) {
+  std::vector<Point> targets;
+  if (step <= 0.0) return targets;
+  for (double y = region.y_min + step / 2.0; y <= region.y_max; y += step) {
+    for (double x = region.x_min + step / 2.0; x <= region.x_max; x += step) {
+      targets.push_back(Point{x, y});
+    }
+  }
+  return targets;
+}
+
+}  // namespace psens

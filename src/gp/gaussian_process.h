@@ -1,0 +1,55 @@
+#ifndef PSENS_GP_GAUSSIAN_PROCESS_H_
+#define PSENS_GP_GAUSSIAN_PROCESS_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/geometry.h"
+#include "gp/kernel.h"
+
+namespace psens {
+
+/// Gaussian-process model of a spatial phenomenon, used for the region-
+/// monitoring valuation (Section 2.3.1). Because the process is Gaussian,
+/// the expected reduction in variance of Eq. (6),
+///
+///   F(A) = Var(X_V) - Integral P(x_A) Var(X_V | X_A = x_A) dx_A,
+///
+/// does not depend on the observed values x_A, and equals the total prior
+/// variance at V minus the total posterior variance given observations at
+/// the locations A.
+class GaussianProcess {
+ public:
+  /// `noise_variance` is the observation noise added to the diagonal when
+  /// conditioning (also keeps the Cholesky factorization well-posed).
+  GaussianProcess(std::shared_ptr<const Kernel> kernel, double noise_variance);
+
+  /// Total prior variance over the target locations `targets`.
+  double PriorVariance(const std::vector<Point>& targets) const;
+
+  /// Total posterior variance at `targets` given (noisy) observations at
+  /// `observed`. Returns the prior variance when `observed` is empty.
+  double PosteriorVariance(const std::vector<Point>& targets,
+                           const std::vector<Point>& observed) const;
+
+  /// Expected variance reduction F(A) of Eq. (6): PriorVariance -
+  /// PosteriorVariance. Non-negative and monotone in `observed`.
+  double VarianceReduction(const std::vector<Point>& targets,
+                           const std::vector<Point>& observed) const;
+
+  const Kernel& kernel() const { return *kernel_; }
+  double noise_variance() const { return noise_variance_; }
+
+ private:
+  std::shared_ptr<const Kernel> kernel_;
+  double noise_variance_;
+};
+
+/// Convenience: target locations on a grid of unit cells covering `region`
+/// with the given `step` (cell centers). Used to evaluate sensing quality
+/// of a region-monitoring query over its region.
+std::vector<Point> GridTargets(const Rect& region, double step);
+
+}  // namespace psens
+
+#endif  // PSENS_GP_GAUSSIAN_PROCESS_H_

@@ -1,0 +1,75 @@
+#include "gp/gp_selector.h"
+
+#include <cmath>
+
+namespace psens {
+
+IncrementalGpSelector::IncrementalGpSelector(std::shared_ptr<const Kernel> kernel,
+                                             double noise_variance,
+                                             std::vector<Point> targets)
+    : kernel_(std::move(kernel)),
+      noise_variance_(noise_variance),
+      targets_(std::move(targets)),
+      target_z_(targets_.size()) {}
+
+void IncrementalGpSelector::Whiten(const Point& s, std::vector<double>* z,
+                                   double* var) const {
+  const size_t n = observations_.size();
+  z->resize(n);
+  // Forward substitution: L z = k_A(s).
+  for (size_t i = 0; i < n; ++i) {
+    double sum = (*kernel_)(observations_[i], s);
+    for (size_t k = 0; k < i; ++k) sum -= l_rows_[i][k] * (*z)[k];
+    (*z)[i] = sum / l_rows_[i][i];
+  }
+  double v = (*kernel_)(s, s) + noise_variance_;
+  for (size_t i = 0; i < n; ++i) v -= (*z)[i] * (*z)[i];
+  *var = v > 1e-12 ? v : 1e-12;  // numerical floor
+}
+
+double IncrementalGpSelector::MarginalGain(const Point& s) const {
+  std::vector<double> z;
+  double var = 0.0;
+  Whiten(s, &z, &var);
+  double gain = 0.0;
+  for (size_t v = 0; v < targets_.size(); ++v) {
+    double cov = (*kernel_)(targets_[v], s);
+    const std::vector<double>& zv = target_z_[v];
+    for (size_t i = 0; i < z.size(); ++i) cov -= zv[i] * z[i];
+    gain += cov * cov / var;
+  }
+  return gain;
+}
+
+void IncrementalGpSelector::Add(const Point& s) {
+  std::vector<double> z;
+  double var = 0.0;
+  Whiten(s, &z, &var);
+  const double diag = std::sqrt(var);
+  // Extend L with the new row [z^T, diag].
+  std::vector<double> row = z;
+  row.push_back(diag);
+  l_rows_.push_back(std::move(row));
+  // Extend each target's whitened vector with cov_post / diag.
+  for (size_t v = 0; v < targets_.size(); ++v) {
+    double cov = (*kernel_)(targets_[v], s);
+    std::vector<double>& zv = target_z_[v];
+    for (size_t i = 0; i < z.size(); ++i) cov -= zv[i] * z[i];
+    zv.push_back(cov / diag);
+  }
+  observations_.push_back(s);
+}
+
+double IncrementalGpSelector::TotalReduction() const {
+  double total = 0.0;
+  for (const std::vector<double>& zv : target_z_) {
+    for (double z : zv) total += z * z;
+  }
+  return total;
+}
+
+double IncrementalGpSelector::PriorVariance() const {
+  return static_cast<double>(targets_.size()) * kernel_->Variance();
+}
+
+}  // namespace psens

@@ -1,0 +1,55 @@
+#ifndef PSENS_GP_GP_SELECTOR_H_
+#define PSENS_GP_GP_SELECTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/geometry.h"
+#include "gp/kernel.h"
+
+namespace psens {
+
+/// Incremental greedy helper for GP sensor selection (Algorithm 4): keeps
+/// the Cholesky factor of K_AA + noise*I for the growing observation set A
+/// and, per target, the whitened cross-covariance z_v = L^-1 k_A(v), so
+/// that the marginal variance-reduction gain of a candidate observation is
+/// O(|A|^2 + |targets| * |A|) instead of a fresh O(|A|^3) factorization.
+class IncrementalGpSelector {
+ public:
+  IncrementalGpSelector(std::shared_ptr<const Kernel> kernel, double noise_variance,
+                        std::vector<Point> targets);
+
+  /// F(A + s) - F(A): additional expected variance reduction at the
+  /// targets from also observing at `s`. Always >= 0.
+  double MarginalGain(const Point& s) const;
+
+  /// Adds an observation at `s` to A.
+  void Add(const Point& s);
+
+  /// F(A): total variance reduction at the targets.
+  double TotalReduction() const;
+
+  /// Total prior variance at the targets (the upper bound of F).
+  double PriorVariance() const;
+
+  int NumObservations() const { return static_cast<int>(observations_.size()); }
+  const std::vector<Point>& observations() const { return observations_; }
+
+ private:
+  /// Computes z_s = L^-1 k_A(s) and the posterior observation variance of
+  /// s (k(s,s) + noise - |z_s|^2).
+  void Whiten(const Point& s, std::vector<double>* z, double* var) const;
+
+  std::shared_ptr<const Kernel> kernel_;
+  double noise_variance_;
+  std::vector<Point> targets_;
+  std::vector<Point> observations_;
+  /// Rows of the lower-triangular factor L (row i has i+1 entries).
+  std::vector<std::vector<double>> l_rows_;
+  /// Per target: z_v (|A| entries each).
+  std::vector<std::vector<double>> target_z_;
+};
+
+}  // namespace psens
+
+#endif  // PSENS_GP_GP_SELECTOR_H_

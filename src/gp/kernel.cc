@@ -1,0 +1,26 @@
+#include "gp/kernel.h"
+
+#include <cmath>
+
+namespace psens {
+
+double SquaredExponentialKernel::operator()(const Point& a, const Point& b) const {
+  const double d = Distance(a, b);
+  return variance_ * std::exp(-d * d / (2.0 * length_scale_ * length_scale_));
+}
+
+double Matern32Kernel::operator()(const Point& a, const Point& b) const {
+  const double r = std::sqrt(3.0) * Distance(a, b) / length_scale_;
+  return variance_ * (1.0 + r) * std::exp(-r);
+}
+
+Matrix CovarianceMatrix(const Kernel& kernel, const std::vector<Point>& a,
+                        const std::vector<Point>& b) {
+  Matrix k(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < b.size(); ++j) k(i, j) = kernel(a[i], b[j]);
+  }
+  return k;
+}
+
+}  // namespace psens

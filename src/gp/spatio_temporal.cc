@@ -1,0 +1,42 @@
+#include "gp/spatio_temporal.h"
+
+#include <cmath>
+
+#include "la/cholesky.h"
+#include "la/matrix.h"
+
+namespace psens {
+
+double SpatioTemporalKernel::operator()(const STPoint& a, const STPoint& b) const {
+  const double dt = a.time - b.time;
+  const double temporal =
+      std::exp(-dt * dt / (2.0 * temporal_length_ * temporal_length_));
+  return (*spatial_)(a.location, b.location) * temporal;
+}
+
+double VarianceReductionST(const SpatioTemporalKernel& kernel, double noise_variance,
+                           const std::vector<STPoint>& targets,
+                           const std::vector<STPoint>& observed) {
+  if (observed.empty() || targets.empty()) return 0.0;
+  const size_t m = observed.size();
+  Matrix kaa(m, m);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < m; ++j) kaa(i, j) = kernel(observed[i], observed[j]);
+    kaa(i, i) += noise_variance;
+  }
+  Cholesky chol(kaa, 1e-10);
+  if (!chol.Ok()) return 0.0;
+  double total = 0.0;
+  std::vector<double> kva(m);
+  for (const STPoint& v : targets) {
+    for (size_t j = 0; j < m; ++j) kva[j] = kernel(v, observed[j]);
+    const std::vector<double> z = chol.SolveLower(kva);
+    double reduction = 0.0;
+    for (double zi : z) reduction += zi * zi;
+    if (reduction > kernel.Variance()) reduction = kernel.Variance();
+    total += reduction;
+  }
+  return total;
+}
+
+}  // namespace psens

@@ -1,0 +1,46 @@
+#ifndef PSENS_GP_SPATIO_TEMPORAL_H_
+#define PSENS_GP_SPATIO_TEMPORAL_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/geometry.h"
+#include "gp/kernel.h"
+
+namespace psens {
+
+/// A sample point of a spatio-temporal phenomenon: where and when.
+struct STPoint {
+  Point location;
+  double time = 0.0;
+};
+
+/// Separable spatio-temporal kernel: k((p,t),(p',t')) = k_s(p,p') *
+/// exp(-(t-t')^2 / (2 l_t^2)). This is the "add a time dimension to the
+/// random variables" extension the paper sketches in Section 2.3.1, which
+/// region monitoring needs so that re-sampling a location in later slots
+/// has fresh value (the field evolves).
+class SpatioTemporalKernel {
+ public:
+  SpatioTemporalKernel(std::shared_ptr<const Kernel> spatial,
+                       double temporal_length_scale)
+      : spatial_(std::move(spatial)), temporal_length_(temporal_length_scale) {}
+
+  double operator()(const STPoint& a, const STPoint& b) const;
+  double Variance() const { return spatial_->Variance(); }
+
+ private:
+  std::shared_ptr<const Kernel> spatial_;
+  double temporal_length_;
+};
+
+/// Expected variance reduction (Eq. 6 with the time dimension): total
+/// prior variance at `targets` minus total posterior variance given noisy
+/// observations at `observed`. Non-negative; 0 when `observed` is empty.
+double VarianceReductionST(const SpatioTemporalKernel& kernel, double noise_variance,
+                           const std::vector<STPoint>& targets,
+                           const std::vector<STPoint>& observed);
+
+}  // namespace psens
+
+#endif  // PSENS_GP_SPATIO_TEMPORAL_H_

@@ -1,0 +1,68 @@
+#include "la/cholesky.h"
+
+#include <cmath>
+
+namespace psens {
+
+Cholesky::Cholesky(const Matrix& a, double jitter) {
+  const size_t n = a.Rows();
+  if (n == 0 || a.Cols() != n) return;
+  l_ = Matrix(n, n, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a(j, j) + jitter;
+    for (size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) return;  // not SPD
+    l_(j, j) = std::sqrt(diag);
+    for (size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l_(i, k) * l_(j, k);
+      l_(i, j) = sum / l_(j, j);
+    }
+  }
+  ok_ = true;
+}
+
+std::vector<double> Cholesky::SolveLower(const std::vector<double>& b) const {
+  const size_t n = l_.Rows();
+  std::vector<double> y(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l_(i, k) * y[k];
+    y[i] = sum / l_(i, i);
+  }
+  return y;
+}
+
+std::vector<double> Cholesky::Solve(const std::vector<double>& b) const {
+  const size_t n = l_.Rows();
+  std::vector<double> y = SolveLower(b);
+  std::vector<double> x(n, 0.0);
+  for (size_t ii = n; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    double sum = y[i];
+    for (size_t k = i + 1; k < n; ++k) sum -= l_(k, i) * x[k];
+    x[i] = sum / l_(i, i);
+  }
+  return x;
+}
+
+double Cholesky::LogDeterminant() const {
+  double sum = 0.0;
+  for (size_t i = 0; i < l_.Rows(); ++i) sum += std::log(l_(i, i));
+  return 2.0 * sum;
+}
+
+std::vector<double> SolveLeastSquares(const Matrix& x,
+                                      const std::vector<double>& y,
+                                      double lambda) {
+  const size_t p = x.Cols();
+  const Matrix xt = x.Transpose();
+  Matrix xtx = xt.Multiply(x);
+  for (size_t i = 0; i < p; ++i) xtx(i, i) += lambda;
+  const std::vector<double> xty = xt.MultiplyVector(y);
+  Cholesky chol(xtx);
+  if (!chol.Ok()) return {};
+  return chol.Solve(xty);
+}
+
+}  // namespace psens

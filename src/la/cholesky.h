@@ -1,0 +1,45 @@
+#ifndef PSENS_LA_CHOLESKY_H_
+#define PSENS_LA_CHOLESKY_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace psens {
+
+/// Cholesky factorization A = L L^T of a symmetric positive-definite matrix.
+/// Used by the Gaussian-process posterior and the least-squares solver.
+class Cholesky {
+ public:
+  /// Factorizes `a`. If `a` is not (numerically) positive definite the
+  /// factorization fails and Ok() returns false. A small `jitter` is added
+  /// to the diagonal, the standard trick for near-singular GP kernels.
+  explicit Cholesky(const Matrix& a, double jitter = 0.0);
+
+  bool Ok() const { return ok_; }
+  const Matrix& L() const { return l_; }
+
+  /// Solves A x = b via forward/back substitution. Requires Ok().
+  std::vector<double> Solve(const std::vector<double>& b) const;
+
+  /// Solves L y = b (forward substitution). Requires Ok().
+  std::vector<double> SolveLower(const std::vector<double>& b) const;
+
+  /// log(det(A)) = 2 * sum(log(L_ii)). Requires Ok().
+  double LogDeterminant() const;
+
+ private:
+  Matrix l_;
+  bool ok_ = false;
+};
+
+/// Solves the ordinary least squares problem min ||X beta - y||^2 via the
+/// normal equations with ridge `lambda` (lambda > 0 guarantees solvability).
+/// Returns an empty vector if the system cannot be factorized.
+std::vector<double> SolveLeastSquares(const Matrix& x,
+                                      const std::vector<double>& y,
+                                      double lambda = 1e-9);
+
+}  // namespace psens
+
+#endif  // PSENS_LA_CHOLESKY_H_

@@ -1,0 +1,64 @@
+#ifndef PSENS_LA_MATRIX_H_
+#define PSENS_LA_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace psens {
+
+/// Dense row-major matrix of doubles. Small and purpose-built for the
+/// Gaussian-process and regression substrates (tens to a few hundreds of
+/// rows); no attempt at BLAS-level performance.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix Identity(size_t n);
+
+  size_t Rows() const { return rows_; }
+  size_t Cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  Matrix Transpose() const;
+
+  /// Returns this * other. Dimensions must agree.
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Returns this * v (v.size() must equal Cols()).
+  std::vector<double> MultiplyVector(const std::vector<double>& v) const;
+
+  Matrix Add(const Matrix& other) const;
+  Matrix Subtract(const Matrix& other) const;
+  Matrix Scale(double factor) const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Maximum absolute element-wise difference to `other` (must be same shape).
+  double MaxAbsDiff(const Matrix& other) const;
+
+  const std::vector<double>& Data() const { return data_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Dot product of equally sized vectors.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace psens
+
+#endif  // PSENS_LA_MATRIX_H_

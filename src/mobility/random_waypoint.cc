@@ -1,0 +1,63 @@
+#include "mobility/random_waypoint.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace psens {
+namespace {
+
+/// Reflects `x` into [0, size].
+double Reflect(double x, double size) {
+  while (x < 0.0 || x > size) {
+    if (x < 0.0) x = -x;
+    if (x > size) x = 2.0 * size - x;
+  }
+  return x;
+}
+
+}  // namespace
+
+Rect CentralSubregion(double region_size, double working_size) {
+  const double margin = (region_size - working_size) / 2.0;
+  return Rect{margin, margin, margin + working_size, margin + working_size};
+}
+
+Trace GenerateRandomWaypoint(const RandomWaypointConfig& config) {
+  Rng rng(config.seed);
+  const double height =
+      config.region_height > 0.0 ? config.region_height : config.region_size;
+  Trace trace(config.num_slots, config.num_sensors);
+  std::vector<Point> position(config.num_sensors);
+  std::vector<double> max_speed(config.num_sensors);
+  for (int s = 0; s < config.num_sensors; ++s) {
+    position[s] = Point{rng.Uniform(0.0, config.region_size),
+                        rng.Uniform(0.0, height)};
+    // The paper sets each sensor's max speed randomly to 4 or 5; we pick an
+    // integer uniformly in [min_max_speed, max_max_speed].
+    max_speed[s] = static_cast<double>(
+        rng.UniformInt(static_cast<int64_t>(config.min_max_speed),
+                       static_cast<int64_t>(config.max_max_speed)));
+  }
+  for (int t = 0; t < config.num_slots; ++t) {
+    for (int s = 0; s < config.num_sensors; ++s) {
+      trace.Set(t, s, position[s]);
+      // Move for the next slot: random axis direction, speed in [0, vmax].
+      const double speed = rng.Uniform(0.0, max_speed[s]);
+      const int direction = static_cast<int>(rng.UniformInt(0, 3));
+      Point p = position[s];
+      switch (direction) {
+        case 0: p.y += speed; break;  // up
+        case 1: p.y -= speed; break;  // down
+        case 2: p.x -= speed; break;  // left
+        default: p.x += speed; break; // right
+      }
+      p.x = Reflect(p.x, config.region_size);
+      p.y = Reflect(p.y, height);
+      position[s] = p;
+    }
+  }
+  return trace;
+}
+
+}  // namespace psens

@@ -1,0 +1,40 @@
+#ifndef PSENS_MOBILITY_RANDOM_WAYPOINT_H_
+#define PSENS_MOBILITY_RANDOM_WAYPOINT_H_
+
+#include <cstdint>
+
+#include "common/geometry.h"
+#include "mobility/trace.h"
+
+namespace psens {
+
+/// Parameters for the paper's RWM dataset (Section 4.2): sensors move with
+/// a random speed in [0, max speed] in a random axis-aligned direction
+/// (up/down/left/right), limited to an 80x80 region; the aggregator's
+/// working region is the central 50x50 subregion; upon initialization each
+/// sensor's max speed is set randomly to 4 or 5 and sensors are spread
+/// uniformly at random.
+struct RandomWaypointConfig {
+  int num_sensors = 200;
+  int num_slots = 50;
+  double region_size = 80.0;
+  /// Optional height for rectangular regions; 0 means square
+  /// (region_size x region_size).
+  double region_height = 0.0;
+  /// Candidate per-sensor maximum speeds (one chosen uniformly per sensor).
+  double min_max_speed = 4.0;
+  double max_max_speed = 5.0;
+  uint64_t seed = 42;
+};
+
+/// Generates an RWM trace. Movements that would leave the region are
+/// reflected at the boundary so sensors keep roaming the whole region.
+Trace GenerateRandomWaypoint(const RandomWaypointConfig& config);
+
+/// The central working subregion ("hotspot") of size `working_size` inside
+/// a square region of size `region_size`.
+Rect CentralSubregion(double region_size, double working_size);
+
+}  // namespace psens
+
+#endif  // PSENS_MOBILITY_RANDOM_WAYPOINT_H_

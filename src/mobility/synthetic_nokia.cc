@@ -1,0 +1,159 @@
+#include "mobility/synthetic_nokia.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace psens {
+namespace {
+
+struct Segment {
+  int start_slot = 0;
+  int end_slot = 0;  // exclusive
+  Point from;
+  Point to;
+};
+
+/// One user's itinerary: active window plus piecewise-linear movement.
+struct Itinerary {
+  int active_from = 0;
+  int active_to = 0;  // exclusive
+  std::vector<Segment> segments;
+
+  bool PositionAt(int slot, Point* out) const {
+    if (slot < active_from || slot >= active_to) return false;
+    for (const Segment& seg : segments) {
+      if (slot >= seg.start_slot && slot < seg.end_slot) {
+        const double span = static_cast<double>(seg.end_slot - seg.start_slot);
+        const double frac =
+            span > 0.0 ? static_cast<double>(slot - seg.start_slot) / span : 0.0;
+        out->x = seg.from.x + frac * (seg.to.x - seg.from.x);
+        out->y = seg.from.y + frac * (seg.to.y - seg.from.y);
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+/// The shared pool of popular places; a fraction sits inside the hotspot.
+std::vector<Point> BuildAnchorPool(const SyntheticNokiaConfig& config,
+                                   const Rect& hotspot, Rng& rng) {
+  std::vector<Point> pool;
+  pool.reserve(config.num_anchor_points);
+  for (int i = 0; i < config.num_anchor_points; ++i) {
+    if (rng.Bernoulli(config.hotspot_affinity)) {
+      pool.push_back(Point{rng.Uniform(hotspot.x_min, hotspot.x_max),
+                           rng.Uniform(hotspot.y_min, hotspot.y_max)});
+    } else {
+      pool.push_back(Point{rng.Uniform(0.0, config.region_width),
+                           rng.Uniform(0.0, config.region_height)});
+    }
+  }
+  return pool;
+}
+
+Point DrawAnchor(const SyntheticNokiaConfig& config,
+                 const std::vector<Point>& pool, Rng& rng) {
+  // Zipf-like popularity: low indices are visited far more often.
+  const double u = rng.UniformDouble();
+  const size_t index = static_cast<size_t>(
+      u * u * static_cast<double>(pool.size() - 1) + 0.5);
+  const Point& anchor = pool[std::min(index, pool.size() - 1)];
+  Point p{anchor.x + rng.Uniform(-config.anchor_jitter, config.anchor_jitter),
+          anchor.y + rng.Uniform(-config.anchor_jitter, config.anchor_jitter)};
+  p.x = std::clamp(p.x, 0.0, config.region_width);
+  p.y = std::clamp(p.y, 0.0, config.region_height);
+  return p;
+}
+
+Itinerary BuildItinerary(const SyntheticNokiaConfig& config,
+                         const std::vector<Point>& pool, Rng& rng) {
+  Itinerary it;
+  const int active_len = std::max(
+      1, static_cast<int>(std::round(config.activity_fraction * config.num_slots *
+                                     rng.Uniform(0.6, 1.4))));
+  it.active_from = static_cast<int>(
+      rng.UniformInt(0, std::max(0, config.num_slots - active_len)));
+  it.active_to = std::min(config.num_slots, it.active_from + active_len);
+
+  Point current = DrawAnchor(config, pool, rng);
+  int slot = it.active_from;
+  while (slot < it.active_to) {
+    // Pause at the current anchor with a heavy-tailed duration.
+    const int pause = 1 + static_cast<int>(rng.Exponential(0.7));
+    const int pause_end = std::min(it.active_to, slot + pause);
+    it.segments.push_back(Segment{slot, pause_end, current, current});
+    slot = pause_end;
+    if (slot >= it.active_to) break;
+    // Trip to the next anchor; duration from distance and speed.
+    const Point next = DrawAnchor(config, pool, rng);
+    const double speed = std::max(1.0, rng.Normal(config.mean_speed, 2.0));
+    const int travel =
+        std::max(1, static_cast<int>(std::ceil(Distance(current, next) / speed)));
+    const int travel_end = std::min(it.active_to, slot + travel);
+    it.segments.push_back(Segment{slot, travel_end, current, next});
+    slot = travel_end;
+    current = next;
+  }
+  return it;
+}
+
+}  // namespace
+
+Rect NokiaWorkingRegion(const SyntheticNokiaConfig& config) {
+  const double cx = config.region_width / 2.0;
+  const double cy = config.region_height / 2.0;
+  const double half = config.working_size / 2.0;
+  return Rect{cx - half, cy - half, cx + half, cy + half};
+}
+
+Trace GenerateSyntheticNokia(const SyntheticNokiaConfig& config) {
+  Rng rng(config.seed);
+  const Rect hotspot = NokiaWorkingRegion(config);
+  const std::vector<Point> pool = BuildAnchorPool(config, hotspot, rng);
+  Trace trace(config.num_slots, config.num_total_sensors);
+
+  // Base users get fresh itineraries; dummy users replay a base user's
+  // relative movements from a shifted start and start anchor (the paper's
+  // augmentation of the sparse real data).
+  std::vector<Itinerary> base;
+  base.reserve(config.num_base_users);
+  for (int u = 0; u < config.num_base_users; ++u) {
+    base.push_back(BuildItinerary(config, pool, rng));
+  }
+  for (int s = 0; s < config.num_total_sensors; ++s) {
+    Itinerary it;
+    if (s < config.num_base_users) {
+      it = base[s];
+    } else {
+      // Dummy user: pick a base itinerary, shift in time and translate.
+      const Itinerary& origin =
+          base[static_cast<size_t>(rng.UniformInt(0, config.num_base_users - 1))];
+      it = origin;
+      const int shift = static_cast<int>(rng.UniformInt(-config.num_slots / 2,
+                                                        config.num_slots / 2));
+      const double dx = rng.Uniform(-30.0, 30.0);
+      const double dy = rng.Uniform(-30.0, 30.0);
+      it.active_from = std::clamp(it.active_from + shift, 0, config.num_slots);
+      it.active_to = std::clamp(it.active_to + shift, 0, config.num_slots);
+      for (Segment& seg : it.segments) {
+        seg.start_slot = std::clamp(seg.start_slot + shift, 0, config.num_slots);
+        seg.end_slot = std::clamp(seg.end_slot + shift, 0, config.num_slots);
+        seg.from.x = std::clamp(seg.from.x + dx, 0.0, config.region_width);
+        seg.from.y = std::clamp(seg.from.y + dy, 0.0, config.region_height);
+        seg.to.x = std::clamp(seg.to.x + dx, 0.0, config.region_width);
+        seg.to.y = std::clamp(seg.to.y + dy, 0.0, config.region_height);
+      }
+    }
+    for (int t = 0; t < config.num_slots; ++t) {
+      Point p;
+      if (it.PositionAt(t, &p)) trace.Set(t, s, p);
+    }
+  }
+  return trace;
+}
+
+}  // namespace psens

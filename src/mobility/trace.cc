@@ -1,0 +1,94 @@
+#include "mobility/trace.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <map>
+
+#include "common/csv.h"
+
+namespace psens {
+
+Trace::Trace(int num_slots, int num_sensors)
+    : num_slots_(num_slots),
+      num_sensors_(num_sensors),
+      positions_(static_cast<size_t>(num_slots) * num_sensors),
+      present_(static_cast<size_t>(num_slots) * num_sensors, 0) {}
+
+void Trace::Set(int slot, int sensor, const Point& p, bool present) {
+  assert(slot >= 0 && slot < num_slots_ && sensor >= 0 && sensor < num_sensors_);
+  positions_[Index(slot, sensor)] = p;
+  present_[Index(slot, sensor)] = present ? 1 : 0;
+}
+
+const Point& Trace::Position(int slot, int sensor) const {
+  assert(slot >= 0 && slot < num_slots_ && sensor >= 0 && sensor < num_sensors_);
+  return positions_[Index(slot, sensor)];
+}
+
+bool Trace::Present(int slot, int sensor) const {
+  assert(slot >= 0 && slot < num_slots_ && sensor >= 0 && sensor < num_sensors_);
+  return present_[Index(slot, sensor)] != 0;
+}
+
+std::vector<int> Trace::SensorsIn(int slot, const Rect& region) const {
+  std::vector<int> out;
+  for (int s = 0; s < num_sensors_; ++s) {
+    if (Present(slot, s) && region.Contains(Position(slot, s))) out.push_back(s);
+  }
+  return out;
+}
+
+int Trace::CountIn(int slot, const Rect& region) const {
+  return static_cast<int>(SensorsIn(slot, region).size());
+}
+
+Trace Trace::FromCsv(const std::string& path, bool* ok) {
+  bool read_ok = false;
+  const auto rows = ReadCsv(path, &read_ok);
+  if (!read_ok) {
+    if (ok != nullptr) *ok = false;
+    return Trace();
+  }
+  struct Entry {
+    int slot;
+    Point p;
+  };
+  std::map<int, std::vector<Entry>> by_sensor;
+  int max_slot = -1;
+  for (const auto& row : rows) {
+    if (row.size() < 4) continue;
+    char* end = nullptr;
+    const int sensor = static_cast<int>(std::strtol(row[0].c_str(), &end, 10));
+    const int slot = static_cast<int>(std::strtol(row[1].c_str(), &end, 10));
+    const double x = std::strtod(row[2].c_str(), &end);
+    const double y = std::strtod(row[3].c_str(), &end);
+    if (slot < 0) continue;
+    by_sensor[sensor].push_back(Entry{slot, Point{x, y}});
+    if (slot > max_slot) max_slot = slot;
+  }
+  Trace trace(max_slot + 1, static_cast<int>(by_sensor.size()));
+  int dense_id = 0;
+  for (const auto& [sensor, entries] : by_sensor) {
+    (void)sensor;
+    for (const Entry& e : entries) trace.Set(e.slot, dense_id, e.p);
+    ++dense_id;
+  }
+  if (ok != nullptr) *ok = true;
+  return trace;
+}
+
+bool Trace::ToCsv(const std::string& path) const {
+  CsvWriter writer(path);
+  if (!writer.Ok()) return false;
+  for (int s = 0; s < num_sensors_; ++s) {
+    for (int t = 0; t < num_slots_; ++t) {
+      if (!Present(t, s)) continue;
+      const Point& p = Position(t, s);
+      writer.WriteRow(std::vector<double>{static_cast<double>(s),
+                                          static_cast<double>(t), p.x, p.y});
+    }
+  }
+  return true;
+}
+
+}  // namespace psens

@@ -1,0 +1,54 @@
+#ifndef PSENS_MOBILITY_TRACE_H_
+#define PSENS_MOBILITY_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace psens {
+
+/// A mobility trace: per time slot, the position (and presence) of every
+/// sensor. All mobility models in the library materialize a `Trace`; the
+/// aggregator consumes one slot at a time, which matches the paper's model
+/// where sensors announce their location at the beginning of each slot.
+class Trace {
+ public:
+  Trace() = default;
+  Trace(int num_slots, int num_sensors);
+
+  int NumSlots() const { return num_slots_; }
+  int NumSensors() const { return num_sensors_; }
+
+  void Set(int slot, int sensor, const Point& p, bool present = true);
+
+  const Point& Position(int slot, int sensor) const;
+  bool Present(int slot, int sensor) const;
+
+  /// Indices of sensors present inside `region` at `slot`.
+  std::vector<int> SensorsIn(int slot, const Rect& region) const;
+
+  /// Number of sensors present inside `region` at `slot`.
+  int CountIn(int slot, const Rect& region) const;
+
+  /// Loads a trace from a CSV file with rows `sensor,slot,x,y`; sensors and
+  /// slots are renumbered densely. Returns an empty trace on failure. This
+  /// is the hook for plugging in real mobility datasets (e.g. the Nokia
+  /// campaign trace the paper used).
+  static Trace FromCsv(const std::string& path, bool* ok = nullptr);
+
+  /// Writes the trace in the same CSV format (absent entries are skipped).
+  bool ToCsv(const std::string& path) const;
+
+ private:
+  int Index(int slot, int sensor) const { return slot * num_sensors_ + sensor; }
+
+  int num_slots_ = 0;
+  int num_sensors_ = 0;
+  std::vector<Point> positions_;
+  std::vector<char> present_;
+};
+
+}  // namespace psens
+
+#endif  // PSENS_MOBILITY_TRACE_H_

@@ -1,0 +1,57 @@
+#include "regress/linear_model.h"
+
+#include <cmath>
+
+#include "la/cholesky.h"
+#include "la/matrix.h"
+
+namespace psens {
+
+bool LinearModel::Fit(const std::vector<double>& times,
+                      const std::vector<double>& values) {
+  fitted_ = false;
+  if (times.empty() || times.size() != values.size()) return false;
+  const size_t p = static_cast<size_t>(degree_) + 1;
+  Matrix x(times.size(), p);
+  for (size_t i = 0; i < times.size(); ++i) {
+    double feature = 1.0;
+    for (size_t j = 0; j < p; ++j) {
+      x(i, j) = feature;
+      feature *= times[i];
+    }
+  }
+  beta_ = SolveLeastSquares(x, values, 1e-8);
+  fitted_ = !beta_.empty();
+  return fitted_;
+}
+
+double LinearModel::Predict(double t) const {
+  double result = 0.0;
+  double feature = 1.0;
+  for (double b : beta_) {
+    result += b * feature;
+    feature *= t;
+  }
+  return result;
+}
+
+std::vector<double> LinearModel::Residuals(const std::vector<double>& times,
+                                           const std::vector<double>& values) const {
+  std::vector<double> residuals(times.size(), 0.0);
+  for (size_t i = 0; i < times.size(); ++i) {
+    residuals[i] = values[i] - Predict(times[i]);
+  }
+  return residuals;
+}
+
+double LinearModel::SumSquaredResiduals(const std::vector<double>& times,
+                                        const std::vector<double>& values) const {
+  double sum = 0.0;
+  for (size_t i = 0; i < times.size(); ++i) {
+    const double r = values[i] - Predict(times[i]);
+    sum += r * r;
+  }
+  return sum;
+}
+
+}  // namespace psens

@@ -1,0 +1,44 @@
+#ifndef PSENS_REGRESS_LINEAR_MODEL_H_
+#define PSENS_REGRESS_LINEAR_MODEL_H_
+
+#include <vector>
+
+namespace psens {
+
+/// Ordinary-least-squares linear model y = beta^T phi(t) over a scalar
+/// time axis. The feature map phi is polynomial: [1, t, t^2, ...] up to
+/// `degree`. The paper (Section 4.5) uses "a linear regression model" to
+/// model the historical ozone data; degree 1 reproduces that, higher
+/// degrees are available for experimentation.
+class LinearModel {
+ public:
+  explicit LinearModel(int degree = 1) : degree_(degree) {}
+
+  /// Fits the model on (times, values). Returns false when the fit is
+  /// degenerate (e.g. no data).
+  bool Fit(const std::vector<double>& times, const std::vector<double>& values);
+
+  /// Predicted value at time `t`. Requires a successful Fit.
+  double Predict(double t) const;
+
+  /// Residuals of the fitted model on (times, values): values[i] -
+  /// Predict(times[i]).
+  std::vector<double> Residuals(const std::vector<double>& times,
+                                const std::vector<double>& values) const;
+
+  /// Sum of squared residuals on the given data.
+  double SumSquaredResiduals(const std::vector<double>& times,
+                             const std::vector<double>& values) const;
+
+  bool fitted() const { return fitted_; }
+  const std::vector<double>& coefficients() const { return beta_; }
+
+ private:
+  int degree_;
+  bool fitted_ = false;
+  std::vector<double> beta_;
+};
+
+}  // namespace psens
+
+#endif  // PSENS_REGRESS_LINEAR_MODEL_H_

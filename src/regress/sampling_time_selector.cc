@@ -1,0 +1,75 @@
+#include "regress/sampling_time_selector.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "regress/linear_model.h"
+
+namespace psens {
+
+double SubsetModelSsr(const std::vector<double>& times,
+                      const std::vector<double>& values,
+                      const std::vector<int>& indices, int degree) {
+  double total_ss = 0.0;
+  for (double v : values) total_ss += v * v;
+  if (indices.empty()) return total_ss;
+  std::vector<double> sub_times;
+  std::vector<double> sub_values;
+  sub_times.reserve(indices.size());
+  sub_values.reserve(indices.size());
+  for (int i : indices) {
+    if (i < 0 || static_cast<size_t>(i) >= times.size()) continue;
+    sub_times.push_back(times[i]);
+    sub_values.push_back(values[i]);
+  }
+  if (sub_times.empty()) return total_ss;
+  LinearModel model(degree);
+  if (!model.Fit(sub_times, sub_values)) return total_ss;
+  return model.SumSquaredResiduals(times, values);
+}
+
+std::vector<int> SelectSamplingTimes(const std::vector<double>& times,
+                                     const std::vector<double>& values, int k,
+                                     int degree) {
+  std::vector<int> selected;
+  if (times.empty() || k <= 0) return selected;
+  const int n = static_cast<int>(times.size());
+  k = std::min(k, n);
+  std::vector<char> used(n, 0);
+  for (int round = 0; round < k; ++round) {
+    int best_index = -1;
+    double best_ssr = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      selected.push_back(i);
+      const double ssr = SubsetModelSsr(times, values, selected, degree);
+      selected.pop_back();
+      if (ssr < best_ssr) {
+        best_ssr = ssr;
+        best_index = i;
+      }
+    }
+    if (best_index < 0) break;
+    used[best_index] = 1;
+    selected.push_back(best_index);
+  }
+  std::sort(selected.begin(), selected.end());
+  return selected;
+}
+
+double ResidualRatio(const std::vector<double>& times,
+                     const std::vector<double>& values,
+                     const std::vector<int>& desired,
+                     const std::vector<int>& sampled, int degree) {
+  if (sampled.empty()) return 0.0;
+  const double desired_ssr = SubsetModelSsr(times, values, desired, degree);
+  const double sampled_ssr = SubsetModelSsr(times, values, sampled, degree);
+  if (sampled_ssr <= 0.0) {
+    // Perfect fit on the sampled times: cap the ratio (the paper's data
+    // never yields an exactly zero SSR; this keeps the valuation finite).
+    return desired_ssr <= 0.0 ? 1.0 : 1e6;
+  }
+  return desired_ssr / sampled_ssr;
+}
+
+}  // namespace psens

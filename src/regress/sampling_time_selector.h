@@ -1,0 +1,44 @@
+#ifndef PSENS_REGRESS_SAMPLING_TIME_SELECTOR_H_
+#define PSENS_REGRESS_SAMPLING_TIME_SELECTOR_H_
+
+#include <vector>
+
+namespace psens {
+
+/// Helpers implementing the sampling-time machinery of Section 4.5: the
+/// technique of [19] (OptiMoS) selects, from a historical series, the k
+/// sampling times whose induced model best explains the whole history; the
+/// valuation of a set of sampled times is the residual ratio G of Eq. (17).
+
+/// Fits a degree-`degree` polynomial model on the subset of (times, values)
+/// given by `indices` and returns the sum of squared residuals of that
+/// model over the FULL series (sum_i r_i^2 | T of Eq. 17). Returns the
+/// total sum of squares around zero if the subset is empty or the fit
+/// fails (no model -> nothing explained).
+double SubsetModelSsr(const std::vector<double>& times,
+                      const std::vector<double>& values,
+                      const std::vector<int>& indices, int degree = 1);
+
+/// Greedy forward selection of `k` sampling times (indices into the
+/// series) minimizing SubsetModelSsr. This reproduces the paper's use of
+/// [19]: "selects the sampling times such that the residuals of the model
+/// based on the values at the sampling times and the model given all the
+/// historical data is minimized", with the number of sampling times fixed.
+std::vector<int> SelectSamplingTimes(const std::vector<double>& times,
+                                     const std::vector<double>& values, int k,
+                                     int degree = 1);
+
+/// The quality factor G(T') of Eq. (17):
+///   G(T') = SSR(model fitted on desired T) / SSR(model fitted on sampled T').
+/// Both SSRs are evaluated over the full historical series. Returns 0 when
+/// no samples were taken. G(T') == 1 when T' == T; G can exceed 1 when the
+/// opportunistically sampled times explain the history better than the
+/// desired ones.
+double ResidualRatio(const std::vector<double>& times,
+                     const std::vector<double>& values,
+                     const std::vector<int>& desired,
+                     const std::vector<int>& sampled, int degree = 1);
+
+}  // namespace psens
+
+#endif  // PSENS_REGRESS_SAMPLING_TIME_SELECTOR_H_

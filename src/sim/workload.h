@@ -1,0 +1,86 @@
+#ifndef PSENS_SIM_WORKLOAD_H_
+#define PSENS_SIM_WORKLOAD_H_
+
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/rng.h"
+#include "core/aggregate_query.h"
+#include "core/location_monitoring.h"
+#include "core/point_query.h"
+#include "core/region_monitoring.h"
+#include "core/sensor.h"
+
+namespace psens {
+
+/// Budget scheme for end-user point queries (Section 4.3): fixed, or
+/// uniform in [mean - halfwidth, mean + halfwidth] (Fig. 4).
+struct BudgetScheme {
+  double mean = 15.0;
+  bool uniform = false;
+  double halfwidth = 10.0;
+
+  double Draw(Rng& rng) const {
+    if (!uniform) return mean;
+    return rng.Uniform(mean - halfwidth, mean + halfwidth);
+  }
+};
+
+/// Generates `count` point queries with locations uniform in `region`.
+std::vector<PointQuery> GeneratePointQueries(int count, const Rect& region,
+                                             const BudgetScheme& budget,
+                                             double theta_min, int id_base,
+                                             Rng& rng);
+
+/// Generates spatial-aggregate query parameters (Section 4.4): the number
+/// of queries is uniform with the given mean, regions are random
+/// rectangles inside `working`, and B_q = A(r) / (1.5 r_s) * budget_factor
+/// with r_s = dmax.
+std::vector<AggregateQuery::Params> GenerateAggregateQueries(
+    int mean_count, const Rect& working, double sensing_range,
+    double budget_factor, int id_base, Rng& rng);
+
+/// Sensor-profile randomization used across experiments (Section 4.1):
+/// inaccuracy uniform in [0, 0.2]; optionally a random privacy
+/// sensitivity level and the linear energy model with beta in [0, 4].
+struct SensorPopulationConfig {
+  int count = 0;
+  double base_price = 10.0;
+  double inaccuracy_max = 0.2;
+  bool random_privacy = false;
+  bool linear_energy = false;
+  double beta_max = 4.0;
+  int lifetime = 50;
+  int privacy_window = 5;
+  /// Trust values: sensors fully trusted by default; when
+  /// `random_trust` is set, trust is uniform in [trust_min, 1].
+  bool random_trust = false;
+  double trust_min = 0.5;
+};
+
+std::vector<Sensor> GenerateSensors(const SensorPopulationConfig& config, Rng& rng);
+
+/// New location-monitoring query (Section 4.5): random location in
+/// `working`, duration uniform in [5, 20] (clipped to `horizon`), desired
+/// sampling times = duration/3 slots picked by the OptiMoS-style selector
+/// over the historical series, budget = duration * budget_factor.
+LocationMonitoringQuery GenerateLocationMonitoringQuery(
+    int id, const Rect& working, int t_now, int horizon,
+    const std::vector<double>& history_times,
+    const std::vector<double>& history_values, double budget_factor, Rng& rng);
+
+/// New region-monitoring query (Section 4.6): random rectangle inside
+/// `field`, duration uniform in [5, 20], budget = A(r) / (3 pi r_s^2) *
+/// budget_factor.
+RegionMonitoringQuery GenerateRegionMonitoringQuery(int id, const Rect& field,
+                                                    int t_now, int horizon,
+                                                    double sensing_radius,
+                                                    double budget_factor, Rng& rng);
+
+/// A random axis-aligned rectangle inside `bounds` (both dimensions at
+/// least `min_extent`).
+Rect RandomRect(const Rect& bounds, double min_extent, Rng& rng);
+
+}  // namespace psens
+
+#endif  // PSENS_SIM_WORKLOAD_H_

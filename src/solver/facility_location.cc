@@ -1,0 +1,407 @@
+#include "solver/facility_location.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace psens {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Depth-first branch-and-bound over one connected component of the
+/// contested core (after persistency preprocessing). `base_value[l]` holds
+/// the best value already guaranteed at location l by pre-opened sensors.
+class ComponentSearch {
+ public:
+  ComponentSearch(const FacilityLocationProblem& problem,
+                  std::vector<double>* best_value, int64_t node_limit)
+      : problem_(problem), best_value_(*best_value), node_limit_(node_limit) {}
+
+  /// Searches over `candidates`; returns the best additional objective and
+  /// fills `chosen` with the opened subset. best_value_ is restored.
+  double Run(const std::vector<int>& candidates, std::vector<int>* chosen,
+             bool* proven_optimal, int64_t* nodes) {
+    incumbent_ = 0.0;
+    incumbent_open_.clear();
+    open_path_.clear();
+    GreedyIncumbent(candidates);
+    Dfs(0.0, candidates);
+    *chosen = incumbent_open_;
+    *proven_optimal = !hit_node_limit_;
+    *nodes += nodes_;
+    return incumbent_;
+  }
+
+ private:
+  double Marginal(int i) const {
+    double gain = -problem_.open_cost[i];
+    for (const auto& [loc, v] : problem_.value[i]) {
+      if (v > best_value_[loc]) gain += v - best_value_[loc];
+    }
+    return gain;
+  }
+
+  void ApplyOpen(int i, std::vector<std::pair<int, double>>* undo) {
+    for (const auto& [loc, v] : problem_.value[i]) {
+      if (v > best_value_[loc]) {
+        undo->emplace_back(loc, best_value_[loc]);
+        best_value_[loc] = v;
+      }
+    }
+  }
+
+  void GreedyIncumbent(const std::vector<int>& candidates) {
+    std::vector<std::pair<int, double>> undo;
+    std::vector<int> opened;
+    double objective = 0.0;
+    std::vector<char> used(problem_.NumSensors(), 0);
+    while (true) {
+      int best = -1;
+      double best_gain = kEps;
+      for (int i : candidates) {
+        if (used[i]) continue;
+        const double g = Marginal(i);
+        if (g > best_gain) {
+          best_gain = g;
+          best = i;
+        }
+      }
+      if (best < 0) break;
+      used[best] = 1;
+      ApplyOpen(best, &undo);
+      objective += best_gain;
+      opened.push_back(best);
+    }
+    if (objective > incumbent_) {
+      incumbent_ = objective;
+      incumbent_open_ = opened;
+    }
+    // Restore.
+    for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+      best_value_[it->first] = it->second;
+    }
+  }
+
+  void Dfs(double objective, const std::vector<int>& undecided) {
+    if (hit_node_limit_) return;
+    if (++nodes_ > node_limit_) {
+      hit_node_limit_ = true;
+      return;
+    }
+    if (objective > incumbent_ + kEps) {
+      incumbent_ = objective;
+      incumbent_open_ = open_path_;
+    }
+    // Filter non-positive-marginal sensors (permanently dominated in this
+    // subtree: best_value_ only grows) and compute two upper bounds:
+    // marginal-sum (submodularity) and per-location best improvement.
+    std::vector<int> active;
+    active.reserve(undecided.size());
+    double marginal_sum = 0.0;
+    int branch_sensor = -1;
+    double branch_marginal = kEps;
+    for (int loc : touched_) loc_improve_[loc] = 0.0;
+    touched_.clear();
+    if (loc_improve_.size() < best_value_.size()) {
+      loc_improve_.assign(best_value_.size(), 0.0);
+    }
+    for (int i : undecided) {
+      const double m = Marginal(i);
+      if (m <= 0.0) continue;
+      active.push_back(i);
+      marginal_sum += m;
+      if (m > branch_marginal) {
+        branch_marginal = m;
+        branch_sensor = i;
+      }
+      for (const auto& [loc, v] : problem_.value[i]) {
+        const double improve = v - best_value_[loc];
+        if (improve > 0.0) {
+          if (loc_improve_[loc] == 0.0) touched_.push_back(loc);
+          if (improve > loc_improve_[loc]) loc_improve_[loc] = improve;
+        }
+      }
+    }
+    if (branch_sensor < 0) return;
+    double location_sum = 0.0;
+    for (int loc : touched_) location_sum += loc_improve_[loc];
+    if (objective + std::min(marginal_sum, location_sum) <= incumbent_ + kEps) {
+      return;
+    }
+    const int i = branch_sensor;
+    std::vector<int> rest;
+    rest.reserve(active.size() - 1);
+    for (int j : active) {
+      if (j != i) rest.push_back(j);
+    }
+
+    // Branch 1: open sensor i.
+    std::vector<std::pair<int, double>> undo;
+    ApplyOpen(i, &undo);
+    open_path_.push_back(i);
+    Dfs(objective + branch_marginal, rest);
+    open_path_.pop_back();
+    for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+      best_value_[it->first] = it->second;
+    }
+
+    // Branch 2: close sensor i.
+    Dfs(objective, rest);
+  }
+
+  const FacilityLocationProblem& problem_;
+  std::vector<double>& best_value_;
+  const int64_t node_limit_;
+
+  std::vector<int> open_path_;
+  std::vector<double> loc_improve_;
+  std::vector<int> touched_;
+
+  double incumbent_ = 0.0;
+  std::vector<int> incumbent_open_;
+  int64_t nodes_ = 0;
+  bool hit_node_limit_ = false;
+};
+
+/// Union-find for the component decomposition.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+double EvaluateOpenSet(const FacilityLocationProblem& problem,
+                       const std::vector<char>& open,
+                       std::vector<int>* assignment) {
+  std::vector<double> best(problem.num_locations, 0.0);
+  std::vector<int> assigned(problem.num_locations, -1);
+  double cost = 0.0;
+  for (int i = 0; i < problem.NumSensors(); ++i) {
+    if (!open[i]) continue;
+    cost += problem.open_cost[i];
+    for (const auto& [loc, v] : problem.value[i]) {
+      if (v > best[loc]) {
+        best[loc] = v;
+        assigned[loc] = i;
+      }
+    }
+  }
+  double total_value = 0.0;
+  for (double v : best) total_value += v;
+  if (assignment != nullptr) *assignment = std::move(assigned);
+  return total_value - cost;
+}
+
+FacilityLocationSolution FacilityLocationSolver::Solve(
+    const FacilityLocationProblem& problem,
+    const std::vector<char>* warm_start) const {
+  const int n = problem.NumSensors();
+  FacilityLocationSolution solution;
+  solution.open.assign(n, 0);
+  solution.proven_optimal = true;
+
+  // ---------------------------------------------------------------------
+  // Persistency preprocessing (fixpoint):
+  //  * pre-OPEN sensor i when its marginal is positive even if every other
+  //    non-closed sensor were open (submodularity: its marginal against
+  //    any subset is at least that, so every optimal solution contains i);
+  //  * pre-CLOSE sensor i when its marginal against just the pre-opened
+  //    set is non-positive (it can only shrink as more sensors open).
+  // ---------------------------------------------------------------------
+  enum : char { kUndecided = 0, kOpen = 1, kClosed = 2 };
+  std::vector<char> state(n, kUndecided);
+  std::vector<double> best_open(problem.num_locations, 0.0);
+
+  // Dominance elimination: close i when some j is pointwise at least as
+  // valuable at every location and at most as costly (ties broken by
+  // index, so exact twins keep exactly one representative). Mobile sensors
+  // pausing at the same popular spot are the common case.
+  {
+    std::vector<std::vector<std::pair<int, double>>> sorted = problem.value;
+    for (auto& list : sorted) std::sort(list.begin(), list.end());
+    auto dominates = [&](int j, int i) {
+      // Does j dominate i?
+      if (problem.open_cost[j] > problem.open_cost[i] + kEps) return false;
+      const auto& vi = sorted[i];
+      const auto& vj = sorted[j];
+      size_t pj = 0;
+      bool strict = problem.open_cost[j] < problem.open_cost[i] - kEps;
+      for (const auto& [loc, v] : vi) {
+        while (pj < vj.size() && vj[pj].first < loc) ++pj;
+        if (pj == vj.size() || vj[pj].first != loc) return false;
+        if (vj[pj].second < v - kEps) return false;
+        if (vj[pj].second > v + kEps) strict = true;
+      }
+      if (vj.size() > vi.size()) strict = true;
+      return strict || j < i;
+    };
+    for (int i = 0; i < n; ++i) {
+      if (sorted[i].empty()) {
+        state[i] = kClosed;  // yields nothing anywhere
+        continue;
+      }
+      for (int j = 0; j < n && state[i] == kUndecided; ++j) {
+        if (j == i || state[j] == kClosed) continue;
+        if (sorted[j].size() < sorted[i].size()) continue;
+        if (dominates(j, i)) state[i] = kClosed;
+      }
+    }
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Top-2 values per location over non-closed sensors.
+    std::vector<double> top1(problem.num_locations, 0.0);
+    std::vector<double> top2(problem.num_locations, 0.0);
+    std::vector<int> top1_sensor(problem.num_locations, -1);
+    for (int i = 0; i < n; ++i) {
+      if (state[i] == kClosed) continue;
+      for (const auto& [loc, v] : problem.value[i]) {
+        if (v > top1[loc]) {
+          top2[loc] = top1[loc];
+          top1[loc] = v;
+          top1_sensor[loc] = i;
+        } else if (v > top2[loc]) {
+          top2[loc] = v;
+        }
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      if (state[i] != kUndecided) continue;
+      // Pessimistic marginal: all other non-closed sensors open.
+      double pess = -problem.open_cost[i];
+      for (const auto& [loc, v] : problem.value[i]) {
+        const double others = top1_sensor[loc] == i ? top2[loc] : top1[loc];
+        if (v > others) pess += v - others;
+      }
+      if (pess > kEps) {
+        state[i] = kOpen;
+        for (const auto& [loc, v] : problem.value[i]) {
+          if (v > best_open[loc]) best_open[loc] = v;
+        }
+        changed = true;
+        continue;
+      }
+      // Optimistic marginal: only pre-opened sensors open.
+      double opt = -problem.open_cost[i];
+      for (const auto& [loc, v] : problem.value[i]) {
+        if (v > best_open[loc]) opt += v - best_open[loc];
+      }
+      if (opt <= kEps) {
+        state[i] = kClosed;
+        changed = true;
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Component decomposition of the remaining undecided core: two sensors
+  // interact only if they can both improve some common location.
+  // ---------------------------------------------------------------------
+  std::vector<int> undecided;
+  for (int i = 0; i < n; ++i) {
+    if (state[i] == kUndecided) undecided.push_back(i);
+  }
+  UnionFind uf(n);
+  {
+    std::vector<int> last_at_loc(problem.num_locations, -1);
+    for (int i : undecided) {
+      for (const auto& [loc, v] : problem.value[i]) {
+        if (v <= best_open[loc]) continue;  // cannot improve here
+        if (last_at_loc[loc] >= 0) uf.Union(i, last_at_loc[loc]);
+        last_at_loc[loc] = i;
+      }
+    }
+  }
+  std::vector<std::vector<int>> components;
+  {
+    std::vector<int> root_to_component(n, -1);
+    for (int i : undecided) {
+      const int r = uf.Find(i);
+      if (root_to_component[r] < 0) {
+        root_to_component[r] = static_cast<int>(components.size());
+        components.emplace_back();
+      }
+      components[root_to_component[r]].push_back(i);
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Exact search per component, on top of the pre-opened baseline.
+  // ---------------------------------------------------------------------
+  for (int i = 0; i < n; ++i) solution.open[i] = state[i] == kOpen ? 1 : 0;
+  std::vector<double> best_value = best_open;
+  for (const std::vector<int>& component : components) {
+    // The node limit is a shared budget across components. Even with an
+    // exhausted budget each component still gets its greedy incumbent (a
+    // single root visit), so the result stays at least greedy-quality.
+    const int64_t remaining =
+        std::max<int64_t>(1, node_limit_ - solution.nodes_explored);
+    ComponentSearch search(problem, &best_value, remaining);
+    std::vector<int> chosen;
+    bool proven = true;
+    search.Run(component, &chosen, &proven, &solution.nodes_explored);
+    if (!proven) solution.proven_optimal = false;
+    for (int i : chosen) {
+      solution.open[i] = 1;
+      // Committing this component's choice before solving the next one is
+      // sound: components share no improvable location.
+      for (const auto& [loc, v] : problem.value[i]) {
+        if (v > best_value[loc]) best_value[loc] = v;
+      }
+    }
+  }
+
+  solution.objective = EvaluateOpenSet(problem, solution.open, &solution.assignment);
+
+  // A caller-provided warm start can only help if the search was truncated.
+  if (warm_start != nullptr && static_cast<int>(warm_start->size()) == n) {
+    std::vector<int> assignment;
+    const double warm_objective = EvaluateOpenSet(problem, *warm_start, &assignment);
+    if (warm_objective > solution.objective) {
+      solution.objective = warm_objective;
+      solution.open = *warm_start;
+      solution.assignment = std::move(assignment);
+    }
+  }
+  return solution;
+}
+
+FacilityLocationSolution SolveByBruteForce(const FacilityLocationProblem& problem) {
+  const int n = problem.NumSensors();
+  FacilityLocationSolution best;
+  best.open.assign(n, 0);
+  best.objective = 0.0;
+  best.proven_optimal = true;
+  std::vector<char> open(n, 0);
+  const uint64_t subsets = uint64_t{1} << n;
+  for (uint64_t mask = 0; mask < subsets; ++mask) {
+    for (int i = 0; i < n; ++i) open[i] = (mask >> i) & 1 ? 1 : 0;
+    const double obj = EvaluateOpenSet(problem, open);
+    if (obj > best.objective + 1e-12) {
+      best.objective = obj;
+      best.open = open;
+    }
+    best.nodes_explored++;
+  }
+  best.objective = EvaluateOpenSet(problem, best.open, &best.assignment);
+  return best;
+}
+
+}  // namespace psens

@@ -1,0 +1,194 @@
+#include "solver/simplex.h"
+
+#include <cmath>
+#include <limits>
+
+namespace psens {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Dense simplex tableau. Rows 0..m-1 are constraints, row m is the
+/// objective (stored negated, so the solve drives all entries >= 0).
+/// Column layout: [structural | slack | artificial | rhs].
+struct Tableau {
+  size_t m = 0;
+  size_t cols = 0;  // total columns including rhs
+  std::vector<std::vector<double>> t;
+  std::vector<size_t> basis;
+
+  double& At(size_t r, size_t c) { return t[r][c]; }
+  double At(size_t r, size_t c) const { return t[r][c]; }
+
+  void Pivot(size_t pivot_row, size_t pivot_col) {
+    const double pivot = t[pivot_row][pivot_col];
+    for (size_t c = 0; c < cols; ++c) t[pivot_row][c] /= pivot;
+    for (size_t r = 0; r <= m; ++r) {
+      if (r == pivot_row) continue;
+      const double factor = t[r][pivot_col];
+      if (std::fabs(factor) < kEps) continue;
+      for (size_t c = 0; c < cols; ++c) {
+        t[r][c] -= factor * t[pivot_row][c];
+      }
+    }
+    basis[pivot_row] = pivot_col;
+  }
+
+  /// Runs the simplex loop on the current objective row over columns in
+  /// [0, usable_cols). Returns kOptimal or kUnbounded / kIterationLimit.
+  LpStatus Iterate(size_t usable_cols, int max_iterations) {
+    const size_t rhs = cols - 1;
+    int iterations = 0;
+    // Switch to Bland's rule (guaranteed termination) once we have done
+    // enough iterations to suspect cycling.
+    const int bland_threshold = max_iterations / 2;
+    while (true) {
+      if (++iterations > max_iterations) return LpStatus::kIterationLimit;
+      const bool bland = iterations > bland_threshold;
+      // Entering column: most negative objective entry (Dantzig) or the
+      // first negative one (Bland).
+      size_t entering = usable_cols;
+      double best = -kEps;
+      for (size_t c = 0; c < usable_cols; ++c) {
+        const double v = t[m][c];
+        if (v < -kEps) {
+          if (bland) {
+            entering = c;
+            break;
+          }
+          if (v < best) {
+            best = v;
+            entering = c;
+          }
+        }
+      }
+      if (entering == usable_cols) return LpStatus::kOptimal;
+      // Ratio test.
+      size_t leaving = m;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (size_t r = 0; r < m; ++r) {
+        const double a = t[r][entering];
+        if (a > kEps) {
+          const double ratio = t[r][rhs] / a;
+          if (ratio < best_ratio - kEps ||
+              (bland && ratio < best_ratio + kEps && leaving != m &&
+               basis[r] < basis[leaving])) {
+            best_ratio = ratio;
+            leaving = r;
+          }
+        }
+      }
+      if (leaving == m) return LpStatus::kUnbounded;
+      Pivot(leaving, entering);
+    }
+  }
+};
+
+}  // namespace
+
+LpSolution SimplexSolver::Maximize(const Matrix& a, const std::vector<double>& b,
+                                   const std::vector<double>& c,
+                                   int max_iterations) {
+  LpSolution solution;
+  const size_t m = a.Rows();
+  const size_t n = a.Cols();
+  if (b.size() != m || c.size() != n) return solution;
+
+  // Count artificials: one per row with negative rhs.
+  size_t num_artificial = 0;
+  for (double bi : b) {
+    if (bi < 0.0) ++num_artificial;
+  }
+
+  Tableau tab;
+  tab.m = m;
+  const size_t structural = n;
+  const size_t slack0 = structural;
+  const size_t art0 = slack0 + m;
+  tab.cols = art0 + num_artificial + 1;
+  const size_t rhs = tab.cols - 1;
+  tab.t.assign(m + 1, std::vector<double>(tab.cols, 0.0));
+  tab.basis.assign(m, 0);
+
+  size_t art = 0;
+  for (size_t r = 0; r < m; ++r) {
+    const double sign = b[r] < 0.0 ? -1.0 : 1.0;
+    for (size_t j = 0; j < n; ++j) tab.At(r, j) = sign * a(r, j);
+    tab.At(r, slack0 + r) = sign;  // slack coefficient
+    tab.At(r, rhs) = sign * b[r];
+    if (b[r] < 0.0) {
+      tab.At(r, art0 + art) = 1.0;
+      tab.basis[r] = art0 + art;
+      ++art;
+    } else {
+      tab.basis[r] = slack0 + r;
+    }
+  }
+
+  if (num_artificial > 0) {
+    // Phase 1: minimize sum of artificials == maximize -(sum). Objective row
+    // (negated for our convention) starts with +1 on artificial columns, then
+    // is priced out against the rows whose basis is artificial.
+    for (size_t k = 0; k < num_artificial; ++k) tab.At(m, art0 + k) = 1.0;
+    for (size_t r = 0; r < m; ++r) {
+      if (tab.basis[r] >= art0) {
+        for (size_t cc = 0; cc < tab.cols; ++cc) {
+          tab.At(m, cc) -= tab.At(r, cc);
+        }
+      }
+    }
+    const LpStatus phase1 = tab.Iterate(tab.cols - 1, max_iterations);
+    if (phase1 == LpStatus::kIterationLimit) {
+      solution.status = phase1;
+      return solution;
+    }
+    // Feasible iff the phase-1 optimum is ~0 (rhs cell holds -optimum).
+    if (std::fabs(tab.At(m, rhs)) > 1e-6) {
+      solution.status = LpStatus::kInfeasible;
+      return solution;
+    }
+    // Drive any artificial still in the basis out (degenerate rows).
+    for (size_t r = 0; r < m; ++r) {
+      if (tab.basis[r] >= art0) {
+        size_t entering = art0;
+        for (size_t cc = 0; cc < art0; ++cc) {
+          if (std::fabs(tab.At(r, cc)) > kEps) {
+            entering = cc;
+            break;
+          }
+        }
+        if (entering < art0) tab.Pivot(r, entering);
+        // If the whole row is zero the constraint is redundant; leave it.
+      }
+    }
+  }
+
+  // Phase 2: restore the real objective (negated) and price out basics.
+  for (size_t cc = 0; cc < tab.cols; ++cc) tab.At(m, cc) = 0.0;
+  for (size_t j = 0; j < n; ++j) tab.At(m, j) = -c[j];
+  for (size_t r = 0; r < m; ++r) {
+    const size_t bc = tab.basis[r];
+    const double coef = tab.At(m, bc);
+    if (std::fabs(coef) > kEps) {
+      for (size_t cc = 0; cc < tab.cols; ++cc) {
+        tab.At(m, cc) -= coef * tab.At(r, cc);
+      }
+    }
+  }
+  // Forbid artificial columns from re-entering by restricting usable columns.
+  const LpStatus phase2 = tab.Iterate(art0, max_iterations);
+  if (phase2 != LpStatus::kOptimal) {
+    solution.status = phase2;
+    return solution;
+  }
+
+  solution.status = LpStatus::kOptimal;
+  solution.x.assign(n, 0.0);
+  for (size_t r = 0; r < m; ++r) {
+    if (tab.basis[r] < n) solution.x[tab.basis[r]] = tab.At(r, rhs);
+  }
+  solution.objective = tab.At(m, rhs);
+  return solution;
+}
+
+}  // namespace psens

@@ -1,0 +1,43 @@
+#ifndef PSENS_SOLVER_SIMPLEX_H_
+#define PSENS_SOLVER_SIMPLEX_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace psens {
+
+/// Result of an LP solve.
+enum class LpStatus {
+  kOptimal,
+  kUnbounded,
+  kInfeasible,
+  kIterationLimit,
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+};
+
+/// Dense primal simplex solver for problems in the form
+///
+///   maximize    c^T x
+///   subject to  A x <= b,  x >= 0
+///
+/// Negative entries in `b` are handled with a standard two-phase method.
+/// Bland's rule is used when degeneracy is detected, guaranteeing
+/// termination. Purpose-built for LP relaxations of the paper's BILP
+/// (Eq. 9) and for tests — not a production LP code.
+class SimplexSolver {
+ public:
+  /// `a` is m x n; `b` has m entries; `c` has n entries.
+  LpSolution Maximize(const Matrix& a, const std::vector<double>& b,
+                      const std::vector<double>& c,
+                      int max_iterations = 100000);
+};
+
+}  // namespace psens
+
+#endif  // PSENS_SOLVER_SIMPLEX_H_

@@ -1,0 +1,194 @@
+#include "core/aggregate_query.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace psens {
+namespace {
+
+SlotContext MakeSlot(std::vector<Point> positions, double cost = 10.0) {
+  SlotContext slot;
+  slot.time = 0;
+  slot.dmax = 10.0;
+  for (size_t i = 0; i < positions.size(); ++i) {
+    SlotSensor s;
+    s.index = static_cast<int>(i);
+    s.sensor_id = static_cast<int>(i);
+    s.location = positions[i];
+    s.cost = cost;
+    s.inaccuracy = 0.0;
+    s.trust = 1.0;
+    slot.sensors.push_back(s);
+  }
+  return slot;
+}
+
+AggregateQuery::Params BaseParams() {
+  AggregateQuery::Params params;
+  params.id = 1;
+  params.region = Rect{0, 0, 20, 20};
+  params.budget = 100.0;
+  params.sensing_range = 10.0;
+  params.cell_size = 2.0;
+  return params;
+}
+
+TEST(AggregateQueryTest, CenteredSensorCoversWholeSmallRegion) {
+  const SlotContext slot = MakeSlot({Point{10, 10}});
+  AggregateQuery::Params params = BaseParams();
+  params.region = Rect{5, 5, 15, 15};  // all cells within range 10 of center
+  AggregateQuery q(params, slot);
+  q.Commit(0, 0.0);
+  EXPECT_DOUBLE_EQ(q.CurrentCoverage(), 1.0);
+  // Value = B * G * theta = 100 * 1 * 1.
+  EXPECT_DOUBLE_EQ(q.CurrentValue(), 100.0);
+}
+
+TEST(AggregateQueryTest, FarSensorContributesNothing) {
+  const SlotContext slot = MakeSlot({Point{200, 200}});
+  AggregateQuery q(BaseParams(), slot);
+  EXPECT_DOUBLE_EQ(q.MarginalValue(0), 0.0);
+}
+
+TEST(AggregateQueryTest, MarginalMatchesValueDifference) {
+  Rng rng(3);
+  std::vector<Point> positions;
+  for (int i = 0; i < 6; ++i) {
+    positions.push_back(Point{rng.Uniform(0, 20), rng.Uniform(0, 20)});
+  }
+  const SlotContext slot = MakeSlot(positions);
+  AggregateQuery q(BaseParams(), slot);
+  double value = 0.0;
+  std::vector<int> committed;
+  for (int i = 0; i < 6; ++i) {
+    const double marginal = q.MarginalValue(i);
+    committed.push_back(i);
+    const double direct = q.ValueOf(committed);
+    EXPECT_NEAR(value + marginal, direct, 1e-9) << "sensor " << i;
+    q.Commit(i, 0.0);
+    value = q.CurrentValue();
+    EXPECT_NEAR(value, direct, 1e-9);
+  }
+}
+
+TEST(AggregateQueryTest, ValuationIsNonMonotone) {
+  // Adding a low-quality sensor that covers nothing new drags the mean
+  // theta down: the Eq. (5) valuation is non-monotone (Section 3.2).
+  SlotContext slot = MakeSlot({Point{10, 10}, Point{10, 10}});
+  slot.sensors[1].inaccuracy = 0.9;  // theta = 0.1
+  AggregateQuery::Params params = BaseParams();
+  params.region = Rect{5, 5, 15, 15};
+  AggregateQuery q(params, slot);
+  q.Commit(0, 0.0);
+  const double before = q.CurrentValue();
+  EXPECT_LT(q.MarginalValue(1), 0.0);
+  q.Commit(1, 0.0);
+  EXPECT_LT(q.CurrentValue(), before);
+}
+
+TEST(AggregateQueryTest, CoverageGrowsWithDisjointSensors) {
+  AggregateQuery::Params params = BaseParams();
+  params.region = Rect{0, 0, 40, 10};
+  params.sensing_range = 5.0;
+  const SlotContext slot = MakeSlot({Point{5, 5}, Point{35, 5}});
+  AggregateQuery q(params, slot);
+  q.Commit(0, 0.0);
+  const double one = q.CurrentCoverage();
+  q.Commit(1, 0.0);
+  EXPECT_GT(q.CurrentCoverage(), one);
+}
+
+TEST(AggregateQueryTest, ResetSelectionClearsState) {
+  const SlotContext slot = MakeSlot({Point{10, 10}});
+  AggregateQuery q(BaseParams(), slot);
+  q.Commit(0, 5.0);
+  EXPECT_GT(q.CurrentValue(), 0.0);
+  q.ResetSelection();
+  EXPECT_DOUBLE_EQ(q.CurrentValue(), 0.0);
+  EXPECT_DOUBLE_EQ(q.TotalPayment(), 0.0);
+  EXPECT_DOUBLE_EQ(q.CurrentCoverage(), 0.0);
+  EXPECT_TRUE(q.SelectedSensors().empty());
+}
+
+TEST(AggregateQueryTest, MaxValueIsBudget) {
+  const SlotContext slot = MakeSlot({Point{10, 10}});
+  AggregateQuery q(BaseParams(), slot);
+  EXPECT_DOUBLE_EQ(q.MaxValue(), 100.0);
+}
+
+TEST(TrajectoryQueryTest, SensorOnTrajectoryCovers) {
+  TrajectoryQuery::Params params;
+  params.id = 1;
+  params.trajectory.waypoints = {{0, 0}, {20, 0}};
+  params.budget = 50.0;
+  params.sensing_range = 30.0;
+  params.corridor = 2.0;
+  const SlotContext slot = MakeSlot({Point{10, 0}});
+  TrajectoryQuery q(params, slot);
+  EXPECT_GT(q.MarginalValue(0), 0.0);
+  q.Commit(0, 0.0);
+  EXPECT_DOUBLE_EQ(q.CurrentCoverage(), 1.0);
+  EXPECT_DOUBLE_EQ(q.CurrentValue(), 50.0);
+}
+
+TEST(TrajectoryQueryTest, SensorFarFromTrajectoryDoesNot) {
+  TrajectoryQuery::Params params;
+  params.id = 1;
+  params.trajectory.waypoints = {{0, 0}, {20, 0}};
+  params.budget = 50.0;
+  params.sensing_range = 5.0;
+  params.corridor = 2.0;
+  const SlotContext slot = MakeSlot({Point{10, 50}});
+  TrajectoryQuery q(params, slot);
+  EXPECT_DOUBLE_EQ(q.MarginalValue(0), 0.0);
+}
+
+TEST(TrajectoryQueryTest, PartialCoverageAlongLongRoute) {
+  TrajectoryQuery::Params params;
+  params.id = 1;
+  params.trajectory.waypoints = {{0, 0}, {100, 0}};
+  params.budget = 50.0;
+  params.sensing_range = 10.0;
+  params.corridor = 2.0;
+  const SlotContext slot = MakeSlot({Point{0, 0}});
+  TrajectoryQuery q(params, slot);
+  q.Commit(0, 0.0);
+  EXPECT_GT(q.CurrentCoverage(), 0.0);
+  EXPECT_LT(q.CurrentCoverage(), 0.5);
+}
+
+TEST(TrajectoryQueryTest, MarginalConsistentWithValueOf) {
+  Rng rng(5);
+  TrajectoryQuery::Params params;
+  params.id = 1;
+  params.trajectory.waypoints = {{0, 0}, {15, 5}, {30, 0}};
+  params.budget = 80.0;
+  params.sensing_range = 8.0;
+  std::vector<Point> positions;
+  for (int i = 0; i < 5; ++i) {
+    positions.push_back(Point{rng.Uniform(0, 30), rng.Uniform(-5, 10)});
+  }
+  const SlotContext slot = MakeSlot(positions);
+  TrajectoryQuery q(params, slot);
+  std::vector<int> committed;
+  double value = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    const double marginal = q.MarginalValue(i);
+    committed.push_back(i);
+    EXPECT_NEAR(value + marginal, q.ValueOf(committed), 1e-9);
+    q.Commit(i, 0.0);
+    value = q.CurrentValue();
+  }
+}
+
+TEST(TrajectoryQueryTest, EmptyTrajectoryDoesNotCrash) {
+  TrajectoryQuery::Params params;
+  params.budget = 10.0;
+  const SlotContext slot = MakeSlot({Point{0, 0}});
+  TrajectoryQuery q(params, slot);
+  (void)q.MarginalValue(0);
+}
+
+}  // namespace
+}  // namespace psens

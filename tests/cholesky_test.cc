@@ -1,0 +1,128 @@
+#include "la/cholesky.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "la/matrix.h"
+
+namespace psens {
+namespace {
+
+Matrix RandomSpd(size_t n, Rng& rng) {
+  // A = B B^T + n * I is SPD.
+  Matrix b(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) b(r, c) = rng.Uniform(-1.0, 1.0);
+  }
+  Matrix a = b.Multiply(b.Transpose());
+  for (size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+TEST(CholeskyTest, FactorizationReconstructs) {
+  Rng rng(3);
+  const Matrix a = RandomSpd(6, rng);
+  Cholesky chol(a);
+  ASSERT_TRUE(chol.Ok());
+  const Matrix reconstructed = chol.L().Multiply(chol.L().Transpose());
+  EXPECT_LT(reconstructed.MaxAbsDiff(a), 1e-9);
+}
+
+TEST(CholeskyTest, SolveRecoversKnownSolution) {
+  Rng rng(5);
+  const Matrix a = RandomSpd(8, rng);
+  std::vector<double> x_true(8);
+  for (double& v : x_true) v = rng.Uniform(-2.0, 2.0);
+  const std::vector<double> b = a.MultiplyVector(x_true);
+  Cholesky chol(a);
+  ASSERT_TRUE(chol.Ok());
+  const std::vector<double> x = chol.Solve(b);
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+TEST(CholeskyTest, SolveLowerIsForwardSubstitution) {
+  Matrix a(2, 2);
+  a(0, 0) = 4.0; a(0, 1) = 2.0; a(1, 0) = 2.0; a(1, 1) = 5.0;
+  Cholesky chol(a);
+  ASSERT_TRUE(chol.Ok());
+  // L = [[2, 0], [1, 2]]. Solve L y = [2, 5] -> y = [1, 2].
+  const std::vector<double> y = chol.SolveLower({2.0, 5.0});
+  EXPECT_NEAR(y[0], 1.0, 1e-12);
+  EXPECT_NEAR(y[1], 2.0, 1e-12);
+}
+
+TEST(CholeskyTest, LogDeterminantMatchesKnownMatrix) {
+  Matrix a(2, 2);
+  a(0, 0) = 4.0; a(0, 1) = 0.0; a(1, 0) = 0.0; a(1, 1) = 9.0;
+  Cholesky chol(a);
+  ASSERT_TRUE(chol.Ok());
+  EXPECT_NEAR(chol.LogDeterminant(), std::log(36.0), 1e-12);
+}
+
+TEST(CholeskyTest, RejectsNonPositiveDefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0; a(1, 0) = 2.0; a(1, 1) = 1.0;  // eigenvalue -1
+  Cholesky chol(a);
+  EXPECT_FALSE(chol.Ok());
+}
+
+TEST(CholeskyTest, RejectsEmptyOrNonSquare) {
+  EXPECT_FALSE(Cholesky(Matrix(0, 0)).Ok());
+  EXPECT_FALSE(Cholesky(Matrix(2, 3)).Ok());
+}
+
+TEST(CholeskyTest, JitterRescuesNearSingular) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 1.0; a(1, 0) = 1.0; a(1, 1) = 1.0;  // singular
+  EXPECT_FALSE(Cholesky(a).Ok());
+  EXPECT_TRUE(Cholesky(a, 1e-6).Ok());
+}
+
+TEST(LeastSquaresTest, ExactOnConsistentSystem) {
+  // y = 2 + 3 t sampled without noise.
+  Matrix x(5, 2);
+  std::vector<double> y(5);
+  for (int i = 0; i < 5; ++i) {
+    x(i, 0) = 1.0;
+    x(i, 1) = static_cast<double>(i);
+    y[i] = 2.0 + 3.0 * i;
+  }
+  const std::vector<double> beta = SolveLeastSquares(x, y);
+  ASSERT_EQ(beta.size(), 2u);
+  EXPECT_NEAR(beta[0], 2.0, 1e-6);
+  EXPECT_NEAR(beta[1], 3.0, 1e-6);
+}
+
+TEST(LeastSquaresTest, MinimizesResidualVersusPerturbations) {
+  Rng rng(11);
+  Matrix x(20, 3);
+  std::vector<double> y(20);
+  for (int i = 0; i < 20; ++i) {
+    x(i, 0) = 1.0;
+    x(i, 1) = rng.Uniform(-1, 1);
+    x(i, 2) = rng.Uniform(-1, 1);
+    y[i] = 0.5 - 2.0 * x(i, 1) + 0.3 * x(i, 2) + rng.Normal(0, 0.1);
+  }
+  const std::vector<double> beta = SolveLeastSquares(x, y);
+  auto ssr = [&](const std::vector<double>& coef) {
+    double total = 0.0;
+    for (int i = 0; i < 20; ++i) {
+      const double pred = coef[0] * x(i, 0) + coef[1] * x(i, 1) + coef[2] * x(i, 2);
+      total += (y[i] - pred) * (y[i] - pred);
+    }
+    return total;
+  };
+  const double base = ssr(beta);
+  for (size_t j = 0; j < beta.size(); ++j) {
+    std::vector<double> perturbed = beta;
+    perturbed[j] += 0.05;
+    EXPECT_GE(ssr(perturbed), base);
+    perturbed[j] -= 0.10;
+    EXPECT_GE(ssr(perturbed), base);
+  }
+}
+
+}  // namespace
+}  // namespace psens

@@ -1,0 +1,83 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace psens {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  const std::string path = TempPath("roundtrip.csv");
+  {
+    CsvWriter writer(path);
+    ASSERT_TRUE(writer.Ok());
+    writer.WriteRow(std::vector<std::string>{"a", "b", "c"});
+    writer.WriteRow(std::vector<double>{1.5, -2.0, 3.0});
+  }
+  bool ok = false;
+  const auto rows = ReadCsv(path, &ok);
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1][0], "1.5");
+  EXPECT_EQ(rows[1][1], "-2");
+}
+
+TEST(CsvTest, QuotedFieldsRoundTrip) {
+  const std::string path = TempPath("quoted.csv");
+  {
+    CsvWriter writer(path);
+    ASSERT_TRUE(writer.Ok());
+    writer.WriteRow(std::vector<std::string>{"has,comma", "has\"quote", "plain"});
+  }
+  bool ok = false;
+  const auto rows = ReadCsv(path, &ok);
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "has,comma");
+  EXPECT_EQ(rows[0][1], "has\"quote");
+  EXPECT_EQ(rows[0][2], "plain");
+}
+
+TEST(CsvTest, ParseLineBasic) {
+  const auto fields = ParseCsvLine("1,2,3");
+  EXPECT_EQ(fields, (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(CsvTest, ParseLineEmptyFields) {
+  const auto fields = ParseCsvLine("a,,c,");
+  EXPECT_EQ(fields, (std::vector<std::string>{"a", "", "c", ""}));
+}
+
+TEST(CsvTest, ParseLineQuotedComma) {
+  const auto fields = ParseCsvLine("\"a,b\",c");
+  EXPECT_EQ(fields, (std::vector<std::string>{"a,b", "c"}));
+}
+
+TEST(CsvTest, ParseLineEscapedQuote) {
+  const auto fields = ParseCsvLine("\"he said \"\"hi\"\"\",x");
+  EXPECT_EQ(fields[0], "he said \"hi\"");
+  EXPECT_EQ(fields[1], "x");
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  bool ok = true;
+  const auto rows = ReadCsv("/nonexistent/definitely/not/here.csv", &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST(CsvTest, WriterToInvalidPathNotOk) {
+  CsvWriter writer("/nonexistent/dir/file.csv");
+  EXPECT_FALSE(writer.Ok());
+  writer.WriteRow(std::vector<std::string>{"ignored"});  // must not crash
+}
+
+}  // namespace
+}  // namespace psens

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "data/gaussian_field.h"
+#include "data/ozone_trace.h"
+
+namespace psens {
+namespace {
+
+TEST(GaussianFieldTest, DimensionsMatchConfig) {
+  GaussianField::Config config;
+  config.width = 10;
+  config.height = 8;
+  config.num_slots = 5;
+  const GaussianField field(config);
+  EXPECT_EQ(field.width(), 10);
+  EXPECT_EQ(field.height(), 8);
+  EXPECT_EQ(field.num_slots(), 5);
+}
+
+TEST(GaussianFieldTest, ValueLooksUpContainingCell) {
+  GaussianField::Config config;
+  config.width = 4;
+  config.height = 4;
+  config.num_slots = 2;
+  const GaussianField field(config);
+  EXPECT_DOUBLE_EQ(field.Value(0, Point{1.5, 2.5}), field.CellValue(0, 1, 2));
+  // Out-of-grid points clamp.
+  EXPECT_DOUBLE_EQ(field.Value(0, Point{-5, 100}), field.CellValue(0, 0, 3));
+}
+
+TEST(GaussianFieldTest, ValuesCenteredAroundMean) {
+  GaussianField::Config config;
+  config.mean = 20.0;
+  config.variance = 4.0;
+  const GaussianField field(config);
+  RunningStat stat;
+  for (int y = 0; y < config.height; ++y) {
+    for (int x = 0; x < config.width; ++x) stat.Add(field.CellValue(0, x, y));
+  }
+  EXPECT_NEAR(stat.Mean(), 20.0, 4.0);  // within ~2 sigma of the field mean
+}
+
+TEST(GaussianFieldTest, NearbyCellsCorrelateMoreThanFarCells) {
+  GaussianField::Config config;
+  config.width = 20;
+  config.height = 15;
+  config.num_slots = 40;
+  config.length_scale = 4.0;
+  const GaussianField field(config);
+  // Correlate time series of neighboring vs distant cells.
+  auto correlation = [&](int x1, int y1, int x2, int y2) {
+    RunningStat a, b;
+    double cross = 0.0;
+    for (int t = 0; t < config.num_slots; ++t) {
+      a.Add(field.CellValue(t, x1, y1));
+      b.Add(field.CellValue(t, x2, y2));
+    }
+    for (int t = 0; t < config.num_slots; ++t) {
+      cross += (field.CellValue(t, x1, y1) - a.Mean()) *
+               (field.CellValue(t, x2, y2) - b.Mean());
+    }
+    return cross / (config.num_slots * a.StdDev() * b.StdDev() + 1e-12);
+  };
+  EXPECT_GT(correlation(5, 5, 6, 5), correlation(5, 5, 19, 14));
+}
+
+TEST(GaussianFieldTest, TemporalEvolutionIsSmooth) {
+  GaussianField::Config config;
+  config.temporal_rho = 0.9;
+  const GaussianField field(config);
+  // Consecutive-slot differences should be far smaller than the field's
+  // spatial spread.
+  RunningStat diff, spread;
+  for (int t = 1; t < config.num_slots; ++t) {
+    diff.Add(std::abs(field.CellValue(t, 5, 5) - field.CellValue(t - 1, 5, 5)));
+  }
+  for (int x = 0; x < config.width; ++x) {
+    spread.Add(field.CellValue(0, x, 7));
+  }
+  EXPECT_LT(diff.Mean(), 2.0 * spread.StdDev() + 1.0);
+}
+
+TEST(GaussianFieldTest, KernelExposedForValuation) {
+  const GaussianField field(GaussianField::Config{});
+  ASSERT_NE(field.SpatialKernel(), nullptr);
+  EXPECT_GT(field.SpatialKernel()->Variance(), 0.0);
+}
+
+TEST(OzoneTraceTest, LengthAndTimesSequential) {
+  OzoneTraceConfig config;
+  config.num_days = 3;
+  config.slots_per_day = 40;
+  const OzoneTrace trace = GenerateOzoneTrace(config);
+  ASSERT_EQ(trace.times.size(), 120u);
+  for (size_t i = 1; i < trace.times.size(); ++i) {
+    EXPECT_DOUBLE_EQ(trace.times[i] - trace.times[i - 1], 1.0);
+  }
+}
+
+TEST(OzoneTraceTest, DiurnalShapeAfternoonAboveNight) {
+  OzoneTraceConfig config;
+  config.num_days = 1;
+  config.slots_per_day = 50;
+  config.noise_std = 0.5;
+  const OzoneTrace trace = GenerateOzoneTrace(config);
+  // Midday (around slot 25) must exceed the first slot (pre-sunrise).
+  EXPECT_GT(trace.values[25], trace.values[0] + 10.0);
+}
+
+TEST(OzoneTraceTest, DaySliceRebasesTimes) {
+  OzoneTraceConfig config;
+  config.num_days = 2;
+  config.slots_per_day = 10;
+  const OzoneTrace trace = GenerateOzoneTrace(config);
+  std::vector<double> t, v;
+  trace.DaySlice(1, &t, &v);
+  ASSERT_EQ(t.size(), 10u);
+  EXPECT_DOUBLE_EQ(t[0], 0.0);
+  EXPECT_DOUBLE_EQ(t[9], 9.0);
+  EXPECT_DOUBLE_EQ(v[3], trace.values[13]);
+}
+
+TEST(OzoneTraceTest, DeterministicForSeed) {
+  OzoneTraceConfig config;
+  const OzoneTrace a = GenerateOzoneTrace(config);
+  const OzoneTrace b = GenerateOzoneTrace(config);
+  EXPECT_EQ(a.values, b.values);
+}
+
+}  // namespace
+}  // namespace psens

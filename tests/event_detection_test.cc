@@ -1,0 +1,140 @@
+#include "core/event_detection.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace psens {
+namespace {
+
+TEST(DetectionConfidenceTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(DetectionConfidence({}), 0.0);
+  EXPECT_DOUBLE_EQ(DetectionConfidence({1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(DetectionConfidence({0.5}), 0.5);
+  EXPECT_DOUBLE_EQ(DetectionConfidence({0.5, 0.5}), 0.75);
+  EXPECT_NEAR(DetectionConfidence({0.7, 0.7, 0.7}), 1.0 - 0.027, 1e-12);
+}
+
+TEST(DetectionConfidenceTest, MonotoneInReadings) {
+  std::vector<double> qualities;
+  double previous = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    qualities.push_back(0.4);
+    const double c = DetectionConfidence(qualities);
+    EXPECT_GT(c, previous);
+    previous = c;
+  }
+}
+
+TEST(RequiredRedundancyTest, KnownValues) {
+  // theta 0.7: one reading gives 0.7, two give 0.91, three 0.973.
+  EXPECT_EQ(RequiredRedundancy(0.7, 0.7), 1);
+  EXPECT_EQ(RequiredRedundancy(0.9, 0.7), 2);
+  EXPECT_EQ(RequiredRedundancy(0.95, 0.7), 3);
+  EXPECT_EQ(RequiredRedundancy(0.5, 0.9), 1);
+}
+
+TEST(RequiredRedundancyTest, CappedAtMax) {
+  EXPECT_EQ(RequiredRedundancy(0.999999, 0.1, 5), 5);
+  EXPECT_GE(RequiredRedundancy(0.0, 0.5), 1);
+}
+
+EventDetectionQuery MakeQuery() {
+  EventDetectionQuery q;
+  q.id = 1;
+  q.location = Point{10, 10};
+  q.t1 = 0;
+  q.t2 = 5;
+  q.threshold = 50.0;
+  q.confidence = 0.9;
+  q.budget_per_slot = 40.0;
+  return q;
+}
+
+TEST(EventDetectionManagerTest, CreatesRedundantPointQueries) {
+  EventDetectionManager manager(EventDetectionManager::Config{0.7, 8});
+  manager.AddQuery(MakeQuery());
+  const std::vector<PointQuery> created = manager.CreatePointQueries(0);
+  // confidence 0.9 at expected theta 0.7 -> 2 redundant readings.
+  ASSERT_EQ(created.size(), 2u);
+  EXPECT_DOUBLE_EQ(created[0].budget, 20.0);
+  EXPECT_EQ(created[0].parent, 0);
+  // Readings are placed on a small ring, at distinct locations.
+  EXPECT_FALSE(created[0].location == created[1].location);
+  EXPECT_NEAR(Distance(created[0].location, Point{10, 10}), 0.5, 1e-9);
+}
+
+TEST(EventDetectionManagerTest, InactiveQueryCreatesNothing) {
+  EventDetectionManager manager(EventDetectionManager::Config{});
+  manager.AddQuery(MakeQuery());
+  EXPECT_TRUE(manager.CreatePointQueries(99).empty());
+}
+
+TEST(EventDetectionManagerTest, FiresOnlyWithConfidenceAndThreshold) {
+  EventDetectionManager manager(EventDetectionManager::Config{0.7, 8});
+  manager.AddQuery(MakeQuery());
+  const std::vector<PointQuery> created = manager.CreatePointQueries(0);
+  ASSERT_EQ(created.size(), 2u);
+  // Two distinct sensors with quality 0.7 each: confidence 0.91 >= 0.9.
+  std::vector<PointAssignment> assignments(2);
+  for (int i = 0; i < 2; ++i) {
+    assignments[i].sensor = i;
+    assignments[i].value = 1.0;
+    assignments[i].quality = 0.7;
+    assignments[i].payment = 1.0;
+  }
+  // Reading above the threshold on one sensor.
+  const int fired = manager.ApplyResults(0, created, assignments, {60.0, 40.0});
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(manager.queries()[0].triggered);
+  EXPECT_GT(manager.DetectionRate(), 0.0);
+}
+
+TEST(EventDetectionManagerTest, DuplicateSensorDoesNotDoubleCount) {
+  EventDetectionManager manager(EventDetectionManager::Config{0.7, 8});
+  manager.AddQuery(MakeQuery());
+  const std::vector<PointQuery> created = manager.CreatePointQueries(0);
+  ASSERT_EQ(created.size(), 2u);
+  // The SAME sensor answers both ring queries: only one reading counts,
+  // confidence 0.7 < 0.9 -> no detection even with a threshold crossing.
+  std::vector<PointAssignment> assignments(2);
+  for (int i = 0; i < 2; ++i) {
+    assignments[i].sensor = 7;
+    assignments[i].value = 1.0;
+    assignments[i].quality = 0.7;
+    assignments[i].payment = 1.0;
+  }
+  const int fired = manager.ApplyResults(0, created, assignments, {60.0, 60.0});
+  EXPECT_EQ(fired, 0);
+  EXPECT_FALSE(manager.queries()[0].triggered);
+}
+
+TEST(EventDetectionManagerTest, BelowThresholdReadingsDoNotFire) {
+  EventDetectionManager manager(EventDetectionManager::Config{0.7, 8});
+  manager.AddQuery(MakeQuery());
+  const std::vector<PointQuery> created = manager.CreatePointQueries(0);
+  std::vector<PointAssignment> assignments(created.size());
+  for (size_t i = 0; i < created.size(); ++i) {
+    assignments[i].sensor = static_cast<int>(i);
+    assignments[i].value = 1.0;
+    assignments[i].quality = 0.8;
+    assignments[i].payment = 1.0;
+  }
+  const int fired =
+      manager.ApplyResults(0, created, assignments, {10.0, 20.0});
+  EXPECT_EQ(fired, 0);
+  // Confidence was met, though: detection capability without an event.
+  EXPECT_GT(manager.DetectionRate(), 0.0);
+}
+
+TEST(EventDetectionManagerTest, RemoveExpiredDropsFinishedQueries) {
+  EventDetectionManager manager(EventDetectionManager::Config{});
+  manager.AddQuery(MakeQuery());  // t2 = 5
+  manager.RemoveExpired(5);
+  EXPECT_EQ(manager.queries().size(), 1u);
+  manager.RemoveExpired(6);
+  EXPECT_TRUE(manager.queries().empty());
+}
+
+}  // namespace
+}  // namespace psens

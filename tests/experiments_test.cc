@@ -1,0 +1,212 @@
+// Integration tests: small end-to-end simulation runs exercising the full
+// pipeline (mobility -> slot -> scheduling -> accounting), asserting the
+// qualitative relationships the paper's evaluation is built on.
+
+#include "sim/experiments.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/gaussian_field.h"
+#include "data/ozone_trace.h"
+#include "mobility/random_waypoint.h"
+#include "mobility/synthetic_nokia.h"
+
+namespace psens {
+namespace {
+
+Trace SmallRwm(int slots) {
+  RandomWaypointConfig config;
+  config.num_sensors = 80;
+  config.num_slots = slots;
+  config.seed = 5;
+  return GenerateRandomWaypoint(config);
+}
+
+PointExperimentConfig BasePointConfig(const Trace& trace, int slots) {
+  PointExperimentConfig config;
+  config.trace = &trace;
+  config.working_region = CentralSubregion(80, 50);
+  config.dmax = 5.0;
+  config.num_slots = slots;
+  config.queries_per_slot = 80;
+  config.budget = BudgetScheme{15.0, false, 0.0};
+  config.sensors.lifetime = slots;
+  config.seed = 17;
+  return config;
+}
+
+TEST(PointExperimentTest, SchedulerOrderingHolds) {
+  const Trace trace = SmallRwm(8);
+  PointExperimentConfig config = BasePointConfig(trace, 8);
+  config.scheduler = PointScheduler::kOptimal;
+  const ExperimentResult optimal = RunPointExperiment(config);
+  config.scheduler = PointScheduler::kLocalSearch;
+  const ExperimentResult ls = RunPointExperiment(config);
+  config.scheduler = PointScheduler::kBaseline;
+  const ExperimentResult baseline = RunPointExperiment(config);
+  // Same seed -> identical workload; optimal dominates per slot.
+  EXPECT_GE(optimal.avg_utility + 1e-6, ls.avg_utility);
+  EXPECT_GE(optimal.avg_utility + 1e-6, baseline.avg_utility);
+  EXPECT_GT(optimal.avg_utility, 0.0);
+  EXPECT_GT(optimal.satisfaction, 0.0);
+  EXPECT_LE(optimal.satisfaction, 1.0);
+  EXPECT_GT(optimal.avg_quality, 0.0);
+  EXPECT_LE(optimal.avg_quality, 1.0);
+}
+
+TEST(PointExperimentTest, BaselineZeroAtBudgetBelowCost) {
+  const Trace trace = SmallRwm(5);
+  PointExperimentConfig config = BasePointConfig(trace, 5);
+  config.budget = BudgetScheme{7.0, false, 0.0};
+  config.scheduler = PointScheduler::kBaseline;
+  const ExperimentResult baseline = RunPointExperiment(config);
+  EXPECT_DOUBLE_EQ(baseline.avg_utility, 0.0);
+  EXPECT_DOUBLE_EQ(baseline.satisfaction, 0.0);
+  config.scheduler = PointScheduler::kLocalSearch;
+  const ExperimentResult ls = RunPointExperiment(config);
+  EXPECT_GT(ls.avg_utility, 0.0);  // sharing answers what baseline cannot
+}
+
+TEST(PointExperimentTest, UtilityIncreasesWithBudget) {
+  const Trace trace = SmallRwm(5);
+  PointExperimentConfig config = BasePointConfig(trace, 5);
+  config.scheduler = PointScheduler::kLocalSearch;
+  config.budget = BudgetScheme{10.0, false, 0.0};
+  const double low = RunPointExperiment(config).avg_utility;
+  config.budget = BudgetScheme{30.0, false, 0.0};
+  const double high = RunPointExperiment(config).avg_utility;
+  EXPECT_GT(high, low);
+}
+
+TEST(PointExperimentTest, PrivacyAndEnergyCostsReduceUtility) {
+  const Trace trace = SmallRwm(6);
+  PointExperimentConfig config = BasePointConfig(trace, 6);
+  config.scheduler = PointScheduler::kLocalSearch;
+  const double plain = RunPointExperiment(config).avg_utility;
+  config.sensors.random_privacy = true;
+  config.sensors.linear_energy = true;
+  const double burdened = RunPointExperiment(config).avg_utility;
+  EXPECT_LT(burdened, plain);
+}
+
+TEST(PointExperimentTest, ShortLifetimeWearsSensorsOut) {
+  const Trace trace = SmallRwm(10);
+  PointExperimentConfig config = BasePointConfig(trace, 10);
+  config.scheduler = PointScheduler::kLocalSearch;
+  config.sensors.lifetime = 2;  // drastic: most sensors die early
+  const ExperimentResult short_life = RunPointExperiment(config);
+  config.sensors.lifetime = 10;
+  const ExperimentResult long_life = RunPointExperiment(config);
+  EXPECT_LT(short_life.avg_utility, long_life.avg_utility);
+}
+
+TEST(AggregateExperimentTest, GreedyBeatsBaseline) {
+  SyntheticNokiaConfig nokia;
+  nokia.num_slots = 6;
+  nokia.num_total_sensors = 300;
+  nokia.num_base_users = 100;
+  const Trace trace = GenerateSyntheticNokia(nokia);
+  AggregateExperimentConfig config;
+  config.trace = &trace;
+  config.working_region = NokiaWorkingRegion(nokia);
+  config.num_slots = 6;
+  config.budget_factor = 10.0;
+  config.sensors.lifetime = 6;
+  config.greedy = true;
+  const ExperimentResult greedy = RunAggregateExperiment(config);
+  config.greedy = false;
+  const ExperimentResult baseline = RunAggregateExperiment(config);
+  EXPECT_GT(greedy.avg_utility, baseline.avg_utility);
+  EXPECT_GE(greedy.avg_quality, 0.0);
+  EXPECT_LE(greedy.avg_quality, 1.0);
+}
+
+TEST(LocationMonitoringExperimentTest, Alg2BeatsDesiredOnlyBaseline) {
+  SyntheticNokiaConfig nokia;
+  nokia.num_slots = 15;
+  const Trace trace = GenerateSyntheticNokia(nokia);
+  OzoneTraceConfig ozone;
+  ozone.num_days = 1;
+  ozone.slots_per_day = 15;
+  const OzoneTrace history = GenerateOzoneTrace(ozone);
+
+  LocationMonitoringExperimentConfig config;
+  config.trace = &trace;
+  config.working_region = NokiaWorkingRegion(nokia);
+  config.num_slots = 15;
+  config.budget_factor = 15.0;
+  config.history_times = history.times;
+  config.history_values = history.values;
+  config.sensors.lifetime = 15;
+  config.point_scheduler = PointScheduler::kOptimal;
+  const ExperimentResult alg2 = RunLocationMonitoringExperiment(config);
+  config.point_scheduler = PointScheduler::kBaseline;
+  config.desired_times_only = true;
+  const ExperimentResult baseline = RunLocationMonitoringExperiment(config);
+  EXPECT_GE(alg2.avg_utility, baseline.avg_utility);
+  EXPECT_GT(alg2.avg_quality, 0.0);
+}
+
+TEST(RegionMonitoringExperimentTest, Alg3BeatsBaselineInQuality) {
+  GaussianField::Config field_config;
+  field_config.num_slots = 12;
+  const GaussianField field(field_config);
+  RegionMonitoringExperimentConfig config;
+  config.kernel = field.SpatialKernel();
+  config.num_slots = 12;
+  config.budget_factor = 15.0;
+  config.sensors.lifetime = 12;
+  config.use_alg3 = true;
+  const ExperimentResult alg3 = RunRegionMonitoringExperiment(config);
+  config.use_alg3 = false;
+  const ExperimentResult baseline = RunRegionMonitoringExperiment(config);
+  EXPECT_GE(alg3.avg_quality, baseline.avg_quality);
+  EXPECT_GT(alg3.avg_value, 0.0);
+}
+
+TEST(QueryMixExperimentTest, Alg5BeatsBaseline) {
+  SyntheticNokiaConfig nokia;
+  nokia.num_slots = 8;
+  nokia.num_total_sensors = 300;
+  nokia.num_base_users = 100;
+  const Trace trace = GenerateSyntheticNokia(nokia);
+  OzoneTraceConfig ozone;
+  ozone.num_days = 1;
+  ozone.slots_per_day = 8;
+  const OzoneTrace history = GenerateOzoneTrace(ozone);
+
+  QueryMixExperimentConfig config;
+  config.trace = &trace;
+  config.working_region = NokiaWorkingRegion(nokia);
+  config.num_slots = 8;
+  config.budget_factor = 15.0;
+  config.point_queries_per_slot = 100;
+  config.mean_aggregate_queries = 10;
+  config.history_times = history.times;
+  config.history_values = history.values;
+  config.sensors.lifetime = 8;
+  config.use_alg5 = true;
+  const QueryMixResultSummary alg5 = RunQueryMixExperiment(config);
+  config.use_alg5 = false;
+  const QueryMixResultSummary baseline = RunQueryMixExperiment(config);
+  EXPECT_GT(alg5.avg_utility, baseline.avg_utility);
+  EXPECT_GE(alg5.point_satisfaction, 0.0);
+  EXPECT_LE(alg5.point_satisfaction, 1.0);
+}
+
+TEST(ApplyTraceSlotTest, PositionsAndPresencePropagate) {
+  Trace trace(2, 2);
+  trace.Set(0, 0, Point{1, 2});
+  std::vector<Sensor> sensors;
+  sensors.emplace_back(0, SensorProfile{});
+  sensors.emplace_back(1, SensorProfile{});
+  ApplyTraceSlot(trace, 0, &sensors);
+  EXPECT_TRUE(sensors[0].available());
+  EXPECT_DOUBLE_EQ(sensors[0].position().x, 1.0);
+  EXPECT_FALSE(sensors[1].available());
+}
+
+}  // namespace
+}  // namespace psens

@@ -1,0 +1,196 @@
+#include "solver/facility_location.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace psens {
+namespace {
+
+FacilityLocationProblem RandomProblem(int sensors, int locations, double cover_p,
+                                      Rng& rng) {
+  FacilityLocationProblem p;
+  p.num_locations = locations;
+  p.open_cost.resize(sensors);
+  p.value.resize(sensors);
+  for (int i = 0; i < sensors; ++i) {
+    p.open_cost[i] = rng.Uniform(5.0, 15.0);
+    for (int l = 0; l < locations; ++l) {
+      if (rng.Bernoulli(cover_p)) {
+        p.value[i].emplace_back(l, rng.Uniform(1.0, 12.0));
+      }
+    }
+  }
+  return p;
+}
+
+TEST(EvaluateOpenSetTest, EmptySetHasZeroObjective) {
+  Rng rng(1);
+  const FacilityLocationProblem p = RandomProblem(5, 8, 0.5, rng);
+  std::vector<char> open(5, 0);
+  EXPECT_DOUBLE_EQ(EvaluateOpenSet(p, open), 0.0);
+}
+
+TEST(EvaluateOpenSetTest, SingleSensorObjective) {
+  FacilityLocationProblem p;
+  p.num_locations = 3;
+  p.open_cost = {4.0};
+  p.value = {{{0, 3.0}, {2, 5.0}}};
+  std::vector<int> assignment;
+  const double obj = EvaluateOpenSet(p, {1}, &assignment);
+  EXPECT_DOUBLE_EQ(obj, 3.0 + 5.0 - 4.0);
+  EXPECT_EQ(assignment[0], 0);
+  EXPECT_EQ(assignment[1], -1);
+  EXPECT_EQ(assignment[2], 0);
+}
+
+TEST(EvaluateOpenSetTest, LocationTakesBestOpenSensor) {
+  FacilityLocationProblem p;
+  p.num_locations = 1;
+  p.open_cost = {1.0, 1.0};
+  p.value = {{{0, 3.0}}, {{0, 7.0}}};
+  std::vector<int> assignment;
+  const double obj = EvaluateOpenSet(p, {1, 1}, &assignment);
+  EXPECT_DOUBLE_EQ(obj, 7.0 - 2.0);
+  EXPECT_EQ(assignment[0], 1);
+}
+
+TEST(FacilityLocationSolverTest, EmptyProblem) {
+  FacilityLocationProblem p;
+  p.num_locations = 0;
+  FacilityLocationSolver solver;
+  const FacilityLocationSolution s = solver.Solve(p);
+  EXPECT_DOUBLE_EQ(s.objective, 0.0);
+  EXPECT_TRUE(s.proven_optimal);
+}
+
+TEST(FacilityLocationSolverTest, AllSensorsUnprofitable) {
+  FacilityLocationProblem p;
+  p.num_locations = 2;
+  p.open_cost = {10.0, 10.0};
+  p.value = {{{0, 3.0}}, {{1, 4.0}}};  // every value below its cost
+  FacilityLocationSolver solver;
+  const FacilityLocationSolution s = solver.Solve(p);
+  EXPECT_DOUBLE_EQ(s.objective, 0.0);
+  EXPECT_EQ(s.assignment[0], -1);
+  EXPECT_EQ(s.assignment[1], -1);
+}
+
+TEST(FacilityLocationSolverTest, PicksClearWinner) {
+  FacilityLocationProblem p;
+  p.num_locations = 2;
+  p.open_cost = {10.0, 10.0};
+  p.value = {{{0, 8.0}, {1, 8.0}}, {{0, 6.0}}};
+  FacilityLocationSolver solver;
+  const FacilityLocationSolution s = solver.Solve(p);
+  EXPECT_DOUBLE_EQ(s.objective, 6.0);  // open sensor 0 only
+  EXPECT_EQ(s.open[0], 1);
+  EXPECT_EQ(s.open[1], 0);
+}
+
+class FacilityBruteForceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FacilityBruteForceTest, BranchAndBoundMatchesBruteForce) {
+  Rng rng(100 + GetParam());
+  const int sensors = 3 + GetParam() % 10;
+  const int locations = 2 + GetParam() % 7;
+  const FacilityLocationProblem p =
+      RandomProblem(sensors, locations, 0.4 + 0.05 * (GetParam() % 5), rng);
+  FacilityLocationSolver solver;
+  const FacilityLocationSolution exact = solver.Solve(p);
+  const FacilityLocationSolution brute = SolveByBruteForce(p);
+  ASSERT_TRUE(exact.proven_optimal);
+  EXPECT_NEAR(exact.objective, brute.objective, 1e-9)
+      << "sensors=" << sensors << " locations=" << locations;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, FacilityBruteForceTest,
+                         ::testing::Range(0, 40));
+
+TEST(FacilityLocationSolverTest, WarmStartDoesNotChangeOptimum) {
+  Rng rng(7);
+  const FacilityLocationProblem p = RandomProblem(10, 12, 0.4, rng);
+  FacilityLocationSolver solver;
+  const FacilityLocationSolution cold = solver.Solve(p);
+  std::vector<char> warm(10, 1);  // everything open (bad but valid)
+  const FacilityLocationSolution warmed = solver.Solve(p, &warm);
+  EXPECT_NEAR(cold.objective, warmed.objective, 1e-9);
+}
+
+TEST(FacilityLocationSolverTest, NodeLimitReturnsHonestFlagAndDecentSolution) {
+  Rng rng(9);
+  // Dense, contested instance with a tiny node budget.
+  const FacilityLocationProblem p = RandomProblem(30, 20, 0.8, rng);
+  FacilityLocationSolver tight(1);
+  const FacilityLocationSolution truncated = tight.Solve(p);
+  FacilityLocationSolver loose(100'000'000);
+  const FacilityLocationSolution full = loose.Solve(p);
+  EXPECT_LE(truncated.objective, full.objective + 1e-9);
+  // Even truncated, the greedy incumbent guarantees a positive objective
+  // whenever one exists.
+  if (full.objective > 1.0) EXPECT_GT(truncated.objective, 0.0);
+}
+
+TEST(FacilityLocationSolverTest, DominatedTwinIsNeverNeeded) {
+  // Sensor 1 is pointwise dominated by sensor 0 (same coverage, lower
+  // values, higher cost): optimum must not need it.
+  FacilityLocationProblem p;
+  p.num_locations = 2;
+  p.open_cost = {5.0, 6.0};
+  p.value = {{{0, 8.0}, {1, 4.0}}, {{0, 7.0}, {1, 3.0}}};
+  FacilityLocationSolver solver;
+  const FacilityLocationSolution s = solver.Solve(p);
+  EXPECT_DOUBLE_EQ(s.objective, 7.0);
+  EXPECT_EQ(s.open[1], 0);
+}
+
+TEST(FacilityLocationSolverTest, ExactTwinsKeepExactlyOne) {
+  FacilityLocationProblem p;
+  p.num_locations = 1;
+  p.open_cost = {5.0, 5.0};
+  p.value = {{{0, 9.0}}, {{0, 9.0}}};
+  FacilityLocationSolver solver;
+  const FacilityLocationSolution s = solver.Solve(p);
+  EXPECT_DOUBLE_EQ(s.objective, 4.0);
+  EXPECT_EQ(s.open[0] + s.open[1], 1);
+}
+
+TEST(FacilityLocationSolverTest, ScalesToClusteredInstance) {
+  // Clustered sensors (near-identical columns) are the hard case the
+  // dominance + persistency preprocessing is built for.
+  Rng rng(17);
+  FacilityLocationProblem p;
+  p.num_locations = 60;
+  const int clusters = 8, per_cluster = 8;
+  for (int c = 0; c < clusters; ++c) {
+    std::vector<std::pair<int, double>> base;
+    for (int l = 0; l < 60; ++l) {
+      if (rng.Bernoulli(0.15)) base.emplace_back(l, rng.Uniform(2.0, 10.0));
+    }
+    for (int k = 0; k < per_cluster; ++k) {
+      p.open_cost.push_back(10.0);
+      std::vector<std::pair<int, double>> v = base;
+      const double scale = rng.Uniform(0.9, 1.0);
+      for (auto& [l, value] : v) value *= scale;
+      p.value.push_back(std::move(v));
+    }
+  }
+  FacilityLocationSolver solver(5'000'000);
+  const FacilityLocationSolution s = solver.Solve(p);
+  EXPECT_TRUE(s.proven_optimal);
+  EXPECT_GE(s.objective, 0.0);
+}
+
+TEST(BruteForceTest, KnownTinyInstance) {
+  FacilityLocationProblem p;
+  p.num_locations = 2;
+  p.open_cost = {2.0, 2.0};
+  p.value = {{{0, 5.0}}, {{1, 1.0}}};
+  const FacilityLocationSolution s = SolveByBruteForce(p);
+  EXPECT_DOUBLE_EQ(s.objective, 3.0);  // only sensor 0 profitable
+  EXPECT_EQ(s.open[0], 1);
+  EXPECT_EQ(s.open[1], 0);
+}
+
+}  // namespace
+}  // namespace psens

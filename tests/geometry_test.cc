@@ -1,0 +1,117 @@
+#include "common/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace psens {
+namespace {
+
+TEST(PointTest, DistanceZeroForSamePoint) {
+  const Point p{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Distance(p, p), 0.0);
+}
+
+TEST(PointTest, DistancePythagorean) {
+  EXPECT_DOUBLE_EQ(Distance(Point{0, 0}, Point{3, 4}), 5.0);
+}
+
+TEST(PointTest, DistanceSymmetric) {
+  const Point a{1.5, -2.0}, b{-3.0, 7.25};
+  EXPECT_DOUBLE_EQ(Distance(a, b), Distance(b, a));
+}
+
+TEST(RectTest, AreaAndExtent) {
+  const Rect r{1, 2, 4, 8};
+  EXPECT_DOUBLE_EQ(r.Width(), 3.0);
+  EXPECT_DOUBLE_EQ(r.Height(), 6.0);
+  EXPECT_DOUBLE_EQ(r.Area(), 18.0);
+}
+
+TEST(RectTest, DegenerateRectHasZeroArea) {
+  EXPECT_DOUBLE_EQ((Rect{5, 5, 5, 9}).Area(), 0.0);
+}
+
+TEST(RectTest, ContainsInteriorAndBoundary) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(r.Contains(Point{5, 5}));
+  EXPECT_TRUE(r.Contains(Point{0, 0}));
+  EXPECT_TRUE(r.Contains(Point{10, 10}));
+  EXPECT_FALSE(r.Contains(Point{10.001, 5}));
+  EXPECT_FALSE(r.Contains(Point{-0.001, 5}));
+}
+
+TEST(RectTest, IntersectOverlapping) {
+  const Rect a{0, 0, 10, 10};
+  const Rect b{5, 5, 15, 15};
+  const Rect i = a.Intersect(b);
+  EXPECT_DOUBLE_EQ(i.x_min, 5.0);
+  EXPECT_DOUBLE_EQ(i.y_min, 5.0);
+  EXPECT_DOUBLE_EQ(i.x_max, 10.0);
+  EXPECT_DOUBLE_EQ(i.y_max, 10.0);
+  EXPECT_TRUE(a.Overlaps(b));
+}
+
+TEST(RectTest, IntersectDisjointIsEmpty) {
+  const Rect a{0, 0, 1, 1};
+  const Rect b{2, 2, 3, 3};
+  EXPECT_DOUBLE_EQ(a.Intersect(b).Area(), 0.0);
+  EXPECT_FALSE(a.Overlaps(b));
+}
+
+TEST(RectTest, ClampPullsPointsInside) {
+  const Rect r{0, 0, 10, 10};
+  const Point c = r.Clamp(Point{-5, 20});
+  EXPECT_DOUBLE_EQ(c.x, 0.0);
+  EXPECT_DOUBLE_EQ(c.y, 10.0);
+}
+
+TEST(TrajectoryTest, LengthOfPolyline) {
+  Trajectory t;
+  t.waypoints = {{0, 0}, {3, 4}, {3, 10}};
+  EXPECT_DOUBLE_EQ(t.Length(), 11.0);
+}
+
+TEST(TrajectoryTest, LengthOfSingleOrEmpty) {
+  Trajectory t;
+  EXPECT_DOUBLE_EQ(t.Length(), 0.0);
+  t.waypoints = {{1, 1}};
+  EXPECT_DOUBLE_EQ(t.Length(), 0.0);
+}
+
+TEST(TrajectoryTest, BoundingBoxCoversWaypoints) {
+  Trajectory t;
+  t.waypoints = {{1, 5}, {-2, 3}, {4, -1}};
+  const Rect box = t.BoundingBox();
+  EXPECT_DOUBLE_EQ(box.x_min, -2.0);
+  EXPECT_DOUBLE_EQ(box.y_min, -1.0);
+  EXPECT_DOUBLE_EQ(box.x_max, 4.0);
+  EXPECT_DOUBLE_EQ(box.y_max, 5.0);
+}
+
+TEST(TrajectoryTest, PointSegmentDistanceEndpointsAndInterior) {
+  // Perpendicular projection inside the segment.
+  EXPECT_DOUBLE_EQ(PointSegmentDistance(Point{5, 5}, Point{0, 0}, Point{10, 0}),
+                   5.0);
+  // Projection falls outside: distance to nearest endpoint.
+  EXPECT_DOUBLE_EQ(PointSegmentDistance(Point{-3, 4}, Point{0, 0}, Point{10, 0}),
+                   5.0);
+  // Degenerate segment.
+  EXPECT_DOUBLE_EQ(PointSegmentDistance(Point{3, 4}, Point{0, 0}, Point{0, 0}),
+                   5.0);
+}
+
+TEST(TrajectoryTest, DistanceToPicksClosestSegment) {
+  Trajectory t;
+  t.waypoints = {{0, 0}, {10, 0}, {10, 10}};
+  EXPECT_DOUBLE_EQ(t.DistanceTo(Point{5, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(t.DistanceTo(Point{12, 5}), 2.0);
+}
+
+TEST(TrajectoryTest, DistanceToEmptyIsInfinite) {
+  Trajectory t;
+  EXPECT_TRUE(std::isinf(t.DistanceTo(Point{0, 0})));
+}
+
+}  // namespace
+}  // namespace psens

@@ -1,0 +1,201 @@
+#include "core/location_monitoring.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace psens {
+namespace {
+
+/// A simple sinusoidal history over 50 slots.
+void MakeHistory(std::vector<double>* times, std::vector<double>* values) {
+  times->clear();
+  values->clear();
+  for (int i = 0; i < 50; ++i) {
+    times->push_back(i);
+    values->push_back(20.0 + 30.0 * std::sin(0.15 * i));
+  }
+}
+
+LocationMonitoringQuery MakeQuery(int id = 1) {
+  LocationMonitoringQuery q;
+  q.id = id;
+  q.location = Point{5, 5};
+  q.t1 = 10;
+  q.t2 = 25;
+  q.budget = 100.0;
+  q.desired = {12, 18, 24};
+  return q;
+}
+
+LocationMonitoringManager::Config DefaultConfig() {
+  LocationMonitoringManager::Config config;
+  config.alpha = 0.5;
+  return config;
+}
+
+PointAssignment Satisfied(double quality, double payment) {
+  PointAssignment a;
+  a.sensor = 0;
+  a.value = quality;  // value>0 marks satisfaction
+  a.quality = quality;
+  a.payment = payment;
+  return a;
+}
+
+TEST(LocationMonitoringTest, NoQueriesNoPointQueries) {
+  std::vector<double> t, v;
+  MakeHistory(&t, &v);
+  LocationMonitoringManager manager(t, v, DefaultConfig());
+  EXPECT_TRUE(manager.CreatePointQueries(5).empty());
+}
+
+TEST(LocationMonitoringTest, InactiveQueryCreatesNothing) {
+  std::vector<double> t, v;
+  MakeHistory(&t, &v);
+  LocationMonitoringManager manager(t, v, DefaultConfig());
+  manager.AddQuery(MakeQuery());
+  EXPECT_TRUE(manager.CreatePointQueries(5).empty());   // before t1
+  EXPECT_TRUE(manager.CreatePointQueries(30).empty());  // after t2
+}
+
+TEST(LocationMonitoringTest, DesiredSlotGetsFullValuePointQuery) {
+  std::vector<double> t, v;
+  MakeHistory(&t, &v);
+  LocationMonitoringManager manager(t, v, DefaultConfig());
+  manager.AddQuery(MakeQuery());
+  const std::vector<PointQuery> created = manager.CreatePointQueries(12);
+  ASSERT_EQ(created.size(), 1u);
+  EXPECT_GT(created[0].budget, 0.0);
+  EXPECT_EQ(created[0].parent, 0);
+  EXPECT_DOUBLE_EQ(created[0].location.x, 5.0);
+}
+
+TEST(LocationMonitoringTest, OpportunisticBudgetCappedByAlphaSurplus) {
+  std::vector<double> t, v;
+  MakeHistory(&t, &v);
+  LocationMonitoringManager manager(t, v, DefaultConfig());
+  manager.AddQuery(MakeQuery());
+  // Satisfy the first desired slot for free -> surplus accrues.
+  auto at12 = manager.CreatePointQueries(12);
+  ASSERT_EQ(at12.size(), 1u);
+  manager.ApplyResults(12, at12, {Satisfied(1.0, 0.0)});
+  const LocationMonitoringQuery& q = manager.queries()[0];
+  const double surplus = q.value - q.spent;
+  ASSERT_GT(surplus, 0.0);
+  // Slot 13 is not desired (next desired 18 still ahead): opportunistic.
+  const auto at13 = manager.CreatePointQueries(13);
+  ASSERT_EQ(at13.size(), 1u);
+  EXPECT_LE(at13[0].budget, 0.5 * surplus + 1e-9);
+}
+
+TEST(LocationMonitoringTest, MissedDesiredSlotTriggersCatchUp) {
+  std::vector<double> t, v;
+  MakeHistory(&t, &v);
+  LocationMonitoringManager manager(t, v, DefaultConfig());
+  manager.AddQuery(MakeQuery());
+  // Desired slot 12 fails (unsatisfied).
+  auto at12 = manager.CreatePointQueries(12);
+  manager.ApplyResults(12, at12, {PointAssignment{}});
+  // Slot 13: catch-up -> full-value point query (not alpha-capped); with
+  // zero accrued value the opportunistic cap would have been 0.
+  const auto at13 = manager.CreatePointQueries(13);
+  ASSERT_EQ(at13.size(), 1u);
+  EXPECT_GT(at13[0].budget, 0.0);
+}
+
+TEST(LocationMonitoringTest, SuccessfulCatchUpReturnsToOpportunisticMode) {
+  std::vector<double> t, v;
+  MakeHistory(&t, &v);
+  LocationMonitoringManager manager(t, v, DefaultConfig());
+  manager.AddQuery(MakeQuery());
+  auto at12 = manager.CreatePointQueries(12);
+  manager.ApplyResults(12, at12, {PointAssignment{}});  // miss
+  auto at13 = manager.CreatePointQueries(13);
+  manager.ApplyResults(13, at13, {Satisfied(0.9, 2.0)});  // catch up
+  const LocationMonitoringQuery& q = manager.queries()[0];
+  EXPECT_EQ(q.last_satisfied, 12);
+  EXPECT_EQ(q.desired[q.next_desired], 18);
+}
+
+TEST(LocationMonitoringTest, BaselineModeOnlyDesiredSlots) {
+  std::vector<double> t, v;
+  MakeHistory(&t, &v);
+  LocationMonitoringManager::Config config = DefaultConfig();
+  config.desired_times_only = true;
+  LocationMonitoringManager manager(t, v, config);
+  manager.AddQuery(MakeQuery());
+  EXPECT_EQ(manager.CreatePointQueries(12).size(), 1u);
+  EXPECT_TRUE(manager.CreatePointQueries(13).empty());
+  EXPECT_TRUE(manager.CreatePointQueries(14).empty());
+}
+
+TEST(LocationMonitoringTest, ApplyResultsAccumulatesStateAndValue) {
+  std::vector<double> t, v;
+  MakeHistory(&t, &v);
+  LocationMonitoringManager manager(t, v, DefaultConfig());
+  manager.AddQuery(MakeQuery());
+  auto created = manager.CreatePointQueries(12);
+  const double realized = manager.ApplyResults(12, created, {Satisfied(0.8, 3.0)});
+  EXPECT_GT(realized, 0.0);
+  const LocationMonitoringQuery& q = manager.queries()[0];
+  ASSERT_EQ(q.sampled.size(), 1u);
+  EXPECT_EQ(q.sampled[0], 12);
+  EXPECT_DOUBLE_EQ(q.qualities[0], 0.8);
+  EXPECT_DOUBLE_EQ(q.spent, 3.0);
+  EXPECT_NEAR(q.value, realized, 1e-12);
+}
+
+TEST(LocationMonitoringTest, ValuationZeroWithoutSamples) {
+  std::vector<double> t, v;
+  MakeHistory(&t, &v);
+  LocationMonitoringManager manager(t, v, DefaultConfig());
+  const LocationMonitoringQuery q = MakeQuery();
+  EXPECT_DOUBLE_EQ(manager.Valuation(q, {}, {}), 0.0);
+}
+
+TEST(LocationMonitoringTest, ValuationScalesWithQuality) {
+  std::vector<double> t, v;
+  MakeHistory(&t, &v);
+  LocationMonitoringManager manager(t, v, DefaultConfig());
+  const LocationMonitoringQuery q = MakeQuery();
+  const double high = manager.Valuation(q, q.desired, {1.0, 1.0, 1.0});
+  const double low = manager.Valuation(q, q.desired, {0.5, 0.5, 0.5});
+  EXPECT_NEAR(low, high / 2.0, 1e-9);
+  // Sampling exactly the desired times at quality 1 yields G = 1: value =
+  // budget.
+  EXPECT_NEAR(high, q.budget, 1e-6);
+}
+
+TEST(LocationMonitoringTest, RemoveExpiredTracksCompletedQuality) {
+  std::vector<double> t, v;
+  MakeHistory(&t, &v);
+  LocationMonitoringManager manager(t, v, DefaultConfig());
+  manager.AddQuery(MakeQuery());
+  auto created = manager.CreatePointQueries(12);
+  manager.ApplyResults(12, created, {Satisfied(1.0, 2.0)});
+  manager.RemoveExpired(26);  // t2 = 25 < 26
+  EXPECT_TRUE(manager.queries().empty());
+  EXPECT_EQ(manager.num_completed(), 1);
+  EXPECT_GT(manager.MeanCompletedQuality(), 0.0);
+  EXPECT_LE(manager.MeanCompletedQuality(), 1.5);
+}
+
+TEST(LocationMonitoringTest, RemoveExpiredKeepsActiveQueries) {
+  std::vector<double> t, v;
+  MakeHistory(&t, &v);
+  LocationMonitoringManager manager(t, v, DefaultConfig());
+  manager.AddQuery(MakeQuery(1));
+  LocationMonitoringQuery late = MakeQuery(2);
+  late.t1 = 30;
+  late.t2 = 45;
+  manager.AddQuery(late);
+  manager.RemoveExpired(26);
+  ASSERT_EQ(manager.queries().size(), 1u);
+  EXPECT_EQ(manager.queries()[0].id, 2);
+}
+
+}  // namespace
+}  // namespace psens

@@ -1,0 +1,85 @@
+#include "la/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace psens {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.Rows(), 2u);
+  EXPECT_EQ(m.Cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -4.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -4.0);
+}
+
+TEST(MatrixTest, IdentityMultiplicationIsNoOp) {
+  Matrix m(3, 3);
+  int k = 0;
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) m(r, c) = ++k;
+  }
+  const Matrix prod = m.Multiply(Matrix::Identity(3));
+  EXPECT_DOUBLE_EQ(prod.MaxAbsDiff(m), 0.0);
+}
+
+TEST(MatrixTest, MultiplyKnownValues) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  Matrix b(2, 2);
+  b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+  const Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, TransposeSwapsIndices) {
+  Matrix m(2, 3);
+  m(0, 2) = 7.0;
+  m(1, 0) = -2.0;
+  const Matrix t = m.Transpose();
+  EXPECT_EQ(t.Rows(), 3u);
+  EXPECT_EQ(t.Cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 7.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), -2.0);
+}
+
+TEST(MatrixTest, MultiplyVector) {
+  Matrix m(2, 3);
+  m(0, 0) = 1; m(0, 1) = 2; m(0, 2) = 3;
+  m(1, 0) = 4; m(1, 1) = 5; m(1, 2) = 6;
+  const std::vector<double> out = m.MultiplyVector({1.0, 1.0, 1.0});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 6.0);
+  EXPECT_DOUBLE_EQ(out[1], 15.0);
+}
+
+TEST(MatrixTest, AddSubtractScale) {
+  Matrix a(1, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  Matrix b(1, 2);
+  b(0, 0) = 0.5; b(0, 1) = -1.0;
+  const Matrix sum = a.Add(b);
+  EXPECT_DOUBLE_EQ(sum(0, 0), 1.5);
+  const Matrix diff = a.Subtract(b);
+  EXPECT_DOUBLE_EQ(diff(0, 1), 3.0);
+  const Matrix scaled = a.Scale(2.0);
+  EXPECT_DOUBLE_EQ(scaled(0, 1), 4.0);
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  Matrix m(1, 2);
+  m(0, 0) = 3.0; m(0, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+TEST(MatrixTest, DotProduct) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(Dot({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace psens

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mobility/random_waypoint.h"
+#include "mobility/synthetic_nokia.h"
+#include "mobility/trace.h"
+
+namespace psens {
+namespace {
+
+TEST(TraceTest, SetAndGetPositions) {
+  Trace trace(3, 2);
+  EXPECT_EQ(trace.NumSlots(), 3);
+  EXPECT_EQ(trace.NumSensors(), 2);
+  EXPECT_FALSE(trace.Present(0, 0));
+  trace.Set(1, 0, Point{2, 3});
+  EXPECT_TRUE(trace.Present(1, 0));
+  EXPECT_DOUBLE_EQ(trace.Position(1, 0).x, 2.0);
+}
+
+TEST(TraceTest, SensorsInFiltersByRegionAndPresence) {
+  Trace trace(1, 3);
+  trace.Set(0, 0, Point{1, 1});
+  trace.Set(0, 1, Point{9, 9});
+  // sensor 2 absent.
+  const Rect region{0, 0, 5, 5};
+  const std::vector<int> in = trace.SensorsIn(0, region);
+  ASSERT_EQ(in.size(), 1u);
+  EXPECT_EQ(in[0], 0);
+  EXPECT_EQ(trace.CountIn(0, region), 1);
+}
+
+TEST(TraceTest, CsvRoundTrip) {
+  Trace trace(2, 2);
+  trace.Set(0, 0, Point{1.5, 2.5});
+  trace.Set(1, 1, Point{3.25, 4.75});
+  const std::string path = std::string(::testing::TempDir()) + "/trace.csv";
+  ASSERT_TRUE(trace.ToCsv(path));
+  bool ok = false;
+  const Trace loaded = Trace::FromCsv(path, &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(loaded.NumSlots(), 2);
+  EXPECT_EQ(loaded.NumSensors(), 2);
+  EXPECT_TRUE(loaded.Present(0, 0));
+  EXPECT_FALSE(loaded.Present(1, 0));
+  EXPECT_DOUBLE_EQ(loaded.Position(1, 1).x, 3.25);
+}
+
+TEST(TraceTest, FromCsvMissingFileFails) {
+  bool ok = true;
+  const Trace t = Trace::FromCsv("/no/such/file.csv", &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(t.NumSlots(), 0);
+}
+
+TEST(RandomWaypointTest, AllPositionsInsideRegion) {
+  RandomWaypointConfig config;
+  config.num_sensors = 50;
+  config.num_slots = 30;
+  config.region_size = 80.0;
+  const Trace trace = GenerateRandomWaypoint(config);
+  for (int t = 0; t < 30; ++t) {
+    for (int s = 0; s < 50; ++s) {
+      ASSERT_TRUE(trace.Present(t, s));
+      const Point& p = trace.Position(t, s);
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, 80.0);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, 80.0);
+    }
+  }
+}
+
+TEST(RandomWaypointTest, RectangularRegionRespectsHeight) {
+  RandomWaypointConfig config;
+  config.num_sensors = 20;
+  config.num_slots = 20;
+  config.region_size = 20.0;
+  config.region_height = 10.0;
+  const Trace trace = GenerateRandomWaypoint(config);
+  for (int t = 0; t < 20; ++t) {
+    for (int s = 0; s < 20; ++s) {
+      EXPECT_LE(trace.Position(t, s).y, 10.0);
+      EXPECT_LE(trace.Position(t, s).x, 20.0);
+    }
+  }
+}
+
+TEST(RandomWaypointTest, MovementBoundedByMaxSpeed) {
+  RandomWaypointConfig config;
+  config.num_sensors = 30;
+  config.num_slots = 20;
+  const Trace trace = GenerateRandomWaypoint(config);
+  for (int t = 1; t < 20; ++t) {
+    for (int s = 0; s < 30; ++s) {
+      const double moved = Distance(trace.Position(t - 1, s), trace.Position(t, s));
+      EXPECT_LE(moved, config.max_max_speed + 1e-9);
+    }
+  }
+}
+
+TEST(RandomWaypointTest, DeterministicForSeed) {
+  RandomWaypointConfig config;
+  config.num_sensors = 10;
+  config.num_slots = 5;
+  config.seed = 99;
+  const Trace a = GenerateRandomWaypoint(config);
+  const Trace b = GenerateRandomWaypoint(config);
+  for (int t = 0; t < 5; ++t) {
+    for (int s = 0; s < 10; ++s) {
+      EXPECT_EQ(a.Position(t, s).x, b.Position(t, s).x);
+      EXPECT_EQ(a.Position(t, s).y, b.Position(t, s).y);
+    }
+  }
+}
+
+TEST(CentralSubregionTest, CenteredWithRequestedSize) {
+  const Rect r = CentralSubregion(80.0, 50.0);
+  EXPECT_DOUBLE_EQ(r.Width(), 50.0);
+  EXPECT_DOUBLE_EQ(r.Height(), 50.0);
+  EXPECT_DOUBLE_EQ(r.x_min, 15.0);
+  EXPECT_DOUBLE_EQ(r.x_max, 65.0);
+}
+
+TEST(SyntheticNokiaTest, MatchesPaperPopulationCounts) {
+  SyntheticNokiaConfig config;
+  config.num_slots = 50;
+  const Trace trace = GenerateSyntheticNokia(config);
+  EXPECT_EQ(trace.NumSensors(), 635);
+  const Rect working = NokiaWorkingRegion(config);
+  EXPECT_DOUBLE_EQ(working.Width(), 100.0);
+  // Average in-region population should sit in the paper's ~120 band.
+  double total = 0.0;
+  for (int t = 0; t < 50; ++t) total += trace.CountIn(t, working);
+  // Seed-to-seed variance of the generator is substantial; accept a wide
+  // band around the paper's ~120.
+  const double avg = total / 50.0;
+  EXPECT_GT(avg, 50.0);
+  EXPECT_LT(avg, 200.0);
+}
+
+TEST(SyntheticNokiaTest, PositionsInsideFullRegion) {
+  SyntheticNokiaConfig config;
+  config.num_slots = 20;
+  config.num_total_sensors = 100;
+  config.num_base_users = 40;
+  const Trace trace = GenerateSyntheticNokia(config);
+  for (int t = 0; t < 20; ++t) {
+    for (int s = 0; s < 100; ++s) {
+      if (!trace.Present(t, s)) continue;
+      const Point& p = trace.Position(t, s);
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, config.region_width);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, config.region_height);
+    }
+  }
+}
+
+TEST(SyntheticNokiaTest, SensorsAppearAndDisappear) {
+  SyntheticNokiaConfig config;
+  config.num_slots = 50;
+  const Trace trace = GenerateSyntheticNokia(config);
+  // Sparsity: not everyone is present all the time.
+  int present = 0, total = 0;
+  for (int t = 0; t < 50; ++t) {
+    for (int s = 0; s < trace.NumSensors(); ++s) {
+      ++total;
+      if (trace.Present(t, s)) ++present;
+    }
+  }
+  EXPECT_GT(present, 0);
+  EXPECT_LT(present, total);  // strictly sparse
+}
+
+}  // namespace
+}  // namespace psens

@@ -1,0 +1,203 @@
+#include "core/region_monitoring.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "gp/kernel.h"
+
+namespace psens {
+namespace {
+
+std::shared_ptr<const Kernel> Se() {
+  return std::make_shared<SquaredExponentialKernel>(2.0, 3.0);
+}
+
+SlotContext MakeSlot(std::vector<Point> positions, int time = 10) {
+  SlotContext slot;
+  slot.time = time;
+  slot.dmax = 2.0;
+  for (size_t i = 0; i < positions.size(); ++i) {
+    SlotSensor s;
+    s.index = static_cast<int>(i);
+    s.sensor_id = static_cast<int>(i);
+    s.location = positions[i];
+    s.cost = 10.0;
+    slot.sensors.push_back(s);
+  }
+  return slot;
+}
+
+RegionMonitoringQuery MakeQuery(int id = 1) {
+  RegionMonitoringQuery q;
+  q.id = id;
+  q.region = Rect{0, 0, 10, 8};
+  q.t1 = 10;
+  q.t2 = 20;
+  q.budget = 400.0;
+  return q;
+}
+
+RegionMonitoringManager::Config DefaultConfig() {
+  return RegionMonitoringManager::Config{};
+}
+
+TEST(SharingWeightTest, Equation18Values) {
+  EXPECT_DOUBLE_EQ(SharingWeight(0), 1.0);
+  EXPECT_DOUBLE_EQ(SharingWeight(1), 1.0);
+  EXPECT_DOUBLE_EQ(SharingWeight(2), 0.9);
+  EXPECT_DOUBLE_EQ(SharingWeight(9), 0.2);
+  EXPECT_DOUBLE_EQ(SharingWeight(10), 0.1);
+  EXPECT_DOUBLE_EQ(SharingWeight(50), 0.1);
+}
+
+TEST(RegionMonitoringTest, CostScaleReflectsOverlappingQueries) {
+  RegionMonitoringManager manager(Se(), DefaultConfig());
+  manager.AddQuery(MakeQuery(1));
+  RegionMonitoringQuery q2 = MakeQuery(2);
+  q2.region = Rect{0, 0, 5, 5};
+  manager.AddQuery(q2);
+  // Sensor inside both regions vs inside one vs outside all.
+  const SlotContext slot =
+      MakeSlot({Point{2, 2}, Point{8, 6}, Point{50, 50}});
+  const std::vector<double> scale = manager.CostScale(slot);
+  EXPECT_DOUBLE_EQ(scale[0], 0.9);  // k = 2
+  EXPECT_DOUBLE_EQ(scale[1], 1.0);  // k = 1
+  EXPECT_DOUBLE_EQ(scale[2], 1.0);  // k = 0
+}
+
+TEST(RegionMonitoringTest, CostScaleDisabledIsAllOnes) {
+  RegionMonitoringManager::Config config = DefaultConfig();
+  config.cost_weighting = false;
+  RegionMonitoringManager manager(Se(), config);
+  manager.AddQuery(MakeQuery(1));
+  manager.AddQuery(MakeQuery(2));
+  const SlotContext slot = MakeSlot({Point{2, 2}});
+  EXPECT_DOUBLE_EQ(manager.CostScale(slot)[0], 1.0);
+}
+
+TEST(RegionMonitoringTest, SelectSamplingPointsRespectsBudget) {
+  RegionMonitoringManager manager(Se(), DefaultConfig());
+  const RegionMonitoringQuery q = MakeQuery();
+  std::vector<Point> positions;
+  Rng rng(3);
+  for (int i = 0; i < 8; ++i) {
+    positions.push_back(Point{rng.Uniform(0, 10), rng.Uniform(0, 8)});
+  }
+  const SlotContext slot = MakeSlot(positions);
+  std::vector<int> in_region;
+  for (int i = 0; i < 8; ++i) in_region.push_back(i);
+  const std::vector<double> scale(8, 1.0);
+  // Budget 25 affords at most 2 sensor-selections over the whole horizon
+  // before the C < B loop stops (costs are 10)... the loop adds while
+  // C < B, so cost can reach at most B + one sensor.
+  const std::vector<int> chosen =
+      manager.SelectSamplingPoints(q, slot, in_region, scale, 25.0);
+  EXPECT_LE(chosen.size(), 3u);
+}
+
+TEST(RegionMonitoringTest, SelectSamplingPointsEmptyWhenNoSensorsOrBudget) {
+  RegionMonitoringManager manager(Se(), DefaultConfig());
+  const RegionMonitoringQuery q = MakeQuery();
+  const SlotContext slot = MakeSlot({Point{1, 1}});
+  EXPECT_TRUE(manager.SelectSamplingPoints(q, slot, {}, {1.0}, 100.0).empty());
+  EXPECT_TRUE(manager.SelectSamplingPoints(q, slot, {0}, {1.0}, 0.0).empty());
+}
+
+TEST(RegionMonitoringTest, CreatePointQueriesValuesMarginals) {
+  RegionMonitoringManager manager(Se(), DefaultConfig());
+  manager.AddQuery(MakeQuery());
+  const SlotContext slot = MakeSlot({Point{2, 2}, Point{7, 5}});
+  const std::vector<PointQuery> created = manager.CreatePointQueries(slot);
+  for (const PointQuery& pq : created) {
+    EXPECT_GT(pq.budget, 0.0);
+    EXPECT_EQ(pq.parent, 0);
+    EXPECT_TRUE(MakeQuery().region.Contains(pq.location));
+  }
+}
+
+TEST(RegionMonitoringTest, InactiveOrExhaustedQueriesCreateNothing) {
+  RegionMonitoringManager manager(Se(), DefaultConfig());
+  RegionMonitoringQuery q = MakeQuery();
+  q.spent = q.budget + 1.0;  // exhausted
+  manager.AddQuery(q);
+  // AddQuery resets spent; simulate exhaustion through the slot time
+  // instead: slot before t1.
+  const SlotContext early = MakeSlot({Point{2, 2}}, /*time=*/5);
+  EXPECT_TRUE(manager.CreatePointQueries(early).empty());
+}
+
+TEST(RegionMonitoringTest, ApplyResultsAccumulatesSamplesAndValue) {
+  RegionMonitoringManager manager(Se(), DefaultConfig());
+  manager.AddQuery(MakeQuery());
+  const SlotContext slot = MakeSlot({Point{2, 2}, Point{7, 5}});
+  const std::vector<PointQuery> created = manager.CreatePointQueries(slot);
+  ASSERT_FALSE(created.empty());
+  std::vector<PointAssignment> assignments(created.size());
+  for (size_t i = 0; i < created.size(); ++i) {
+    assignments[i].sensor = 0;
+    assignments[i].value = created[i].budget;
+    assignments[i].quality = 0.9;
+    assignments[i].payment = 2.0;
+  }
+  const RegionMonitoringManager::SlotOutcome outcome =
+      manager.ApplyResults(slot, created, assignments, {});
+  EXPECT_GT(outcome.value_gain, 0.0);
+  const RegionMonitoringQuery& q = manager.queries()[0];
+  EXPECT_EQ(q.samples.size(), created.size());
+  EXPECT_GT(q.spent, 0.0);
+  EXPECT_GT(q.requested, 0.0);
+}
+
+TEST(RegionMonitoringTest, SharingAddsExtraSamplesWithinAllowance) {
+  RegionMonitoringManager manager(Se(), DefaultConfig());
+  manager.AddQuery(MakeQuery());
+  const SlotContext slot = MakeSlot({Point{2, 2}, Point{8, 6}});
+  const std::vector<PointQuery> created = manager.CreatePointQueries(slot);
+  // All planned samples fail, but another query selected sensor 1 inside
+  // the region; with alpha * C_t allowance the query shares it.
+  std::vector<PointAssignment> failed(created.size());
+  const RegionMonitoringManager::SlotOutcome outcome =
+      manager.ApplyResults(slot, created, failed, {1});
+  if (!created.empty()) {
+    EXPECT_GT(outcome.contribution, 0.0);
+    EXPECT_GT(outcome.value_gain, 0.0);
+    EXPECT_EQ(manager.queries()[0].samples.size(), 1u);
+  }
+}
+
+TEST(RegionMonitoringTest, SharingDisabledAddsNothing) {
+  RegionMonitoringManager::Config config = DefaultConfig();
+  config.share_extra_sensors = false;
+  RegionMonitoringManager manager(Se(), config);
+  manager.AddQuery(MakeQuery());
+  const SlotContext slot = MakeSlot({Point{2, 2}, Point{8, 6}});
+  const std::vector<PointQuery> created = manager.CreatePointQueries(slot);
+  std::vector<PointAssignment> failed(created.size());
+  const RegionMonitoringManager::SlotOutcome outcome =
+      manager.ApplyResults(slot, created, failed, {1});
+  EXPECT_DOUBLE_EQ(outcome.contribution, 0.0);
+  EXPECT_TRUE(manager.queries()[0].samples.empty());
+}
+
+TEST(RegionMonitoringTest, RemoveExpiredComputesQualityRatio) {
+  RegionMonitoringManager manager(Se(), DefaultConfig());
+  manager.AddQuery(MakeQuery());
+  const SlotContext slot = MakeSlot({Point{2, 2}});
+  const std::vector<PointQuery> created = manager.CreatePointQueries(slot);
+  std::vector<PointAssignment> assignments(created.size());
+  for (size_t i = 0; i < created.size(); ++i) {
+    assignments[i].sensor = 0;
+    assignments[i].value = 1.0;
+    assignments[i].quality = 1.0;
+    assignments[i].payment = 1.0;
+  }
+  manager.ApplyResults(slot, created, assignments, {});
+  manager.RemoveExpired(21);
+  EXPECT_EQ(manager.num_completed(), 1);
+  EXPECT_GT(manager.MeanCompletedQuality(), 0.0);
+}
+
+}  // namespace
+}  // namespace psens

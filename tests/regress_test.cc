@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "regress/linear_model.h"
+#include "regress/sampling_time_selector.h"
+
+namespace psens {
+namespace {
+
+TEST(LinearModelTest, ExactFitOnLinearData) {
+  LinearModel model(1);
+  const std::vector<double> t = {0, 1, 2, 3, 4};
+  std::vector<double> y;
+  for (double ti : t) y.push_back(2.0 + 3.0 * ti);
+  ASSERT_TRUE(model.Fit(t, y));
+  EXPECT_NEAR(model.Predict(10.0), 32.0, 1e-6);
+  EXPECT_NEAR(model.SumSquaredResiduals(t, y), 0.0, 1e-9);
+}
+
+TEST(LinearModelTest, QuadraticDegreeFitsParabola) {
+  LinearModel model(2);
+  const std::vector<double> t = {-2, -1, 0, 1, 2};
+  std::vector<double> y;
+  for (double ti : t) y.push_back(1.0 - ti + 0.5 * ti * ti);
+  ASSERT_TRUE(model.Fit(t, y));
+  EXPECT_NEAR(model.Predict(3.0), 1.0 - 3.0 + 4.5, 1e-6);
+}
+
+TEST(LinearModelTest, RejectsEmptyOrMismatched) {
+  LinearModel model(1);
+  EXPECT_FALSE(model.Fit({}, {}));
+  EXPECT_FALSE(model.Fit({1.0, 2.0}, {1.0}));
+  EXPECT_FALSE(model.fitted());
+}
+
+TEST(LinearModelTest, ResidualsAreValueMinusPrediction) {
+  LinearModel model(1);
+  const std::vector<double> t = {0, 1, 2};
+  const std::vector<double> y = {0, 2, 3};
+  ASSERT_TRUE(model.Fit(t, y));
+  const std::vector<double> r = model.Residuals(t, y);
+  ASSERT_EQ(r.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(r[i], y[i] - model.Predict(t[i]), 1e-12);
+  }
+}
+
+TEST(SubsetModelSsrTest, EmptySubsetIsTotalSumOfSquares) {
+  const std::vector<double> t = {0, 1, 2};
+  const std::vector<double> y = {1, 2, 2};
+  EXPECT_DOUBLE_EQ(SubsetModelSsr(t, y, {}), 1 + 4 + 4);
+}
+
+TEST(SubsetModelSsrTest, FullSubsetMatchesFullFit) {
+  Rng rng(3);
+  std::vector<double> t, y;
+  for (int i = 0; i < 20; ++i) {
+    t.push_back(i);
+    y.push_back(0.5 * i + rng.Normal(0, 1.0));
+  }
+  std::vector<int> all(20);
+  for (int i = 0; i < 20; ++i) all[i] = i;
+  LinearModel model(1);
+  model.Fit(t, y);
+  EXPECT_NEAR(SubsetModelSsr(t, y, all), model.SumSquaredResiduals(t, y), 1e-9);
+}
+
+TEST(SubsetModelSsrTest, IgnoresOutOfRangeIndices) {
+  const std::vector<double> t = {0, 1, 2};
+  const std::vector<double> y = {0, 1, 2};
+  EXPECT_NEAR(SubsetModelSsr(t, y, {0, 2, 99, -1}), 0.0, 1e-9);
+}
+
+TEST(SelectSamplingTimesTest, ReturnsRequestedCount) {
+  Rng rng(7);
+  std::vector<double> t, y;
+  for (int i = 0; i < 30; ++i) {
+    t.push_back(i);
+    y.push_back(std::sin(0.3 * i) * 10 + rng.Normal(0, 0.5));
+  }
+  const std::vector<int> picked = SelectSamplingTimes(t, y, 5);
+  EXPECT_EQ(picked.size(), 5u);
+  // Sorted and unique.
+  for (size_t i = 1; i < picked.size(); ++i) EXPECT_LT(picked[i - 1], picked[i]);
+}
+
+TEST(SelectSamplingTimesTest, ClampsKToSeriesLength) {
+  const std::vector<double> t = {0, 1, 2};
+  const std::vector<double> y = {0, 1, 2};
+  EXPECT_EQ(SelectSamplingTimes(t, y, 10).size(), 3u);
+  EXPECT_TRUE(SelectSamplingTimes(t, y, 0).empty());
+  EXPECT_TRUE(SelectSamplingTimes({}, {}, 3).empty());
+}
+
+TEST(SelectSamplingTimesTest, GreedySelectionImprovesSsrOverPrefix) {
+  Rng rng(9);
+  std::vector<double> t, y;
+  for (int i = 0; i < 25; ++i) {
+    t.push_back(i);
+    y.push_back(20.0 + 40.0 * std::sin(0.25 * i) + rng.Normal(0, 1.0));
+  }
+  const std::vector<int> picked = SelectSamplingTimes(t, y, 4);
+  std::vector<int> prefix = {0, 1, 2, 3};  // naive: first four slots
+  EXPECT_LE(SubsetModelSsr(t, y, picked), SubsetModelSsr(t, y, prefix) + 1e-9);
+}
+
+TEST(ResidualRatioTest, SampledEqualsDesiredGivesOne) {
+  Rng rng(11);
+  std::vector<double> t, y;
+  for (int i = 0; i < 20; ++i) {
+    t.push_back(i);
+    y.push_back(std::cos(0.4 * i) * 5 + rng.Normal(0, 0.3));
+  }
+  const std::vector<int> desired = SelectSamplingTimes(t, y, 5);
+  EXPECT_NEAR(ResidualRatio(t, y, desired, desired), 1.0, 1e-9);
+}
+
+TEST(ResidualRatioTest, NoSamplesIsZero) {
+  const std::vector<double> t = {0, 1, 2};
+  const std::vector<double> y = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(ResidualRatio(t, y, {0, 1}, {}), 0.0);
+}
+
+TEST(ResidualRatioTest, WorseSamplingTimesScoreBelowOne) {
+  Rng rng(13);
+  std::vector<double> t, y;
+  for (int i = 0; i < 30; ++i) {
+    t.push_back(i);
+    y.push_back(10.0 + 30.0 * std::sin(0.2 * i) + rng.Normal(0, 0.5));
+  }
+  const std::vector<int> desired = SelectSamplingTimes(t, y, 5);
+  // Clumped early samples explain the series worse than the chosen spread.
+  const std::vector<int> clumped = {0, 1, 2, 3, 4};
+  EXPECT_LT(ResidualRatio(t, y, desired, clumped), 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace psens

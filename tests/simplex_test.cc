@@ -1,0 +1,155 @@
+#include "solver/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace psens {
+namespace {
+
+TEST(SimplexTest, SimpleTwoVariableLp) {
+  // max 3x + 2y s.t. x + y <= 4, x <= 2, y <= 3 -> x=2, y=2, obj=10.
+  Matrix a(3, 2);
+  a(0, 0) = 1; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 0;
+  a(2, 0) = 0; a(2, 1) = 1;
+  SimplexSolver solver;
+  const LpSolution s = solver.Maximize(a, {4, 2, 3}, {3, 2});
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 10.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 2.0, 1e-9);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  // max x with only x - y <= 1: increase both without bound.
+  Matrix a(1, 2);
+  a(0, 0) = 1; a(0, 1) = -1;
+  SimplexSolver solver;
+  const LpSolution s = solver.Maximize(a, {1}, {1, 0});
+  EXPECT_EQ(s.status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  // x <= -1 with x >= 0 is infeasible.
+  Matrix a(1, 1);
+  a(0, 0) = 1;
+  SimplexSolver solver;
+  const LpSolution s = solver.Maximize(a, {-1}, {1});
+  EXPECT_EQ(s.status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, NegativeRhsFeasible) {
+  // max x + y s.t. -x <= -1 (x >= 1), x + y <= 3 -> obj = 3.
+  Matrix a(2, 2);
+  a(0, 0) = -1; a(0, 1) = 0;
+  a(1, 0) = 1; a(1, 1) = 1;
+  SimplexSolver solver;
+  const LpSolution s = solver.Maximize(a, {-1, 3}, {1, 1});
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-9);
+  EXPECT_GE(s.x[0], 1.0 - 1e-9);
+}
+
+TEST(SimplexTest, ZeroObjectiveFeasible) {
+  Matrix a(1, 2);
+  a(0, 0) = 1; a(0, 1) = 1;
+  SimplexSolver solver;
+  const LpSolution s = solver.Maximize(a, {5}, {0, 0});
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 0.0, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateConstraintsTerminate) {
+  // Redundant constraints (classic cycling risk); Bland fallback must
+  // terminate with the right answer: max x, x <= 1 three times.
+  Matrix a(3, 1);
+  a(0, 0) = 1; a(1, 0) = 1; a(2, 0) = 1;
+  SimplexSolver solver;
+  const LpSolution s = solver.Maximize(a, {1, 1, 1}, {1});
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 1.0, 1e-9);
+}
+
+TEST(SimplexTest, SolutionAlwaysFeasibleOnRandomLps) {
+  Rng rng(21);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t m = 4, n = 3;
+    Matrix a(m, n);
+    std::vector<double> b(m), c(n);
+    for (size_t r = 0; r < m; ++r) {
+      for (size_t col = 0; col < n; ++col) a(r, col) = rng.Uniform(0.0, 2.0);
+      b[r] = rng.Uniform(0.5, 5.0);  // positive rhs: origin feasible
+    }
+    for (size_t col = 0; col < n; ++col) c[col] = rng.Uniform(-1.0, 3.0);
+    SimplexSolver solver;
+    const LpSolution s = solver.Maximize(a, b, c);
+    ASSERT_EQ(s.status, LpStatus::kOptimal) << "trial " << trial;
+    // Check primal feasibility of the returned point.
+    for (size_t r = 0; r < m; ++r) {
+      double lhs = 0.0;
+      for (size_t col = 0; col < n; ++col) lhs += a(r, col) * s.x[col];
+      EXPECT_LE(lhs, b[r] + 1e-7);
+    }
+    for (double xi : s.x) EXPECT_GE(xi, -1e-9);
+    // Objective must match c^T x.
+    double obj = 0.0;
+    for (size_t col = 0; col < n; ++col) obj += c[col] * s.x[col];
+    EXPECT_NEAR(obj, s.objective, 1e-7);
+  }
+}
+
+TEST(SimplexTest, MatchesBruteForceVertexEnumerationOnBoxLps) {
+  // max c^T x over 0 <= x <= u (axis box): optimum picks u_i when c_i > 0.
+  Rng rng(33);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 4;
+    Matrix a(n, n, 0.0);
+    std::vector<double> u(n), c(n);
+    for (size_t i = 0; i < n; ++i) {
+      a(i, i) = 1.0;
+      u[i] = rng.Uniform(0.1, 3.0);
+      c[i] = rng.Uniform(-2.0, 2.0);
+    }
+    SimplexSolver solver;
+    const LpSolution s = solver.Maximize(a, u, c);
+    ASSERT_EQ(s.status, LpStatus::kOptimal);
+    double expected = 0.0;
+    for (size_t i = 0; i < n; ++i) expected += c[i] > 0 ? c[i] * u[i] : 0.0;
+    EXPECT_NEAR(s.objective, expected, 1e-8) << "trial " << trial;
+  }
+}
+
+TEST(SimplexTest, RejectsDimensionMismatch) {
+  Matrix a(2, 2);
+  SimplexSolver solver;
+  const LpSolution s = solver.Maximize(a, {1.0}, {1.0, 1.0});
+  EXPECT_EQ(s.status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, LpRelaxationUpperBoundsFacilityInstances) {
+  // The LP relaxation of the Eq. (9) BILP upper-bounds the integer
+  // optimum. Small instance: 2 sensors, 2 locations.
+  //   max v11 Y11 + v21 Y21 + v12 Y12 + v22 Y22 - c1 X1 - c2 X2
+  // rewritten for the solver as variables [Y11 Y21 Y12 Y22 X1 X2].
+  Matrix a(6, 6, 0.0);
+  // Y_li <= X_i.
+  a(0, 0) = 1; a(0, 4) = -1;  // Y11 - X1 <= 0
+  a(1, 1) = 1; a(1, 5) = -1;  // Y21 - X2 <= 0
+  a(2, 2) = 1; a(2, 4) = -1;  // Y12 - X1 <= 0
+  a(3, 3) = 1; a(3, 5) = -1;  // Y22 - X2 <= 0
+  // Per-location assignment: Y11 + Y21 <= 1, Y12 + Y22 <= 1.
+  a(4, 0) = 1; a(4, 1) = 1;
+  a(5, 2) = 1; a(5, 3) = 1;
+  const std::vector<double> b = {0, 0, 0, 0, 1, 1};
+  const std::vector<double> c = {8, 7, 6, 9, -10, -10};
+  SimplexSolver solver;
+  const LpSolution s = solver.Maximize(a, b, c);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  // Integer optimum: open sensor 2 only (values 7 + 9 - 10 = 6) or sensor
+  // 1 only (8 + 6 - 10 = 4) or both (8 + 9 - 20 = -3) -> 6.
+  EXPECT_GE(s.objective, 6.0 - 1e-9);
+}
+
+}  // namespace
+}  // namespace psens

@@ -1,0 +1,82 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace psens {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.StdError(), 0.0);
+}
+
+TEST(RunningStatTest, SingleValue) {
+  RunningStat s;
+  s.Add(42.0);
+  EXPECT_EQ(s.Count(), 1u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 42.0);
+}
+
+TEST(RunningStatTest, MeanAndVarianceMatchDirectFormulas) {
+  RunningStat s;
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double v : values) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  // Sample variance with n-1 denominator: sum sq dev = 32, / 7.
+  EXPECT_NEAR(s.Variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.StdDev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.Sum(), 40.0);
+}
+
+TEST(RunningStatTest, MinMaxTracked) {
+  RunningStat s;
+  for (double v : {3.0, -1.0, 7.0, 2.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 7.0);
+}
+
+TEST(RunningStatTest, StdErrorShrinksWithSamples) {
+  RunningStat small, large;
+  for (int i = 0; i < 10; ++i) small.Add(i % 2);
+  for (int i = 0; i < 1000; ++i) large.Add(i % 2);
+  EXPECT_GT(small.StdError(), large.StdError());
+}
+
+TEST(VectorStatsTest, MeanOfVector) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(VectorStatsTest, StdDevOfVector) {
+  EXPECT_DOUBLE_EQ(StdDev({5.0, 5.0, 5.0}), 0.0);
+  EXPECT_NEAR(StdDev({1.0, 3.0}), 1.0, 1e-12);  // population std-dev
+  EXPECT_DOUBLE_EQ(StdDev({}), 0.0);
+}
+
+TEST(VectorStatsTest, QuantileEndpointsAndMedian) {
+  std::vector<double> v = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.5);
+}
+
+TEST(VectorStatsTest, QuantileClampsOutOfRangeQ) {
+  std::vector<double> v = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.5), 2.0);
+}
+
+TEST(VectorStatsTest, QuantileEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace psens

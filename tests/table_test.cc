@@ -1,0 +1,47 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace psens {
+namespace {
+
+TEST(TableTest, FormatDoublePrecision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(FormatDouble(-1.5, 3), "-1.500");
+}
+
+TEST(TableTest, RendersHeaderSeparatorAndRows) {
+  Table t({"x", "value"});
+  t.AddRow({std::string("1"), std::string("10")});
+  t.AddRow(std::vector<double>{2.0, 20.5});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("x"), std::string::npos);
+  EXPECT_NE(out.find("value"), std::string::npos);
+  EXPECT_NE(out.find("20.50"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(t.NumRows(), 2u);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.AddRow({std::string("only")});
+  const std::string out = t.ToString();
+  // Must render without crashing and contain the single field.
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(TableTest, ColumnsAlignedToWidestCell) {
+  Table t({"h", "col"});
+  t.AddRow({std::string("longvalue"), std::string("x")});
+  const std::string out = t.ToString();
+  // The header row must be padded to at least the width of "longvalue".
+  const size_t header_end = out.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  const std::string separator_line = out.substr(
+      header_end + 1, out.find('\n', header_end + 1) - header_end - 1);
+  EXPECT_GE(separator_line.size(), std::string("longvalue  col").size());
+}
+
+}  // namespace
+}  // namespace psens

@@ -1,0 +1,150 @@
+#include "sim/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace psens {
+namespace {
+
+TEST(BudgetSchemeTest, FixedBudgetConstant) {
+  Rng rng(1);
+  const BudgetScheme scheme{15.0, false, 10.0};
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(scheme.Draw(rng), 15.0);
+}
+
+TEST(BudgetSchemeTest, UniformBudgetWithinHalfwidth) {
+  Rng rng(2);
+  const BudgetScheme scheme{20.0, true, 10.0};
+  for (int i = 0; i < 200; ++i) {
+    const double b = scheme.Draw(rng);
+    EXPECT_GE(b, 10.0);
+    EXPECT_LT(b, 30.0);
+  }
+}
+
+TEST(GeneratePointQueriesTest, CountLocationsAndIds) {
+  Rng rng(3);
+  const Rect region{10, 20, 30, 40};
+  const auto queries =
+      GeneratePointQueries(25, region, BudgetScheme{15, false, 0}, 0.2, 100, rng);
+  ASSERT_EQ(queries.size(), 25u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(queries[i].id, 100 + static_cast<int>(i));
+    EXPECT_TRUE(region.Contains(queries[i].location));
+    EXPECT_DOUBLE_EQ(queries[i].theta_min, 0.2);
+    EXPECT_EQ(queries[i].parent, -1);
+  }
+}
+
+TEST(RandomRectTest, AlwaysInsideBoundsWithMinExtent) {
+  Rng rng(4);
+  const Rect bounds{0, 0, 50, 30};
+  for (int i = 0; i < 100; ++i) {
+    const Rect r = RandomRect(bounds, 5.0, rng);
+    EXPECT_GE(r.x_min, bounds.x_min);
+    EXPECT_LE(r.x_max, bounds.x_max);
+    EXPECT_GE(r.y_min, bounds.y_min);
+    EXPECT_LE(r.y_max, bounds.y_max);
+    EXPECT_GT(r.Area(), 0.0);
+  }
+}
+
+TEST(GenerateAggregateQueriesTest, BudgetProportionalToAreaAndFactor) {
+  Rng rng(5);
+  const auto queries =
+      GenerateAggregateQueries(10, Rect{0, 0, 100, 100}, 10.0, 20.0, 0, rng);
+  ASSERT_FALSE(queries.empty());
+  EXPECT_LE(queries.size(), 19u);  // uniform in [1, 2*mean-1]
+  for (const auto& q : queries) {
+    const double expected =
+        q.region.Area() / (M_PI * 10.0 * 10.0) * 20.0;
+    EXPECT_NEAR(q.budget, expected, 1e-9);
+    EXPECT_DOUBLE_EQ(q.sensing_range, 10.0);
+  }
+}
+
+TEST(GenerateSensorsTest, ProfilesWithinConfiguredRanges) {
+  Rng rng(6);
+  SensorPopulationConfig config;
+  config.count = 100;
+  config.random_privacy = true;
+  config.linear_energy = true;
+  config.beta_max = 4.0;
+  config.lifetime = 25;
+  const auto sensors = GenerateSensors(config, rng);
+  ASSERT_EQ(sensors.size(), 100u);
+  bool any_nonzero_privacy = false;
+  for (const Sensor& s : sensors) {
+    EXPECT_GE(s.profile().inaccuracy, 0.0);
+    EXPECT_LE(s.profile().inaccuracy, 0.2);
+    EXPECT_EQ(s.profile().lifetime, 25);
+    EXPECT_EQ(s.profile().energy_model, EnergyCostModel::kLinear);
+    EXPECT_GE(s.profile().energy_beta, 0.0);
+    EXPECT_LE(s.profile().energy_beta, 4.0);
+    if (s.profile().privacy != PrivacySensitivity::kZero) any_nonzero_privacy = true;
+  }
+  EXPECT_TRUE(any_nonzero_privacy);
+}
+
+TEST(GenerateSensorsTest, DefaultsAreFullyTrustedFixedCost) {
+  Rng rng(7);
+  SensorPopulationConfig config;
+  config.count = 10;
+  const auto sensors = GenerateSensors(config, rng);
+  for (const Sensor& s : sensors) {
+    EXPECT_DOUBLE_EQ(s.profile().trust, 1.0);
+    EXPECT_EQ(s.profile().energy_model, EnergyCostModel::kFixed);
+    EXPECT_EQ(s.profile().privacy, PrivacySensitivity::kZero);
+    EXPECT_DOUBLE_EQ(s.Cost(0), 10.0);
+  }
+}
+
+TEST(GenerateLocationMonitoringQueryTest, ValidWindowAndDesiredTimes) {
+  Rng rng(8);
+  std::vector<double> t, v;
+  for (int i = 0; i < 50; ++i) {
+    t.push_back(i);
+    v.push_back(i % 7);
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    const LocationMonitoringQuery q = GenerateLocationMonitoringQuery(
+        trial, Rect{0, 0, 100, 100}, 10, 50, t, v, 15.0, rng);
+    EXPECT_EQ(q.t1, 10);
+    EXPECT_GE(q.t2, q.t1);
+    EXPECT_LT(q.t2, 50);
+    EXPECT_GT(q.budget, 0.0);
+    ASSERT_FALSE(q.desired.empty());
+    for (int d : q.desired) {
+      EXPECT_GE(d, q.t1);
+      EXPECT_LE(d, q.t2);
+    }
+  }
+}
+
+TEST(GenerateRegionMonitoringQueryTest, BudgetScalesWithAreaAndDuration) {
+  Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    const RegionMonitoringQuery q = GenerateRegionMonitoringQuery(
+        trial, Rect{0, 0, 20, 15}, 5, 50, 2.0, 10.0, rng);
+    EXPECT_GE(q.t1, 0);
+    EXPECT_GE(q.t2, q.t1);
+    EXPECT_GT(q.budget, 0.0);
+    EXPECT_GT(q.region.Area(), 0.0);
+    EXPECT_LE(q.region.x_max, 20.0);
+    EXPECT_LE(q.region.y_max, 15.0);
+  }
+}
+
+TEST(GeneratorsTest, DeterministicForSameSeed) {
+  Rng a(10), b(10);
+  const auto qa = GeneratePointQueries(5, Rect{0, 0, 10, 10},
+                                       BudgetScheme{15, true, 5}, 0.2, 0, a);
+  const auto qb = GeneratePointQueries(5, Rect{0, 0, 10, 10},
+                                       BudgetScheme{15, true, 5}, 0.2, 0, b);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(qa[i].location.x, qb[i].location.x);
+    EXPECT_EQ(qa[i].budget, qb[i].budget);
+  }
+}
+
+}  // namespace
+}  // namespace psens
