@@ -12,6 +12,8 @@
 #include "core/aggregate_query.h"
 #include "core/greedy.h"
 #include "core/point_scheduling.h"
+#include "mobility/random_waypoint.h"
+#include "sim/experiments.h"
 #include "sim/workload.h"
 
 namespace psens {
@@ -82,11 +84,12 @@ void BM_PointBaseline(benchmark::State& state) {
 }
 BENCHMARK(BM_PointBaseline)->Args({100, 300})->Args({200, 300});
 
-void BM_GreedyAggregate(benchmark::State& state) {
+void RunGreedyAggregate(benchmark::State& state, GreedyEngine engine) {
   const SlotContext slot = MakeSlot(static_cast<int>(state.range(0)), 7);
   Rng rng(9);
   const std::vector<AggregateQuery::Params> params = GenerateAggregateQueries(
       static_cast<int>(state.range(1)), Rect{0, 0, 50, 50}, 10.0, 15.0, 0, rng);
+  int64_t valuation_calls = 0;
   for (auto _ : state) {
     std::vector<std::unique_ptr<AggregateQuery>> queries;
     for (const auto& p : params) {
@@ -94,10 +97,51 @@ void BM_GreedyAggregate(benchmark::State& state) {
     }
     std::vector<MultiQuery*> ptrs;
     for (auto& q : queries) ptrs.push_back(q.get());
-    benchmark::DoNotOptimize(GreedySensorSelection(ptrs, slot));
+    const SelectionResult result = GreedySensorSelection(ptrs, slot, nullptr, engine);
+    valuation_calls = result.valuation_calls;
+    benchmark::DoNotOptimize(result);
   }
+  state.counters["valuation_calls"] = static_cast<double>(valuation_calls);
 }
-BENCHMARK(BM_GreedyAggregate)->Args({100, 30})->Args({200, 30});
+
+void BM_GreedyAggregateEager(benchmark::State& state) {
+  RunGreedyAggregate(state, GreedyEngine::kEager);
+}
+BENCHMARK(BM_GreedyAggregateEager)->Args({100, 30})->Args({200, 30});
+
+void BM_GreedyAggregateLazy(benchmark::State& state) {
+  RunGreedyAggregate(state, GreedyEngine::kLazy);
+}
+BENCHMARK(BM_GreedyAggregateLazy)->Args({100, 30})->Args({200, 30});
+
+// Slot-throughput scaling of the parallel experiment runner: a fixed
+// 16-slot point-query simulation sharded over range(0) worker threads.
+// items_per_second reports slots/s; on a multi-core host the curve should
+// track the thread count until it exhausts physical cores.
+void BM_PointExperimentParallel(benchmark::State& state) {
+  RandomWaypointConfig mobility;
+  mobility.num_sensors = 120;
+  mobility.num_slots = 16;
+  mobility.seed = 11;
+  const Trace trace = GenerateRandomWaypoint(mobility);
+  PointExperimentConfig config;
+  config.trace = &trace;
+  config.working_region = Rect{0, 0, mobility.region_size, mobility.region_size};
+  config.dmax = 10.0;
+  config.num_slots = 16;
+  config.queries_per_slot = 200;
+  config.budget = BudgetScheme{15.0, false, 0.0};
+  config.scheduler = PointScheduler::kLocalSearch;
+  config.sensors.lifetime = config.num_slots;
+  config.parallelism = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunPointExperiment(config));
+  }
+  state.SetItemsProcessed(state.iterations() * config.num_slots);
+}
+// UseRealTime: the work runs on pool workers, so wall clock — not the
+// main thread's CPU time — is the meaningful rate base.
+BENCHMARK(BM_PointExperimentParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 }  // namespace
 }  // namespace psens

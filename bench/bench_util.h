@@ -12,11 +12,15 @@ namespace psens::bench {
 ///   --slots N    simulate N time slots (default 50, the paper's setting)
 ///   --seed S     base RNG seed
 ///   --quick      shorthand for a fast smoke run (--slots 10)
+///   --threads N  worker threads for independent sweep points / slots
+///                (default 0 = hardware concurrency; results are
+///                bit-identical for any value)
 struct BenchArgs {
   int slots = 50;
   uint64_t seed = 123;
   bool quick = false;
   bool ablation = false;
+  int threads = 0;
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
@@ -30,6 +34,8 @@ struct BenchArgs {
         args.slots = std::atoi(argv[++i]);
       } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
         args.seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+      } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+        args.threads = std::atoi(argv[++i]);
       }
     }
     return args;

@@ -7,6 +7,7 @@
 
 #include "bench/bench_util.h"
 #include "common/table.h"
+#include "common/thread_pool.h"
 #include "mobility/synthetic_nokia.h"
 #include "sim/experiments.h"
 
@@ -22,26 +23,40 @@ void Run(const BenchArgs& args) {
   const psens::Rect working = psens::NokiaWorkingRegion(nokia);
 
   const std::vector<int> query_counts = {250, 500, 750, 1000};
+  const std::vector<psens::PointScheduler> schedulers = {
+      psens::PointScheduler::kOptimal, psens::PointScheduler::kLocalSearch,
+      psens::PointScheduler::kBaseline};
   psens::Table utility({"num_queries", "Optimal", "LocalSearch", "Baseline"});
   psens::Table satisfaction({"num_queries", "Optimal", "LocalSearch", "Baseline"});
 
-  for (int count : query_counts) {
-    std::vector<double> util_row = {static_cast<double>(count)};
-    std::vector<double> sat_row = {static_cast<double>(count)};
-    for (const psens::PointScheduler scheduler :
-         {psens::PointScheduler::kOptimal, psens::PointScheduler::kLocalSearch,
-          psens::PointScheduler::kBaseline}) {
-      psens::PointExperimentConfig config;
-      config.trace = &trace;
-      config.working_region = working;
-      config.dmax = 10.0;
-      config.num_slots = args.slots;
-      config.queries_per_slot = count;
-      config.budget = psens::BudgetScheme{15.0, false, 0.0};
-      config.scheduler = scheduler;
-      config.sensors.lifetime = args.slots;
-      config.seed = args.seed;
-      const psens::ExperimentResult r = psens::RunPointExperiment(config);
+  // Every (query count, scheduler) sweep point is an independent
+  // simulation: shard them over the pool and assemble the tables in sweep
+  // order afterwards. Slot-level parallelism inside RunPointExperiment is
+  // disabled (parallelism = 1) — the sweep grid is the coarser, better
+  // grain.
+  const int points = static_cast<int>(query_counts.size() * schedulers.size());
+  std::vector<psens::ExperimentResult> results(points);
+  psens::ThreadPool pool(psens::ThreadPool::ResolveParallelism(args.threads));
+  pool.ParallelFor(points, [&](int i) {
+    psens::PointExperimentConfig config;
+    config.trace = &trace;
+    config.working_region = working;
+    config.dmax = 10.0;
+    config.num_slots = args.slots;
+    config.queries_per_slot = query_counts[i / schedulers.size()];
+    config.budget = psens::BudgetScheme{15.0, false, 0.0};
+    config.scheduler = schedulers[i % schedulers.size()];
+    config.sensors.lifetime = args.slots;
+    config.seed = args.seed;
+    config.parallelism = 1;
+    results[i] = psens::RunPointExperiment(config);
+  });
+
+  for (size_t c = 0; c < query_counts.size(); ++c) {
+    std::vector<double> util_row = {static_cast<double>(query_counts[c])};
+    std::vector<double> sat_row = {static_cast<double>(query_counts[c])};
+    for (size_t s = 0; s < schedulers.size(); ++s) {
+      const psens::ExperimentResult& r = results[c * schedulers.size() + s];
       util_row.push_back(r.avg_utility);
       sat_row.push_back(r.satisfaction);
     }

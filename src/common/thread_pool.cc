@@ -1,0 +1,85 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace psens {
+
+int ThreadPool::ResolveParallelism(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1, static_cast<int>(hw));
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int count = ResolveParallelism(num_threads);
+  workers_.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+    }
+    all_done_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int)>& body) {
+  if (n <= 0) return;
+  if (size() <= 1 || n == 1) {
+    for (int i = 0; i < n; ++i) body(i);
+    return;
+  }
+  // One task per worker, each draining a shared atomic index: cheap
+  // dynamic load balancing without per-item queue traffic.
+  auto next = std::make_shared<std::atomic<int>>(0);
+  const int tasks = std::min(size(), n);
+  for (int w = 0; w < tasks; ++w) {
+    Submit([next, n, &body] {
+      for (int i = (*next)++; i < n; i = (*next)++) body(i);
+    });
+  }
+  Wait();
+}
+
+}  // namespace psens

@@ -1,0 +1,63 @@
+#ifndef PSENS_COMMON_THREAD_POOL_H_
+#define PSENS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace psens {
+
+/// Fixed-size worker pool used to shard independent units of simulation
+/// work (time slots, parameter-sweep points) across threads. Determinism
+/// contract: the pool never reorders *results* — callers index results by
+/// work item (e.g. `outcomes[slot]`) and reduce them in item order after
+/// Wait()/ParallelFor() returns, so any thread count, including 1 or
+/// inline execution, produces bit-identical output.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (at least 1). A pool of size 1 still runs tasks on its single worker.
+  explicit ThreadPool(int num_threads = 0);
+
+  /// Drains outstanding tasks (Wait) and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  /// Runs body(0) ... body(n - 1), sharding the index range over the
+  /// workers, and blocks until all iterations are done. Iterations must be
+  /// independent; each body(i) writes only state owned by item i.
+  void ParallelFor(int n, const std::function<void(int)>& body);
+
+  /// Resolves a `parallelism` config knob: values >= 1 are taken as-is,
+  /// anything else (0 or negative = "auto") becomes the hardware
+  /// concurrency, never less than 1.
+  static int ResolveParallelism(int requested);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  int in_flight_ = 0;  // queued + currently executing tasks
+  bool stopping_ = false;
+};
+
+}  // namespace psens
+
+#endif  // PSENS_COMMON_THREAD_POOL_H_

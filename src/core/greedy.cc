@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/lazy_greedy.h"
+
 namespace psens {
 namespace {
 
@@ -11,11 +13,11 @@ int64_t TotalValuationCalls(const std::vector<MultiQuery*>& queries) {
   return total;
 }
 
-}  // namespace
-
-SelectionResult GreedySensorSelection(const std::vector<MultiQuery*>& queries,
-                                      const SlotContext& slot,
-                                      const std::vector<double>* cost_scale) {
+/// The literal Algorithm 1: full rescan of every remaining sensor each
+/// round. Reference implementation for GreedyEngine::kEager.
+SelectionResult EagerGreedySensorSelection(const std::vector<MultiQuery*>& queries,
+                                           const SlotContext& slot,
+                                           const std::vector<double>* cost_scale) {
   SelectionResult result;
   const int64_t calls_before = TotalValuationCalls(queries);
   const int n = static_cast<int>(slot.sensors.size());
@@ -65,6 +67,18 @@ SelectionResult GreedySensorSelection(const std::vector<MultiQuery*>& queries,
   for (const MultiQuery* q : queries) result.total_value += q->CurrentValue();
   result.valuation_calls = TotalValuationCalls(queries) - calls_before;
   return result;
+}
+
+}  // namespace
+
+SelectionResult GreedySensorSelection(const std::vector<MultiQuery*>& queries,
+                                      const SlotContext& slot,
+                                      const std::vector<double>* cost_scale,
+                                      GreedyEngine engine) {
+  if (engine == GreedyEngine::kEager) {
+    return EagerGreedySensorSelection(queries, slot, cost_scale);
+  }
+  return LazyGreedySensorSelection(queries, slot, cost_scale);
 }
 
 SelectionResult BaselineSequentialSelection(const std::vector<MultiQuery*>& queries,

@@ -23,6 +23,19 @@ struct SelectionResult {
   double Utility() const { return total_value - total_cost; }
 };
 
+/// Which engine executes the Algorithm 1 selection rule.
+enum class GreedyEngine {
+  /// CELF-style lazy evaluation (src/core/lazy_greedy.h): a max-heap of
+  /// cached net gains where only the heap front is re-evaluated. Selects
+  /// the identical sensor sequence as kEager whenever the valuations are
+  /// submodular, with far fewer valuation calls. The default.
+  kLazy,
+  /// The paper's literal exhaustive rescan of every remaining sensor each
+  /// round. Kept as the reference implementation for tests and for the
+  /// valuation-call comparisons in bench_scheduler_quality.
+  kEager,
+};
+
 /// Algorithm 1 ("Greedy Sensor Selection"): iteratively pick the sensor a
 /// maximizing sum_{q: delta_v > 0} delta_v_{q,a} - c_a; stop when no sensor
 /// has positive net benefit. Each selected sensor's cost is split among
@@ -37,7 +50,8 @@ struct SelectionResult {
 /// slot cost.
 SelectionResult GreedySensorSelection(const std::vector<MultiQuery*>& queries,
                                       const SlotContext& slot,
-                                      const std::vector<double>* cost_scale = nullptr);
+                                      const std::vector<double>* cost_scale = nullptr,
+                                      GreedyEngine engine = GreedyEngine::kLazy);
 
 /// The paper's baseline for multi-sensor one-shot queries (Section 4.4):
 /// sequential execution with data buffering. Queries are processed one by

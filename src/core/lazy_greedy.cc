@@ -1,0 +1,99 @@
+#include "core/lazy_greedy.h"
+
+#include <queue>
+#include <vector>
+
+namespace psens {
+namespace {
+
+/// Heap entry: a candidate sensor with its net gain as cached at `round`.
+struct Candidate {
+  double net = 0.0;
+  int round = 0;
+  int sensor = 0;
+};
+
+/// Max-heap order on net gain; ties prefer the lower sensor index so that
+/// the lazy run breaks ties exactly like the eager ascending scan.
+struct CandidateLess {
+  bool operator()(const Candidate& a, const Candidate& b) const {
+    if (a.net != b.net) return a.net < b.net;
+    return a.sensor > b.sensor;
+  }
+};
+
+int64_t TotalValuationCalls(const std::vector<MultiQuery*>& queries) {
+  int64_t total = 0;
+  for (const MultiQuery* q : queries) total += q->ValuationCalls();
+  return total;
+}
+
+}  // namespace
+
+SelectionResult LazyGreedySensorSelection(const std::vector<MultiQuery*>& queries,
+                                          const SlotContext& slot,
+                                          const std::vector<double>* cost_scale) {
+  SelectionResult result;
+  const int64_t calls_before = TotalValuationCalls(queries);
+  const int n = static_cast<int>(slot.sensors.size());
+
+  // Net gain of adding `sensor` to the current joint selection, at the
+  // (possibly scaled) announced cost.
+  const auto EvaluateNet = [&](int sensor) {
+    double scale = 1.0;
+    if (cost_scale != nullptr) scale = (*cost_scale)[sensor];
+    const double cost = slot.sensors[sensor].cost * scale;
+    double positive_sum = 0.0;
+    for (MultiQuery* q : queries) {
+      const double delta = q->MarginalValue(sensor);
+      if (delta > 0.0) positive_sum += delta;
+    }
+    return positive_sum - cost;
+  };
+
+  std::priority_queue<Candidate, std::vector<Candidate>, CandidateLess> heap;
+  for (int s = 0; s < n; ++s) {
+    heap.push(Candidate{EvaluateNet(s), 0, s});
+  }
+
+  std::vector<double> marginals(queries.size());
+  int round = 0;
+  while (!heap.empty()) {
+    Candidate top = heap.top();
+    heap.pop();
+    if (top.round != round) {
+      // Stale cache: re-evaluate against the current selection and
+      // reinsert; only the heap front ever pays this cost.
+      top.net = EvaluateNet(top.sensor);
+      top.round = round;
+      heap.push(top);
+      continue;
+    }
+    if (top.net <= 0.0) break;  // fresh maximum without positive net gain
+
+    // Commit exactly like the eager loop: recompute the winner's
+    // per-query marginals and split its *true* cost proportionally
+    // (Algorithm 1 line 10).
+    const double true_cost = slot.sensors[top.sensor].cost;
+    double positive_sum = 0.0;
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      marginals[qi] = queries[qi]->MarginalValue(top.sensor);
+      if (marginals[qi] > 0.0) positive_sum += marginals[qi];
+    }
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      if (marginals[qi] > 0.0) {
+        const double payment = marginals[qi] * true_cost / positive_sum;
+        queries[qi]->Commit(top.sensor, payment);
+      }
+    }
+    result.selected_sensors.push_back(top.sensor);
+    result.total_cost += true_cost;
+    ++round;
+  }
+
+  for (const MultiQuery* q : queries) result.total_value += q->CurrentValue();
+  result.valuation_calls = TotalValuationCalls(queries) - calls_before;
+  return result;
+}
+
+}  // namespace psens

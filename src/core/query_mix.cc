@@ -32,7 +32,8 @@ QueryMixSlotResult RunGreedyMix(const SlotContext& slot,
                                 const std::vector<PointQuery>& user_point_queries,
                                 const std::vector<AggregateQuery::Params>& aggregates,
                                 LocationMonitoringManager* location_manager,
-                                RegionMonitoringManager* region_manager) {
+                                RegionMonitoringManager* region_manager,
+                                GreedyEngine engine) {
   QueryMixSlotResult result;
 
   // Stage 1: point-query creation for continuous queries.
@@ -77,7 +78,8 @@ QueryMixSlotResult RunGreedyMix(const SlotContext& slot,
     cost_scale = region_manager->CostScale(slot);
     scale_ptr = &cost_scale;
   }
-  const SelectionResult selection = GreedySensorSelection(all, slot, scale_ptr);
+  const SelectionResult selection =
+      GreedySensorSelection(all, slot, scale_ptr, engine);
   result.selected_sensors = selection.selected_sensors;
   result.total_cost = selection.total_cost;
   result.valuation_calls = selection.valuation_calls;
@@ -228,7 +230,7 @@ QueryMixSlotResult RunQueryMixSlot(const SlotContext& slot,
                                    const QueryMixOptions& options) {
   if (options.use_greedy) {
     return RunGreedyMix(slot, user_point_queries, aggregates, location_manager,
-                        region_manager);
+                        region_manager, options.engine);
   }
   return RunBaselineMix(slot, user_point_queries, aggregates, location_manager,
                         region_manager);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/aggregate_query.h"
+#include "core/greedy.h"
 #include "core/location_monitoring.h"
 #include "core/point_query.h"
 #include "core/region_monitoring.h"
@@ -54,6 +55,9 @@ struct QueryMixOptions {
   /// continuous queries should then be configured to emit point queries
   /// only at desired times.
   bool use_greedy = true;
+  /// Engine executing the Algorithm 1 selection inside Algorithm 5; the
+  /// lazy CELF engine is the default, kEager restores the literal rescan.
+  GreedyEngine engine = GreedyEngine::kLazy;
   uint64_t seed = 1;
 };
 

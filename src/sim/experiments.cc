@@ -1,8 +1,10 @@
 #include "sim/experiments.h"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 
+#include "common/thread_pool.h"
 #include "core/greedy.h"
 #include "core/location_monitoring.h"
 #include "core/query_mix.h"
@@ -32,45 +34,89 @@ void RecordReadings(const std::vector<int>& selected, const SlotContext& slot,
   }
 }
 
-}  // namespace
+/// Independent RNG stream for slot `t`, a pure function of (base, t): the
+/// same stream backs the sequential and the sharded execution paths, so a
+/// slot's workload never depends on which thread — or in which order — it
+/// runs.
+Rng SlotStream(const Rng& base, int t) {
+  Rng fork_source = base;  // Fork advances its parent; keep `base` pristine
+  return fork_source.Fork(static_cast<uint64_t>(t) + 1);
+}
 
-ExperimentResult RunPointExperiment(const PointExperimentConfig& config) {
-  Rng rng(config.seed);
-  Rng sensor_rng = rng.Fork(1);
-  Rng query_rng = rng.Fork(2);
-  SensorPopulationConfig population = config.sensors;
-  population.count = config.trace->NumSensors();
-  std::vector<Sensor> sensors = GenerateSensors(population, sensor_rng);
+/// Partial sums contributed by one simulation slot. Accumulated in slot
+/// order after all slots ran, so results are independent of thread count.
+struct SlotOutcome {
+  double utility = 0.0;
+  double cost = 0.0;
+  double value = 0.0;
+  double quality_sum = 0.0;
+  int64_t queries = 0;
+  int64_t answered = 0;
+  /// Global sensor ids charged a reading (feeds sensor wear/privacy state
+  /// on the sequential feedback path).
+  std::vector<int> read_sensor_ids;
+};
 
+/// Runs `slots` slot bodies either sequentially with sensor-state feedback
+/// (RecordReading between slots) or sharded over a thread pool when the
+/// population carries no cross-slot feedback. `body(t, sensors)` must only
+/// read `sensors` (trace already applied) and return the slot's partials.
+template <typename SlotBody>
+std::vector<SlotOutcome> RunSlots(const Trace& trace, int slots,
+                                  std::vector<Sensor>& sensors,
+                                  const SensorPopulationConfig& population,
+                                  int parallelism, const SlotBody& body) {
+  std::vector<SlotOutcome> outcomes(static_cast<size_t>(std::max(slots, 0)));
+  if (HasCrossSlotFeedback(population, slots)) {
+    for (int t = 0; t < slots; ++t) {
+      ApplyTraceSlot(trace, t, &sensors);
+      outcomes[t] = body(t, sensors);
+      for (int id : outcomes[t].read_sensor_ids) sensors[id].RecordReading(t);
+    }
+    return outcomes;
+  }
+  // Independent slots: ApplyTraceSlot rewrites every sensor's position and
+  // presence, and nothing on this path mutates the rest of the registry,
+  // so one pristine snapshot per worker — reused across all its slots —
+  // is bit-identical to a fresh copy per slot.
+  const int threads =
+      std::min(ThreadPool::ResolveParallelism(parallelism), std::max(slots, 1));
+  if (threads == 1) {
+    std::vector<Sensor> local = sensors;
+    for (int t = 0; t < slots; ++t) {
+      ApplyTraceSlot(trace, t, &local);
+      outcomes[t] = body(t, local);
+    }
+    return outcomes;
+  }
+  ThreadPool pool(threads);
+  std::atomic<int> next{0};
+  for (int w = 0; w < threads; ++w) {
+    pool.Submit([&] {
+      std::vector<Sensor> local = sensors;
+      for (int t = next++; t < slots; t = next++) {
+        ApplyTraceSlot(trace, t, &local);
+        outcomes[t] = body(t, local);
+      }
+    });
+  }
+  pool.Wait();
+  return outcomes;
+}
+
+/// Ordered reduction of slot partials into the common result fields.
+ExperimentResult ReduceOutcomes(const std::vector<SlotOutcome>& outcomes) {
   ExperimentResult result;
   double total_utility = 0.0;
-  const int slots = std::min(config.num_slots, config.trace->NumSlots());
-  for (int t = 0; t < slots; ++t) {
-    ApplyTraceSlot(*config.trace, t, &sensors);
-    const SlotContext slot =
-        BuildSlotContext(sensors, config.working_region, t, config.dmax);
-    const std::vector<PointQuery> queries =
-        GeneratePointQueries(config.queries_per_slot, config.working_region,
-                             config.budget, config.theta_min,
-                             t * config.queries_per_slot, query_rng);
-    PointSchedulingOptions options;
-    options.scheduler = config.scheduler;
-    options.node_limit = config.node_limit;
-    options.seed = config.seed + static_cast<uint64_t>(t);
-    const PointScheduleResult schedule = SchedulePointQueries(queries, slot, options);
-
-    total_utility += schedule.Utility();
-    result.avg_cost += schedule.total_cost;
-    result.avg_value += schedule.total_value;
-    result.total_queries += static_cast<int64_t>(queries.size());
-    for (const PointAssignment& a : schedule.assignments) {
-      if (a.satisfied()) {
-        ++result.answered_queries;
-        result.avg_quality += a.value / queries[a.query].budget;
-      }
-    }
-    RecordReadings(schedule.selected_sensors, slot, &sensors);
+  for (const SlotOutcome& o : outcomes) {
+    total_utility += o.utility;
+    result.avg_cost += o.cost;
+    result.avg_value += o.value;
+    result.avg_quality += o.quality_sum;
+    result.total_queries += o.queries;
+    result.answered_queries += o.answered;
   }
+  const int slots = static_cast<int>(outcomes.size());
   result.avg_utility = slots > 0 ? total_utility / slots : 0.0;
   result.avg_cost = slots > 0 ? result.avg_cost / slots : 0.0;
   result.avg_value = slots > 0 ? result.avg_value / slots : 0.0;
@@ -84,6 +130,52 @@ ExperimentResult RunPointExperiment(const PointExperimentConfig& config) {
   return result;
 }
 
+}  // namespace
+
+ExperimentResult RunPointExperiment(const PointExperimentConfig& config) {
+  Rng rng(config.seed);
+  Rng sensor_rng = rng.Fork(1);
+  Rng query_rng = rng.Fork(2);
+  SensorPopulationConfig population = config.sensors;
+  population.count = config.trace->NumSensors();
+  std::vector<Sensor> sensors = GenerateSensors(population, sensor_rng);
+
+  const int slots = std::min(config.num_slots, config.trace->NumSlots());
+  const auto body = [&](int t, const std::vector<Sensor>& slot_sensors) {
+    const SlotContext slot =
+        BuildSlotContext(slot_sensors, config.working_region, t, config.dmax);
+    Rng slot_rng = SlotStream(query_rng, t);
+    const std::vector<PointQuery> queries =
+        GeneratePointQueries(config.queries_per_slot, config.working_region,
+                             config.budget, config.theta_min,
+                             t * config.queries_per_slot, slot_rng);
+    PointSchedulingOptions options;
+    options.scheduler = config.scheduler;
+    options.node_limit = config.node_limit;
+    options.seed = config.seed + static_cast<uint64_t>(t);
+    const PointScheduleResult schedule = SchedulePointQueries(queries, slot, options);
+
+    SlotOutcome out;
+    out.utility = schedule.Utility();
+    out.cost = schedule.total_cost;
+    out.value = schedule.total_value;
+    out.queries = static_cast<int64_t>(queries.size());
+    for (const PointAssignment& a : schedule.assignments) {
+      if (a.satisfied()) {
+        ++out.answered;
+        out.quality_sum += a.value / queries[a.query].budget;
+      }
+    }
+    out.read_sensor_ids.reserve(schedule.selected_sensors.size());
+    for (int si : schedule.selected_sensors) {
+      out.read_sensor_ids.push_back(slot.sensors[si].sensor_id);
+    }
+    return out;
+  };
+  return ReduceOutcomes(RunSlots(*config.trace, slots, sensors, population,
+                                 config.parallelism, body));
+}
+
 ExperimentResult RunAggregateExperiment(const AggregateExperimentConfig& config) {
   Rng rng(config.seed);
   Rng sensor_rng = rng.Fork(1);
@@ -92,16 +184,14 @@ ExperimentResult RunAggregateExperiment(const AggregateExperimentConfig& config)
   population.count = config.trace->NumSensors();
   std::vector<Sensor> sensors = GenerateSensors(population, sensor_rng);
 
-  ExperimentResult result;
-  double total_utility = 0.0;
   const int slots = std::min(config.num_slots, config.trace->NumSlots());
-  for (int t = 0; t < slots; ++t) {
-    ApplyTraceSlot(*config.trace, t, &sensors);
-    const SlotContext slot = BuildSlotContext(sensors, config.working_region, t,
-                                              config.sensing_range);
+  const auto body = [&](int t, const std::vector<Sensor>& slot_sensors) {
+    const SlotContext slot = BuildSlotContext(slot_sensors, config.working_region,
+                                              t, config.sensing_range);
+    Rng slot_rng = SlotStream(query_rng, t);
     const std::vector<AggregateQuery::Params> params = GenerateAggregateQueries(
         config.mean_queries_per_slot, config.working_region, config.sensing_range,
-        config.budget_factor, t * 100, query_rng);
+        config.budget_factor, t * 100, slot_rng);
     std::vector<std::unique_ptr<AggregateQuery>> queries;
     for (const AggregateQuery::Params& p : params) {
       queries.push_back(std::make_unique<AggregateQuery>(p, slot));
@@ -109,31 +199,28 @@ ExperimentResult RunAggregateExperiment(const AggregateExperimentConfig& config)
     std::vector<MultiQuery*> ptrs;
     for (auto& q : queries) ptrs.push_back(q.get());
     const SelectionResult selection =
-        config.greedy ? GreedySensorSelection(ptrs, slot)
+        config.greedy ? GreedySensorSelection(ptrs, slot, nullptr, config.engine)
                       : BaselineSequentialSelection(ptrs, slot);
-    total_utility += selection.Utility();
-    result.avg_cost += selection.total_cost;
-    result.avg_value += selection.total_value;
-    result.total_queries += static_cast<int64_t>(queries.size());
+
+    SlotOutcome out;
+    out.utility = selection.Utility();
+    out.cost = selection.total_cost;
+    out.value = selection.total_value;
+    out.queries = static_cast<int64_t>(queries.size());
     for (const auto& q : queries) {
       if (q->CurrentValue() > 0.0) {
-        ++result.answered_queries;
-        result.avg_quality += q->CurrentValue() / q->MaxValue();
+        ++out.answered;
+        out.quality_sum += q->CurrentValue() / q->MaxValue();
       }
     }
-    RecordReadings(selection.selected_sensors, slot, &sensors);
-  }
-  result.avg_utility = slots > 0 ? total_utility / slots : 0.0;
-  result.avg_cost = slots > 0 ? result.avg_cost / slots : 0.0;
-  result.avg_value = slots > 0 ? result.avg_value / slots : 0.0;
-  result.satisfaction =
-      result.total_queries > 0
-          ? static_cast<double>(result.answered_queries) / result.total_queries
-          : 0.0;
-  result.avg_quality = result.answered_queries > 0
-                           ? result.avg_quality / result.answered_queries
-                           : 0.0;
-  return result;
+    out.read_sensor_ids.reserve(selection.selected_sensors.size());
+    for (int si : selection.selected_sensors) {
+      out.read_sensor_ids.push_back(slot.sensors[si].sensor_id);
+    }
+    return out;
+  };
+  return ReduceOutcomes(RunSlots(*config.trace, slots, sensors, population,
+                                 config.parallelism, body));
 }
 
 ExperimentResult RunLocationMonitoringExperiment(

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/geometry.h"
+#include "core/greedy.h"
 #include "core/point_scheduling.h"
 #include "data/gaussian_field.h"
 #include "gp/kernel.h"
@@ -45,6 +46,14 @@ struct PointExperimentConfig {
   SensorPopulationConfig sensors;  // `count` must match the trace
   uint64_t seed = 123;
   int64_t node_limit = 500'000;
+  /// Worker threads sharding the simulation slots; 0 = hardware
+  /// concurrency. Slot workloads derive from per-slot RNG streams and the
+  /// reduction runs in slot order, so the result is bit-identical for any
+  /// value. Only honored when the sensor population has no cross-slot
+  /// feedback (see HasCrossSlotFeedback); with feedback (linear energy,
+  /// privacy, short lifetimes) slots are inherently sequential and run on
+  /// one thread regardless.
+  int parallelism = 0;
 };
 
 ExperimentResult RunPointExperiment(const PointExperimentConfig& config);
@@ -62,8 +71,12 @@ struct AggregateExperimentConfig {
   double budget_factor = 15.0;
   /// True: Algorithm 1. False: sequential baseline (Section 4.4).
   bool greedy = true;
+  /// Engine executing the Algorithm 1 selection (ignored by the baseline).
+  GreedyEngine engine = GreedyEngine::kLazy;
   SensorPopulationConfig sensors;
   uint64_t seed = 123;
+  /// Same contract as PointExperimentConfig::parallelism.
+  int parallelism = 0;
 };
 
 ExperimentResult RunAggregateExperiment(const AggregateExperimentConfig& config);

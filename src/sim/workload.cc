@@ -87,6 +87,14 @@ std::vector<Sensor> GenerateSensors(const SensorPopulationConfig& config, Rng& r
   return sensors;
 }
 
+bool HasCrossSlotFeedback(const SensorPopulationConfig& config, int num_slots) {
+  if (config.linear_energy) return true;
+  if (config.random_privacy) return true;
+  // With the fixed energy model a reading only matters once it wears the
+  // sensor out, which cannot happen before slot `lifetime`.
+  return config.lifetime < num_slots;
+}
+
 LocationMonitoringQuery GenerateLocationMonitoringQuery(
     int id, const Rect& working, int t_now, int horizon,
     const std::vector<double>& history_times,

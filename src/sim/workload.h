@@ -60,6 +60,17 @@ struct SensorPopulationConfig {
 
 std::vector<Sensor> GenerateSensors(const SensorPopulationConfig& config, Rng& rng);
 
+/// True when a population generated from `config` carries observable state
+/// across time slots of a `num_slots`-slot run, i.e. when slot outcomes
+/// feed back into later slots' sensor announcements:
+///   - the linear energy model raises a sensor's price with each reading,
+///   - privacy-sensitive sensors raise their price after recent reports,
+///   - a lifetime shorter than the run lets sensors wear out mid-run.
+/// When this returns false, slots are mutually independent given the seed
+/// and the mobility trace, and the experiment runners may shard them
+/// across threads (see the `parallelism` knob in sim/experiments.h).
+bool HasCrossSlotFeedback(const SensorPopulationConfig& config, int num_slots);
+
 /// New location-monitoring query (Section 4.5): random location in
 /// `working`, duration uniform in [5, 20] (clipped to `horizon`), desired
 /// sampling times = duration/3 slots picked by the OptiMoS-style selector

@@ -1,0 +1,149 @@
+// Tests of the thread pool and the parallel slot execution of the
+// experiment runners: sharding independent slots over workers must be a
+// pure performance knob — any parallelism value yields the bit-identical
+// ExperimentResult for the same seed.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "mobility/random_waypoint.h"
+#include "sim/experiments.h"
+#include "sim/workload.h"
+
+namespace psens {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h = 0;
+  pool.ParallelFor(257, [&](int i) { ++hits[i]; });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SubmitWaitRunsAllTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&counter] { ++counter; });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ResolveParallelism) {
+  EXPECT_EQ(ThreadPool::ResolveParallelism(3), 3);
+  EXPECT_EQ(ThreadPool::ResolveParallelism(1), 1);
+  EXPECT_GE(ThreadPool::ResolveParallelism(0), 1);
+  EXPECT_GE(ThreadPool::ResolveParallelism(-2), 1);
+}
+
+TEST(HasCrossSlotFeedbackTest, DetectsFeedbackSources) {
+  SensorPopulationConfig config;
+  config.lifetime = 20;
+  EXPECT_FALSE(HasCrossSlotFeedback(config, 20));
+  EXPECT_TRUE(HasCrossSlotFeedback(config, 21));  // wear-out mid-run
+  config.lifetime = 50;
+  config.linear_energy = true;
+  EXPECT_TRUE(HasCrossSlotFeedback(config, 20));
+  config.linear_energy = false;
+  config.random_privacy = true;
+  EXPECT_TRUE(HasCrossSlotFeedback(config, 20));
+}
+
+Trace SmallRwm(int slots) {
+  RandomWaypointConfig config;
+  config.num_sensors = 60;
+  config.num_slots = slots;
+  config.seed = 21;
+  return GenerateRandomWaypoint(config);
+}
+
+PointExperimentConfig BasePointConfig(const Trace& trace, int slots) {
+  PointExperimentConfig config;
+  config.trace = &trace;
+  config.working_region = Rect{10, 10, 70, 70};
+  config.dmax = 8.0;
+  config.num_slots = slots;
+  config.queries_per_slot = 60;
+  config.budget = BudgetScheme{15.0, false, 0.0};
+  config.scheduler = PointScheduler::kLocalSearch;
+  config.sensors.lifetime = slots;
+  config.seed = 99;
+  return config;
+}
+
+void ExpectIdentical(const ExperimentResult& a, const ExperimentResult& b) {
+  // Bit-identical, not merely close: the parallel runner promises the
+  // exact sequential result (ordered reduction over per-slot streams).
+  EXPECT_EQ(a.avg_utility, b.avg_utility);
+  EXPECT_EQ(a.satisfaction, b.satisfaction);
+  EXPECT_EQ(a.avg_quality, b.avg_quality);
+  EXPECT_EQ(a.avg_cost, b.avg_cost);
+  EXPECT_EQ(a.avg_value, b.avg_value);
+  EXPECT_EQ(a.total_queries, b.total_queries);
+  EXPECT_EQ(a.answered_queries, b.answered_queries);
+}
+
+TEST(ParallelExperimentTest, PointExperimentDeterministicAcrossThreadCounts) {
+  const Trace trace = SmallRwm(8);
+  PointExperimentConfig config = BasePointConfig(trace, 8);
+  config.parallelism = 1;
+  const ExperimentResult sequential = RunPointExperiment(config);
+  EXPECT_GT(sequential.total_queries, 0);
+  for (int threads : {2, 4, 7}) {
+    config.parallelism = threads;
+    ExpectIdentical(sequential, RunPointExperiment(config));
+  }
+  config.parallelism = 0;  // auto = hardware concurrency
+  ExpectIdentical(sequential, RunPointExperiment(config));
+}
+
+TEST(ParallelExperimentTest, AggregateExperimentDeterministicAcrossThreadCounts) {
+  const Trace trace = SmallRwm(6);
+  AggregateExperimentConfig config;
+  config.trace = &trace;
+  config.working_region = Rect{10, 10, 70, 70};
+  config.num_slots = 6;
+  config.budget_factor = 12.0;
+  config.sensors.lifetime = 6;
+  config.seed = 7;
+  config.parallelism = 1;
+  const ExperimentResult sequential = RunAggregateExperiment(config);
+  config.parallelism = 4;
+  ExpectIdentical(sequential, RunAggregateExperiment(config));
+}
+
+TEST(ParallelExperimentTest, FeedbackConfigsIgnoreParallelismSafely) {
+  // Linear energy costs couple slots; the runner must fall back to the
+  // sequential feedback path and still give identical results for any
+  // requested parallelism.
+  const Trace trace = SmallRwm(6);
+  PointExperimentConfig config = BasePointConfig(trace, 6);
+  config.sensors.linear_energy = true;
+  config.parallelism = 1;
+  const ExperimentResult sequential = RunPointExperiment(config);
+  config.parallelism = 4;
+  ExpectIdentical(sequential, RunPointExperiment(config));
+}
+
+TEST(ParallelExperimentTest, WearOutStillBitesOnTheSequentialPath) {
+  // Guard for the HasCrossSlotFeedback contract: short lifetimes must
+  // still wear sensors out (the parallel fast path would lose that).
+  const Trace trace = SmallRwm(10);
+  PointExperimentConfig config = BasePointConfig(trace, 10);
+  config.sensors.lifetime = 2;
+  const ExperimentResult short_life = RunPointExperiment(config);
+  config.sensors.lifetime = 10;
+  const ExperimentResult long_life = RunPointExperiment(config);
+  EXPECT_LT(short_life.avg_utility, long_life.avg_utility);
+}
+
+}  // namespace
+}  // namespace psens
