@@ -1,6 +1,7 @@
 #ifndef PSENS_BENCH_BENCH_UTIL_H_
 #define PSENS_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -9,18 +10,23 @@
 namespace psens::bench {
 
 /// Shared command-line handling for the figure binaries:
-///   --slots N    simulate N time slots (default 50, the paper's setting)
-///   --seed S     base RNG seed
-///   --quick      shorthand for a fast smoke run (--slots 10)
-///   --threads N  worker threads for independent sweep points / slots
-///                (default 0 = hardware concurrency; results are
-///                bit-identical for any value)
+///   --slots N        simulate N time slots (default 50, the paper's setting)
+///   --seed S         base RNG seed
+///   --quick          shorthand for a fast smoke run (--slots 10)
+///   --threads N      worker threads for independent sweep points / slots
+///                    (default 0 = hardware concurrency; results are
+///                    bit-identical for any value)
+///   --json PATH      also write machine-readable results to PATH (only
+///                    binaries that support it; fig11_scale_sweep does)
+///   --max-sensors N  cap the population sweep (fig11_scale_sweep)
 struct BenchArgs {
   int slots = 50;
   uint64_t seed = 123;
   bool quick = false;
   bool ablation = false;
   int threads = 0;
+  std::string json_path;
+  int max_sensors = 0;
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
@@ -36,6 +42,10 @@ struct BenchArgs {
         args.seed = static_cast<uint64_t>(std::atoll(argv[++i]));
       } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
         args.threads = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        args.json_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--max-sensors") == 0 && i + 1 < argc) {
+        args.max_sensors = std::atoi(argv[++i]);
       }
     }
     return args;
@@ -44,6 +54,35 @@ struct BenchArgs {
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Wall-clock of one call of `fn`, in milliseconds.
+template <typename Fn>
+double TimeMs(const Fn& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+/// Host-speed calibration: wall-clock (ms) of a fixed floating-point loop.
+/// The benchmark-regression gate divides measured times by this value so a
+/// committed baseline from one machine remains comparable on another (see
+/// docs/BENCHMARKS.md, "Regression gate contract").
+inline double CalibrationMs() {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const double ms = TimeMs([] {
+      double acc = 1.0;
+      for (int i = 1; i <= 20'000'000; ++i) {
+        acc = acc * 0.999999 + 1.0 / static_cast<double>(i);
+      }
+      // Defeat dead-code elimination; the branch is never taken.
+      if (acc == 0.12345) std::printf("never\n");
+    });
+    if (ms < best) best = ms;
+  }
+  return best;
 }
 
 }  // namespace psens::bench

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate for CI (docs/BENCHMARKS.md, "Regression gate").
+
+Merges the machine-readable outputs of the quick benchmark runs into one
+BENCH_pr.json artifact and diffs it against the committed baseline
+(bench/BENCH_baseline.json). The gate fails (exit 1) on:
+
+  1. any fig11 result where the indexed run was not bit-identical to the
+     brute-force run (`identical: false`) — correctness, zero tolerance;
+  2. fig11 speedup at the largest population below --min-speedup
+     (default 10x) — the asymptotic win must not rot;
+  3. deterministic *work* regressions: `pruned_pairs` (candidate pairs the
+     indexed path scans; machine-independent and bit-reproducible) more
+     than --tolerance (default 20%) above the baseline;
+  4. *time* regressions above --tolerance, after normalizing every wall
+     time by the run's `cal_ms` calibration (a fixed FP loop timed in the
+     same process), which makes the committed baseline comparable across
+     hosts of different speeds. Time checks require --strict-time; without
+     it they only warn, because shared CI runners jitter more than 20%
+     while checks 1-3 stay exact.
+
+Usage:
+  check_bench_regression.py --fig11 fig11.json [--schedulers sched.json]
+      --baseline bench/BENCH_baseline.json --out BENCH_pr.json
+      [--min-speedup 10] [--tolerance 0.2] [--strict-time] [--update]
+
+--update rewrites the baseline from the current run instead of checking.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def google_benchmark_times(doc):
+    """name -> real_time in ms from a google-benchmark JSON report."""
+    out = {}
+    for b in (doc or {}).get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}.get(unit)
+        if scale is None:
+            continue
+        out[b["name"]] = b["real_time"] * scale
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--fig11", required=True, help="fig11_scale_sweep --json output")
+    ap.add_argument("--schedulers", help="bench_schedulers --benchmark_out JSON")
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--out", default="BENCH_pr.json")
+    ap.add_argument("--min-speedup", type=float, default=10.0)
+    ap.add_argument("--tolerance", type=float, default=0.20)
+    ap.add_argument("--strict-time", action="store_true",
+                    help="make normalized-time regressions fatal, not warnings")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from this run")
+    args = ap.parse_args()
+
+    fig11 = load(args.fig11)
+    schedulers = load(args.schedulers) if args.schedulers else None
+
+    pr = {
+        "cal_ms": fig11.get("cal_ms", 0.0),
+        "fig11": fig11.get("results", []),
+        "scheduler_times_ms": google_benchmark_times(schedulers),
+    }
+    with open(args.out, "w") as f:
+        json.dump(pr, f, indent=2)
+    print(f"wrote {args.out}")
+
+    if args.update:
+        with open(args.baseline, "w") as f:
+            json.dump(pr, f, indent=2)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    failures = []
+    warnings = []
+
+    # 1. bit-identical selections, always fatal.
+    for r in pr["fig11"]:
+        if not r.get("identical", False):
+            failures.append(f"fig11 {r['name']} n={r['sensors']}: indexed run "
+                            "diverged from brute force")
+
+    # 2. speedup at the largest population.
+    if pr["fig11"]:
+        largest = max(r["sensors"] for r in pr["fig11"])
+        for r in pr["fig11"]:
+            if r["sensors"] != largest:
+                continue
+            if r["speedup"] < args.min_speedup:
+                failures.append(
+                    f"fig11 {r['name']} n={r['sensors']}: speedup "
+                    f"{r['speedup']:.1f}x < required {args.min_speedup:.1f}x")
+            else:
+                print(f"ok: fig11 {r['name']} n={r['sensors']} speedup "
+                      f"{r['speedup']:.1f}x (>= {args.min_speedup:.1f}x)")
+    else:
+        failures.append("fig11 produced no results")
+
+    try:
+        base = load(args.baseline)
+    except FileNotFoundError:
+        warnings.append(f"no baseline at {args.baseline}; deterministic and "
+                        "time diffs skipped (run with --update to create it)")
+        base = None
+
+    if base is not None:
+        limit = 1.0 + args.tolerance
+        base_fig11 = {(r["name"], r["sensors"]): r for r in base.get("fig11", [])}
+        for r in pr["fig11"]:
+            b = base_fig11.get((r["name"], r["sensors"]))
+            if b is None:
+                warnings.append(f"fig11 {r['name']} n={r['sensors']}: "
+                                "not in baseline (new benchmark?)")
+                continue
+            # 3. deterministic work metric — fatal.
+            if b["pruned_pairs"] > 0 and r["pruned_pairs"] > b["pruned_pairs"] * limit:
+                failures.append(
+                    f"fig11 {r['name']} n={r['sensors']}: pruned_pairs "
+                    f"{r['pruned_pairs']} > {limit:.2f}x baseline {b['pruned_pairs']}")
+            # 4. normalized wall clock.
+            if pr["cal_ms"] > 0 and base.get("cal_ms", 0) > 0 and b["pruned_ms"] > 0:
+                norm_pr = r["pruned_ms"] / pr["cal_ms"]
+                norm_base = b["pruned_ms"] / base["cal_ms"]
+                if norm_base > 0 and norm_pr > norm_base * limit:
+                    msg = (f"fig11 {r['name']} n={r['sensors']}: normalized "
+                           f"pruned time {norm_pr:.3f} > {limit:.2f}x baseline "
+                           f"{norm_base:.3f}")
+                    (failures if args.strict_time else warnings).append(msg)
+
+        base_times = base.get("scheduler_times_ms", {})
+        for name, t in pr["scheduler_times_ms"].items():
+            bt = base_times.get(name)
+            if bt is None or bt <= 0 or pr["cal_ms"] <= 0 or base.get("cal_ms", 0) <= 0:
+                continue
+            norm_pr = t / pr["cal_ms"]
+            norm_base = bt / base["cal_ms"]
+            if norm_pr > norm_base * limit:
+                msg = (f"bench_schedulers {name}: normalized time {norm_pr:.3f} "
+                       f"> {limit:.2f}x baseline {norm_base:.3f}")
+                (failures if args.strict_time else warnings).append(msg)
+
+    for w in warnings:
+        print(f"warning: {w}")
+    if failures:
+        for f_ in failures:
+            print(f"FAIL: {f_}", file=sys.stderr)
+        return 1
+    print("benchmark-regression gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,8 @@
 #include <bit>
 #include <cmath>
 
+#include "index/spatial_index.h"
+
 namespace psens {
 namespace {
 
@@ -39,11 +41,23 @@ AggregateQuery::AggregateQuery(const Params& params, const SlotContext& slot)
   cover_mask_.resize(slot.sensors.size());
   theta_.assign(slot.sensors.size(), 0.0);
   const double range = params_.sensing_range;
-  for (const SlotSensor& s : slot.sensors) {
-    // Quick reject: sensing disk does not touch the region.
-    const Rect grown{params_.region.x_min - range, params_.region.y_min - range,
-                     params_.region.x_max + range, params_.region.y_max + range};
-    if (!grown.Contains(s.location)) continue;
+  // Quick reject: a sensing disk touching the region requires the sensor
+  // inside the region grown by the range. With a slot index this is one
+  // rect probe instead of a full population scan; the probe returns
+  // exactly the sensors the brute-force Contains test accepts, ascending.
+  const Rect grown{params_.region.x_min - range, params_.region.y_min - range,
+                   params_.region.x_max + range, params_.region.y_max + range};
+  slot_indexed_ = slot.index != nullptr;
+  std::vector<int> coarse;
+  if (slot_indexed_) {
+    slot.index->RectQuery(grown, &coarse);
+  } else {
+    for (const SlotSensor& s : slot.sensors) {
+      if (grown.Contains(s.location)) coarse.push_back(s.index);
+    }
+  }
+  for (int si : coarse) {
+    const SlotSensor& s = slot.sensors[si];
     std::vector<uint64_t> mask(NumWords(), 0);
     bool any = false;
     for (int c = 0; c < num_cells_; ++c) {
@@ -59,9 +73,14 @@ AggregateQuery::AggregateQuery(const Params& params, const SlotContext& slot)
     if (any) {
       cover_mask_[s.index] = std::move(mask);
       theta_[s.index] = SensorTheta(s);
+      candidates_.push_back(s.index);
     }
   }
   acc_mask_.assign(NumWords(), 0);
+}
+
+const std::vector<int>* AggregateQuery::CandidateSensors() const {
+  return slot_indexed_ ? &candidates_ : nullptr;
 }
 
 double AggregateQuery::ValueFrom(int covered_cells, double theta_sum,
@@ -154,7 +173,40 @@ TrajectoryQuery::TrajectoryQuery(const Params& params, const SlotContext& slot)
 
   cover_mask_.resize(slot.sensors.size());
   theta_.assign(slot.sensors.size(), 0.0);
-  for (const SlotSensor& s : slot.sensors) {
+  // Coarse pruning: a sensor covering any corridor cell lies inside the
+  // cell centers' bounding box grown by the sensing range.
+  slot_indexed_ = slot.index != nullptr;
+  std::vector<int> coarse;
+  if (slot_indexed_) {
+    Rect grown;
+    grown.x_min = grown.x_max = cell_centers_[0].x;
+    grown.y_min = grown.y_max = cell_centers_[0].y;
+    for (const Point& c : cell_centers_) {
+      grown.x_min = std::min(grown.x_min, c.x);
+      grown.x_max = std::max(grown.x_max, c.x);
+      grown.y_min = std::min(grown.y_min, c.y);
+      grown.y_max = std::max(grown.y_max, c.y);
+    }
+    // Grow by the range plus a rounding slack: unlike AggregateQuery's
+    // quick reject (where both paths test the same grown rect), the
+    // unindexed trajectory path has no coarse filter at all, so a
+    // boundary sensor lost to the +-range arithmetic's rounding would
+    // break bit-equality with the dense scan. The slack dwarfs that
+    // rounding while staying far below any cell size.
+    const double slack =
+        1e-9 * (1.0 + std::abs(grown.x_max) + std::abs(grown.y_max) +
+                std::abs(grown.x_min) + std::abs(grown.y_min) +
+                params_.sensing_range);
+    grown.x_min -= params_.sensing_range + slack;
+    grown.y_min -= params_.sensing_range + slack;
+    grown.x_max += params_.sensing_range + slack;
+    grown.y_max += params_.sensing_range + slack;
+    slot.index->RectQuery(grown, &coarse);
+  } else {
+    for (const SlotSensor& s : slot.sensors) coarse.push_back(s.index);
+  }
+  for (int si : coarse) {
+    const SlotSensor& s = slot.sensors[si];
     std::vector<uint64_t> mask(NumWords(), 0);
     bool any = false;
     for (int c = 0; c < num_cells_; ++c) {
@@ -166,9 +218,14 @@ TrajectoryQuery::TrajectoryQuery(const Params& params, const SlotContext& slot)
     if (any) {
       cover_mask_[s.index] = std::move(mask);
       theta_[s.index] = SensorTheta(s);
+      candidates_.push_back(s.index);
     }
   }
   acc_mask_.assign(NumWords(), 0);
+}
+
+const std::vector<int>* TrajectoryQuery::CandidateSensors() const {
+  return slot_indexed_ ? &candidates_ : nullptr;
 }
 
 double TrajectoryQuery::ValueFrom(int covered_cells, double theta_sum,

@@ -45,6 +45,11 @@ class AggregateQuery : public MultiQueryBase {
   void Commit(int sensor, double payment) override;
   double MaxValue() const override { return params_.budget; }
 
+  /// Sensors whose sensing disk covers at least one region cell (marginal
+  /// value is exactly zero for all others). Exposed only when the slot was
+  /// indexed at bind time, so unindexed slots keep the reference scan.
+  const std::vector<int>* CandidateSensors() const override;
+
   void ResetSelection() override;
 
   /// Coverage G(S) in [0, 1] for the current selection.
@@ -66,6 +71,9 @@ class AggregateQuery : public MultiQueryBase {
   /// Per slot-sensor: covered-cell bitset (empty when not a candidate).
   std::vector<std::vector<uint64_t>> cover_mask_;
   std::vector<double> theta_;
+  /// Sensors with non-empty masks, ascending; valid when slot_indexed_.
+  std::vector<int> candidates_;
+  bool slot_indexed_ = false;
 
   // Incremental selection state.
   std::vector<uint64_t> acc_mask_;
@@ -92,6 +100,7 @@ class TrajectoryQuery : public MultiQueryBase {
   double MarginalValue(int sensor) const override;
   void Commit(int sensor, double payment) override;
   double MaxValue() const override { return params_.budget; }
+  const std::vector<int>* CandidateSensors() const override;
   void ResetSelection() override;
 
   double CurrentCoverage() const;
@@ -106,6 +115,8 @@ class TrajectoryQuery : public MultiQueryBase {
   std::vector<Point> cell_centers_;
   std::vector<std::vector<uint64_t>> cover_mask_;
   std::vector<double> theta_;
+  std::vector<int> candidates_;
+  bool slot_indexed_ = false;
 
   std::vector<uint64_t> acc_mask_;
   int covered_cells_ = 0;

@@ -1,0 +1,71 @@
+#include "core/candidate_pruning.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace psens {
+
+CandidatePlan BuildCandidatePlan(const std::vector<MultiQuery*>& queries,
+                                 int num_sensors) {
+  CandidatePlan plan;
+  for (const MultiQuery* q : queries) {
+    if (q->CandidateSensors() != nullptr) {
+      plan.active = true;
+      break;
+    }
+  }
+  if (!plan.active) {
+    plan.all_sensors.resize(static_cast<size_t>(num_sensors));
+    std::iota(plan.all_sensors.begin(), plan.all_sensors.end(), 0);
+    plan.all_queries.resize(queries.size());
+    std::iota(plan.all_queries.begin(), plan.all_queries.end(), 0);
+    return plan;
+  }
+
+  plan.queries_of_sensor.resize(static_cast<size_t>(num_sensors));
+  // Ascending qi loop keeps every per-sensor query list ascending, which
+  // preserves the dense scan's marginal accumulation order exactly.
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const std::vector<int>* candidates = queries[qi]->CandidateSensors();
+    if (candidates == nullptr) {
+      for (auto& list : plan.queries_of_sensor) list.push_back(static_cast<int>(qi));
+    } else {
+      for (int s : *candidates) {
+        if (s >= 0 && s < num_sensors) {
+          plan.queries_of_sensor[static_cast<size_t>(s)].push_back(
+              static_cast<int>(qi));
+        }
+      }
+    }
+  }
+  for (int s = 0; s < num_sensors; ++s) {
+    if (!plan.queries_of_sensor[static_cast<size_t>(s)].empty()) {
+      plan.sensors.push_back(s);
+    }
+  }
+  return plan;
+}
+
+void CheckPrunedMarginals(const std::vector<MultiQuery*>& queries,
+                          const CandidatePlan& plan, int sensor) {
+#ifdef NDEBUG
+  (void)queries;
+  (void)plan;
+  (void)sensor;
+#else
+  if (!plan.active) return;
+  std::vector<char> interested(queries.size(), 0);
+  for (int qi : plan.queries_of_sensor[static_cast<size_t>(sensor)]) {
+    interested[static_cast<size_t>(qi)] = 1;
+  }
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    if (interested[qi]) continue;
+    // The pruning contract: a sensor outside a query's candidate list can
+    // never carry positive marginal value for it.
+    assert(queries[qi]->MarginalValue(sensor) <= 1e-12 &&
+           "candidate pruning dropped a sensor with positive marginal value");
+  }
+#endif
+}
+
+}  // namespace psens

@@ -1,0 +1,59 @@
+#ifndef PSENS_CORE_CANDIDATE_PRUNING_H_
+#define PSENS_CORE_CANDIDATE_PRUNING_H_
+
+#include <vector>
+
+#include "core/multi_query.h"
+
+namespace psens {
+
+/// Inverted candidate index for one joint selection run: which queries can
+/// possibly assign positive marginal value to which sensor. Built from the
+/// queries' CandidateSensors() hooks; a query exposing no candidate list
+/// ("dense") is attached to every sensor.
+///
+/// The plan is exact, not heuristic: CandidateSensors() is contractually
+/// conservative (a sensor outside the list has marginal value <= 0 against
+/// every possible selection state), so a sensor with no interested query
+/// has net gain <= -cost and can never be picked by Algorithm 1's
+/// positive-net rule. Scanning `sensors` (ascending) instead of all slot
+/// sensors, and summing marginals over `queries_of_sensor[s]` (ascending
+/// query order) instead of all queries, therefore reproduces the dense
+/// scan's selections, payments, and tie-breaks bit for bit.
+struct CandidatePlan {
+  /// False when no query exposed a candidate list; engines then run the
+  /// reference dense loops (identical behaviour *and* identical
+  /// valuation-call counts to the pre-index code).
+  bool active = false;
+  /// Sensors (ascending) with at least one interested query.
+  std::vector<int> sensors;
+  /// Per sensor: interested queries, ascending by query position.
+  std::vector<std::vector<int>> queries_of_sensor;
+  /// Dense fallbacks (0..n-1 / 0..Q-1), filled only when !active.
+  std::vector<int> all_sensors;
+  std::vector<int> all_queries;
+
+  /// Sensors an engine must scan, resolving the dense fallback.
+  const std::vector<int>& ScanSensors() const {
+    return active ? sensors : all_sensors;
+  }
+  /// Queries that may value `sensor`, resolving the dense fallback.
+  const std::vector<int>& QueriesOf(int sensor) const {
+    return active ? queries_of_sensor[static_cast<size_t>(sensor)] : all_queries;
+  }
+};
+
+CandidatePlan BuildCandidatePlan(const std::vector<MultiQuery*>& queries,
+                                 int num_sensors);
+
+/// Debug cross-check of the pruning contract for one committed sensor:
+/// asserts that every query *not* in the plan's list for `sensor` indeed
+/// reports a non-positive marginal value. Compiled to a no-op in NDEBUG
+/// builds (the extra MarginalValue probes would otherwise distort the
+/// valuation-call diagnostics and the asymptotics pruning exists to fix).
+void CheckPrunedMarginals(const std::vector<MultiQuery*>& queries,
+                          const CandidatePlan& plan, int sensor);
+
+}  // namespace psens
+
+#endif  // PSENS_CORE_CANDIDATE_PRUNING_H_

@@ -1,7 +1,10 @@
 #include "core/greedy.h"
 
 #include <algorithm>
+#include <numeric>
+#include <utility>
 
+#include "core/candidate_pruning.h"
 #include "core/lazy_greedy.h"
 
 namespace psens {
@@ -14,7 +17,11 @@ int64_t TotalValuationCalls(const std::vector<MultiQuery*>& queries) {
 }
 
 /// The literal Algorithm 1: full rescan of every remaining sensor each
-/// round. Reference implementation for GreedyEngine::kEager.
+/// round. Reference implementation for GreedyEngine::kEager. When queries
+/// expose candidate lists (indexed slots), the rescan covers only sensors
+/// some query can value, and each sensor's net sums only over its
+/// interested queries — selections and payments are bit-identical to the
+/// dense scan (see core/candidate_pruning.h).
 SelectionResult EagerGreedySensorSelection(const std::vector<MultiQuery*>& queries,
                                            const SlotContext& slot,
                                            const std::vector<double>* cost_scale) {
@@ -23,18 +30,20 @@ SelectionResult EagerGreedySensorSelection(const std::vector<MultiQuery*>& queri
   const int n = static_cast<int>(slot.sensors.size());
   std::vector<char> remaining(n, 1);
 
-  std::vector<double> marginals(queries.size());
+  const CandidatePlan plan = BuildCandidatePlan(queries, n);
+
+  std::vector<std::pair<int, double>> marginals;  // (query, delta) of the winner
   while (true) {
     int best_sensor = -1;
     double best_net = 0.0;
-    for (int s = 0; s < n; ++s) {
+    for (int s : plan.ScanSensors()) {
       if (!remaining[s]) continue;
       double scale = 1.0;
       if (cost_scale != nullptr) scale = (*cost_scale)[s];
       const double cost = slot.sensors[s].cost * scale;
       double positive_sum = 0.0;
-      for (MultiQuery* q : queries) {
-        const double delta = q->MarginalValue(s);
+      for (int qi : plan.QueriesOf(s)) {
+        const double delta = queries[qi]->MarginalValue(s);
         if (delta > 0.0) positive_sum += delta;
       }
       const double net = positive_sum - cost;
@@ -44,18 +53,21 @@ SelectionResult EagerGreedySensorSelection(const std::vector<MultiQuery*>& queri
       }
     }
     if (best_sensor < 0) break;  // line 12: no sensor with positive net gain
+    CheckPrunedMarginals(queries, plan, best_sensor);
 
     // Recompute the winning sensor's per-query marginals and commit with
     // proportionate payments (line 10). The *true* cost is charged.
     const double true_cost = slot.sensors[best_sensor].cost;
+    marginals.clear();
     double positive_sum = 0.0;
-    for (size_t qi = 0; qi < queries.size(); ++qi) {
-      marginals[qi] = queries[qi]->MarginalValue(best_sensor);
-      if (marginals[qi] > 0.0) positive_sum += marginals[qi];
+    for (int qi : plan.QueriesOf(best_sensor)) {
+      const double delta = queries[qi]->MarginalValue(best_sensor);
+      marginals.emplace_back(qi, delta);
+      if (delta > 0.0) positive_sum += delta;
     }
-    for (size_t qi = 0; qi < queries.size(); ++qi) {
-      if (marginals[qi] > 0.0) {
-        const double payment = marginals[qi] * true_cost / positive_sum;
+    for (const auto& [qi, delta] : marginals) {
+      if (delta > 0.0) {
+        const double payment = delta * true_cost / positive_sum;
         queries[qi]->Commit(best_sensor, payment);
       }
     }
@@ -90,14 +102,21 @@ SelectionResult BaselineSequentialSelection(const std::vector<MultiQuery*>& quer
   for (int s = 0; s < n; ++s) remaining_cost[s] = slot.sensors[s].cost;
   std::vector<char> selected(n, 0);
 
+  std::vector<int> all_sensors(n);
+  std::iota(all_sensors.begin(), all_sensors.end(), 0);
+
   for (MultiQuery* q : queries) {
     // Greedily buy sensors maximizing this query's own net utility at the
-    // sensors' remaining (possibly zero) cost.
+    // sensors' remaining (possibly zero) cost. Only the query's candidate
+    // sensors can have positive net (others have marginal <= 0 against
+    // cost >= 0), so the scan shrinks to them on indexed slots.
+    const std::vector<int>* candidates = q->CandidateSensors();
+    const std::vector<int>& scan = candidates != nullptr ? *candidates : all_sensors;
     std::vector<char> used(n, 0);
     while (true) {
       int best_sensor = -1;
       double best_net = 0.0;
-      for (int s = 0; s < n; ++s) {
+      for (int s : scan) {
         if (used[s]) continue;
         const double net = q->MarginalValue(s) - remaining_cost[s];
         if (net > best_net) {

@@ -1,7 +1,10 @@
 #include "core/lazy_greedy.h"
 
 #include <queue>
+#include <utility>
 #include <vector>
+
+#include "core/candidate_pruning.h"
 
 namespace psens {
 namespace {
@@ -37,6 +40,12 @@ SelectionResult LazyGreedySensorSelection(const std::vector<MultiQuery*>& querie
   const int64_t calls_before = TotalValuationCalls(queries);
   const int n = static_cast<int>(slot.sensors.size());
 
+  // Candidate pruning (indexed slots): a sensor no query can value has
+  // net gain <= -cost and never enters the heap; a sensor's net sums only
+  // over its interested queries. Identical selections and payments, fewer
+  // valuation calls (core/candidate_pruning.h).
+  const CandidatePlan plan = BuildCandidatePlan(queries, n);
+
   // Net gain of adding `sensor` to the current joint selection, at the
   // (possibly scaled) announced cost.
   const auto EvaluateNet = [&](int sensor) {
@@ -44,19 +53,19 @@ SelectionResult LazyGreedySensorSelection(const std::vector<MultiQuery*>& querie
     if (cost_scale != nullptr) scale = (*cost_scale)[sensor];
     const double cost = slot.sensors[sensor].cost * scale;
     double positive_sum = 0.0;
-    for (MultiQuery* q : queries) {
-      const double delta = q->MarginalValue(sensor);
+    for (int qi : plan.QueriesOf(sensor)) {
+      const double delta = queries[qi]->MarginalValue(sensor);
       if (delta > 0.0) positive_sum += delta;
     }
     return positive_sum - cost;
   };
 
   std::priority_queue<Candidate, std::vector<Candidate>, CandidateLess> heap;
-  for (int s = 0; s < n; ++s) {
+  for (int s : plan.ScanSensors()) {
     heap.push(Candidate{EvaluateNet(s), 0, s});
   }
 
-  std::vector<double> marginals(queries.size());
+  std::vector<std::pair<int, double>> marginals;  // (query, delta) of the winner
   int round = 0;
   while (!heap.empty()) {
     Candidate top = heap.top();
@@ -70,19 +79,22 @@ SelectionResult LazyGreedySensorSelection(const std::vector<MultiQuery*>& querie
       continue;
     }
     if (top.net <= 0.0) break;  // fresh maximum without positive net gain
+    CheckPrunedMarginals(queries, plan, top.sensor);
 
     // Commit exactly like the eager loop: recompute the winner's
     // per-query marginals and split its *true* cost proportionally
     // (Algorithm 1 line 10).
     const double true_cost = slot.sensors[top.sensor].cost;
+    marginals.clear();
     double positive_sum = 0.0;
-    for (size_t qi = 0; qi < queries.size(); ++qi) {
-      marginals[qi] = queries[qi]->MarginalValue(top.sensor);
-      if (marginals[qi] > 0.0) positive_sum += marginals[qi];
+    for (int qi : plan.QueriesOf(top.sensor)) {
+      const double delta = queries[qi]->MarginalValue(top.sensor);
+      marginals.emplace_back(qi, delta);
+      if (delta > 0.0) positive_sum += delta;
     }
-    for (size_t qi = 0; qi < queries.size(); ++qi) {
-      if (marginals[qi] > 0.0) {
-        const double payment = marginals[qi] * true_cost / positive_sum;
+    for (const auto& [qi, delta] : marginals) {
+      if (delta > 0.0) {
+        const double payment = delta * true_cost / positive_sum;
         queries[qi]->Commit(top.sensor, payment);
       }
     }

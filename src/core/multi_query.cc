@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "index/spatial_index.h"
+
 namespace psens {
 
 double PointMultiQuery::MarginalValue(int sensor) const {
@@ -18,6 +20,15 @@ void PointMultiQuery::Commit(int sensor, double payment) {
   }
   selected_.push_back(sensor);
   total_payment_ += payment;
+}
+
+const std::vector<int>* PointMultiQuery::CandidateSensors() const {
+  if (slot_->index == nullptr) return nullptr;
+  if (!candidates_ready_) {
+    slot_->index->RangeQuery(query_.location, slot_->dmax, &candidates_);
+    candidates_ready_ = true;
+  }
+  return &candidates_;
 }
 
 double PointMultiQuery::BestQuality() const {

@@ -47,6 +47,14 @@ class MultiQuery {
   /// Number of valuation-function evaluations performed (for the
   /// complexity property 4 of Theorem 1).
   virtual int64_t ValuationCalls() const = 0;
+
+  /// Slot-sensor indices (ascending) that can ever carry positive marginal
+  /// value for this query, or nullptr for "unknown — consider every
+  /// sensor". Implementations must be conservative: a sensor outside the
+  /// list must have MarginalValue <= 0 against *every* selection state.
+  /// The greedy engines use this to skip hopeless valuations
+  /// (core/candidate_pruning.h); pruned and dense runs select identically.
+  virtual const std::vector<int>* CandidateSensors() const { return nullptr; }
 };
 
 /// Common bookkeeping for MultiQuery implementations.
@@ -88,6 +96,11 @@ class PointMultiQuery : public MultiQueryBase {
   void Commit(int sensor, double payment) override;
   double MaxValue() const override { return query_.budget; }
 
+  /// Sensors within dmax of the queried location (Eq. 4 quality — and so
+  /// Eq. 3 value — is exactly zero beyond it), via the slot's spatial
+  /// index; nullptr when the slot is unindexed.
+  const std::vector<int>* CandidateSensors() const override;
+
   /// The slot sensor currently providing the best reading (-1 if none).
   int BestSensor() const { return best_sensor_; }
   /// Quality theta of the best committed reading.
@@ -102,6 +115,8 @@ class PointMultiQuery : public MultiQueryBase {
   PointQuery query_;
   const SlotContext* slot_;
   int best_sensor_ = -1;
+  mutable std::vector<int> candidates_;
+  mutable bool candidates_ready_ = false;
 };
 
 /// Arbitrary set-valuation query defined by a callback; used in tests and

@@ -2,7 +2,18 @@
 
 #include <algorithm>
 
+#include "index/spatial_index.h"
+
 namespace psens {
+
+const std::vector<int>* MultiSensorPointQuery::CandidateSensors() const {
+  if (slot_->index == nullptr) return nullptr;
+  if (!candidates_ready_) {
+    slot_->index->RangeQuery(params_.location, slot_->dmax, &candidates_);
+    candidates_ready_ = true;
+  }
+  return &candidates_;
+}
 
 double MultiSensorPointQuery::Quality(int sensor) const {
   const double theta = SlotQuality(slot_->sensors[sensor], params_.location,

@@ -36,6 +36,11 @@ class MultiSensorPointQuery : public MultiQueryBase {
   void Commit(int sensor, double payment) override;
   double MaxValue() const override { return params_.budget; }
 
+  /// Sensors within dmax of the queried location (quality — and so the
+  /// top-k valuation — is exactly zero beyond it); nullptr when the slot
+  /// is unindexed.
+  const std::vector<int>* CandidateSensors() const override;
+
   void ResetSelection() override {
     MultiQueryBase::ResetSelection();
     qualities_.clear();
@@ -57,6 +62,8 @@ class MultiSensorPointQuery : public MultiQueryBase {
   Params params_;
   const SlotContext* slot_;
   std::vector<double> qualities_;
+  mutable std::vector<int> candidates_;
+  mutable bool candidates_ready_ = false;
 };
 
 }  // namespace psens

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <numeric>
 #include <utility>
 
 #include "common/rng.h"
+#include "index/spatial_index.h"
 
 namespace psens {
 namespace {
@@ -69,13 +71,27 @@ PointScheduleResult RunBaseline(const std::vector<PointQuery>& queries,
   // query at the same location for free; we implement the more general
   // rule from Section 4.3 (cost of selected sensors drops to zero).
   std::vector<char> selected(slot.sensors.size(), 0);
+  // On indexed slots only sensors within dmax of the query can have
+  // positive value (Eq. 4); the range probe returns them ascending, so the
+  // arg-max tie-breaks exactly like the full ascending scan.
+  std::vector<int> all_sensors;
+  if (slot.index == nullptr) {
+    all_sensors.resize(slot.sensors.size());
+    std::iota(all_sensors.begin(), all_sensors.end(), 0);
+  }
+  std::vector<int> candidates;
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     PointAssignment& a = result.assignments[qi];
     a.query = static_cast<int>(qi);
     int best_sensor = -1;
     double best_utility = 0.0;
     double best_value = 0.0;
-    for (const SlotSensor& s : slot.sensors) {
+    if (slot.index != nullptr) {
+      slot.index->RangeQuery(queries[qi].location, slot.dmax, &candidates);
+    }
+    const std::vector<int>& scan = slot.index != nullptr ? candidates : all_sensors;
+    for (int si : scan) {
+      const SlotSensor& s = slot.sensors[si];
       const double value = PointQueryValue(queries[qi], s, slot.dmax);
       if (value <= 0.0) continue;
       const double utility = value - remaining_cost[s.index];
@@ -111,13 +127,21 @@ class FacilityLocalSearch {
         epsilon_(epsilon),
         n_(problem.NumSensors()),
         covers_(problem.num_locations) {
+    active_.resize(n_);
     for (int i = 0; i < n_; ++i) {
       for (const auto& [loc, v] : problem_.value[i]) {
         covers_[loc].emplace_back(i, v);
       }
+      // A sensor covering nothing has AddGain = -open_cost <= 0 and can
+      // never be opened; skipping it in every scan is exact and keeps the
+      // search O(candidates) instead of O(population) on pruned problems
+      // where most of a large slot covers no queried location.
+      active_[i] = !problem_.value[i].empty() || problem_.open_cost[i] < 0.0;
     }
     Reset();
   }
+
+  bool active(int i) const { return active_[i] != 0; }
 
   void Reset() {
     open_.assign(n_, 0);
@@ -171,18 +195,25 @@ class FacilityLocalSearch {
   }
 
   /// Runs improvement passes (adds then removes) until a local optimum.
-  /// `order` is the candidate scan order.
+  /// `order` is the candidate scan order; inactive sensors are filtered
+  /// out once up front (they can never open), keeping each pass
+  /// O(candidates) instead of O(population) on pruned problems.
   void RunToLocalOptimum(const std::vector<int>& order) {
+    std::vector<int> scan;
+    scan.reserve(order.size());
+    for (int i : order) {
+      if (active_[i]) scan.push_back(i);
+    }
     bool improved = true;
     while (improved) {
       improved = false;
-      for (int i : order) {
+      for (int i : scan) {
         if (!open_[i] && AddGain(i) > epsilon_) {
           Open(i);
           improved = true;
         }
       }
-      for (int i : order) {
+      for (int i : scan) {
         if (open_[i] && RemoveGain(i) > epsilon_) {
           Close(i);
           improved = true;
@@ -213,6 +244,7 @@ class FacilityLocalSearch {
   const FacilityLocationProblem& problem_;
   const double epsilon_;
   const int n_;
+  std::vector<char> active_;
   std::vector<std::vector<std::pair<int, double>>> covers_;
   std::vector<char> open_;
   std::vector<double> best1_value_;
@@ -248,24 +280,47 @@ FacilityLocationProblem BuildPointProblem(const std::vector<PointQuery>& queries
   problem.num_locations = static_cast<int>(locations.size());
   problem.open_cost.resize(slot.sensors.size());
   problem.value.resize(slot.sensors.size());
+  for (const SlotSensor& s : slot.sensors) problem.open_cost[s.index] = s.cost;
+
+  // Queries grouped per location in arrival order, so each (location,
+  // sensor) valuation sum accumulates in exactly the order the dense
+  // query-major scan used.
+  std::vector<std::vector<int>> queries_at(locations.size());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    queries_at[static_cast<size_t>((*location_of_query)[qi])].push_back(
+        static_cast<int>(qi));
+  }
+
   // v_l(s) = sum over queries at l of v_q(s) (Eq. 10 drops non-positive
   // entries: a sensor is simply never assigned where it yields nothing).
-  std::vector<std::vector<double>> value_at(locations.size());
+  // Only sensors within dmax of l can contribute (Eq. 4), so on indexed
+  // slots each location values its range-probe candidates instead of the
+  // whole population; candidates come back ascending, and locations are
+  // processed in ascending order, so each sensor's sparse value list keeps
+  // the reference (location-ascending) layout bit for bit.
+  std::vector<int> all_sensors;
+  if (slot.index == nullptr) {
+    all_sensors.resize(slot.sensors.size());
+    std::iota(all_sensors.begin(), all_sensors.end(), 0);
+  }
+  std::vector<int> candidates;
+  std::vector<double> sums;
   for (size_t l = 0; l < locations.size(); ++l) {
-    value_at[l].assign(slot.sensors.size(), 0.0);
-  }
-  for (size_t qi = 0; qi < queries.size(); ++qi) {
-    const int loc = (*location_of_query)[qi];
-    for (const SlotSensor& s : slot.sensors) {
-      const double v = PointQueryValue(queries[qi], s, slot.dmax);
-      if (v > 0.0) value_at[loc][s.index] += v;
+    if (slot.index != nullptr) {
+      slot.index->RangeQuery(locations[l], slot.dmax, &candidates);
     }
-  }
-  for (const SlotSensor& s : slot.sensors) {
-    problem.open_cost[s.index] = s.cost;
-    for (size_t l = 0; l < locations.size(); ++l) {
-      if (value_at[l][s.index] > 0.0) {
-        problem.value[s.index].emplace_back(static_cast<int>(l), value_at[l][s.index]);
+    const std::vector<int>& scan = slot.index != nullptr ? candidates : all_sensors;
+    sums.assign(scan.size(), 0.0);
+    for (int qi : queries_at[l]) {
+      for (size_t k = 0; k < scan.size(); ++k) {
+        const double v =
+            PointQueryValue(queries[qi], slot.sensors[scan[k]], slot.dmax);
+        if (v > 0.0) sums[k] += v;
+      }
+    }
+    for (size_t k = 0; k < scan.size(); ++k) {
+      if (sums[k] > 0.0) {
+        problem.value[scan[k]].emplace_back(static_cast<int>(l), sums[k]);
       }
     }
   }
@@ -290,8 +345,12 @@ FacilityLocationSolution LocalSearchFacility(const FacilityLocationProblem& prob
     if (randomized) {
       rng.Shuffle(order);
       // Random warm start: open a few random sensors with positive gain.
+      // The Bernoulli draw stays first so the RNG stream is identical with
+      // and without the inactive-sensor shortcut.
       for (int i : order) {
-        if (rng.Bernoulli(0.25) && search.AddGain(i) > 0.0) search.Open(i);
+        if (rng.Bernoulli(0.25) && search.active(i) && search.AddGain(i) > 0.0) {
+          search.Open(i);
+        }
       }
     } else {
       // Deterministic variant starts from the best singleton, per Feige
@@ -299,6 +358,7 @@ FacilityLocationSolution LocalSearchFacility(const FacilityLocationProblem& prob
       int best_single = -1;
       double best_gain = epsilon;
       for (int i = 0; i < n; ++i) {
+        if (!search.active(i)) continue;
         const double g = search.AddGain(i);
         if (g > best_gain) {
           best_gain = g;

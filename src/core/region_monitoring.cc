@@ -1,9 +1,11 @@
 #include "core/region_monitoring.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 #include "gp/gaussian_process.h"
+#include "index/spatial_index.h"
 
 namespace psens {
 
@@ -60,12 +62,26 @@ double RegionMonitoringManager::SlotValue(const RegionMonitoringQuery& query, in
 std::vector<double> RegionMonitoringManager::CostScale(const SlotContext& slot) const {
   std::vector<double> scale(slot.sensors.size(), 1.0);
   if (!config_.cost_weighting) return scale;
-  for (const SlotSensor& s : slot.sensors) {
-    int k = 0;
+  // k = number of active query regions containing each sensor. On indexed
+  // slots this is one rect probe per query instead of a sensors x queries
+  // scan; the counts — and so the Eq. (18) weights — are identical.
+  std::vector<int> counts(slot.sensors.size(), 0);
+  if (slot.index != nullptr) {
+    std::vector<int> in_region;
     for (const RegionMonitoringQuery& q : queries_) {
-      if (q.ActiveAt(slot.time) && q.region.Contains(s.location)) ++k;
+      if (!q.ActiveAt(slot.time)) continue;
+      slot.index->RectQuery(q.region, &in_region);
+      for (int si : in_region) ++counts[si];
     }
-    if (k > 0) scale[s.index] = SharingWeight(k);
+  } else {
+    for (const SlotSensor& s : slot.sensors) {
+      for (const RegionMonitoringQuery& q : queries_) {
+        if (q.ActiveAt(slot.time) && q.region.Contains(s.location)) ++counts[s.index];
+      }
+    }
+  }
+  for (size_t si = 0; si < counts.size(); ++si) {
+    if (counts[si] > 0) scale[si] = SharingWeight(counts[si]);
   }
   return scale;
 }
@@ -81,6 +97,32 @@ std::vector<int> RegionMonitoringManager::SelectSamplingPoints(
   const std::vector<Point> targets = GridTargets(query.region, config_.target_step);
   if (targets.empty()) return chosen;
 
+  // Kernel-support candidate pruning: a candidate farther from the target
+  // region than the spatial kernel's support radius has (numerically) zero
+  // covariance with every target, hence zero variance-reduction gain. The
+  // radius is conservative — in-region candidates sit at distance 0 and
+  // always survive, so with the in-region lists CreatePointQueries passes
+  // this never prunes; it guards callers (tests, future sharing schemes)
+  // that offer wider candidate sets — and the debug cross-check below
+  // asserts that nothing with nonzero marginal gain is ever dropped.
+  const double support =
+      spatial_kernel_->SupportRadius(1e-12 * spatial_kernel_->Variance());
+  std::vector<int> candidates;
+  candidates.reserve(in_region.size());
+#ifndef NDEBUG
+  std::vector<int> dropped;
+#endif
+  for (int si : in_region) {
+    const Point& loc = slot.sensors[si].location;
+    if (Distance(loc, query.region.Clamp(loc)) <= support) {
+      candidates.push_back(si);
+    } else {
+#ifndef NDEBUG
+      dropped.push_back(si);
+#endif
+    }
+  }
+
   // One spatial selector per future slot (Algorithm 4 lines 2, 5-9): the
   // sets S_t grow independently; only S_tc is returned.
   std::vector<IncrementalGpSelector> selectors;
@@ -88,6 +130,16 @@ std::vector<int> RegionMonitoringManager::SelectSamplingPoints(
   for (int t = tc; t <= t2; ++t) {
     selectors.emplace_back(spatial_kernel_, config_.noise_variance, targets);
   }
+#ifndef NDEBUG
+  // Cross-check against the fresh selector (empty conditioning set, where
+  // gains are largest): IncrementalGpSelector::MarginalGain must agree
+  // that every pruned candidate is worthless.
+  for (int si : dropped) {
+    assert(selectors[0].MarginalGain(slot.sensors[si].location) <=
+               1e-6 * spatial_kernel_->Variance() &&
+           "kernel-support pruning dropped a sensor with nonzero marginal gain");
+  }
+#endif
   // Membership of each (sensor, t) pair.
   std::vector<std::vector<char>> member(selectors.size(),
                                         std::vector<char>(slot.sensors.size(), 0));
@@ -98,7 +150,7 @@ std::vector<int> RegionMonitoringManager::SelectSamplingPoints(
     int best_sensor = -1;
     int best_t = -1;
     double best_delta = 0.0;
-    for (int si : in_region) {
+    for (int si : candidates) {
       const SlotSensor& s = slot.sensors[si];
       const double theta = (1.0 - s.inaccuracy) * s.trust;
       for (size_t ti = 0; ti < selectors.size(); ++ti) {
@@ -139,8 +191,12 @@ std::vector<PointQuery> RegionMonitoringManager::CreatePointQueries(
     const double remaining = q.budget - q.spent;
     if (remaining <= 0.0) continue;
     std::vector<int> in_region;
-    for (const SlotSensor& s : slot.sensors) {
-      if (q.region.Contains(s.location)) in_region.push_back(s.index);
+    if (slot.index != nullptr) {
+      slot.index->RectQuery(q.region, &in_region);
+    } else {
+      for (const SlotSensor& s : slot.sensors) {
+        if (q.region.Contains(s.location)) in_region.push_back(s.index);
+      }
     }
     const std::vector<int> planned =
         SelectSamplingPoints(q, slot, in_region, cost_scale, remaining);

@@ -1,12 +1,33 @@
 #ifndef PSENS_CORE_SLOT_H_
 #define PSENS_CORE_SLOT_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/geometry.h"
 #include "core/sensor.h"
 
 namespace psens {
+
+class SpatialIndex;
+
+/// How (and whether) a slot's sensor locations are spatially indexed.
+/// The index only ever *prunes* candidate scans — every valuation is
+/// exactly zero beyond its radius, so indexed and unindexed runs produce
+/// bit-identical selections and payments (tests/pruning_equivalence_test).
+enum class SlotIndexPolicy {
+  /// Build an index for populations of at least kSlotIndexAutoThreshold
+  /// sensors, choosing grid vs. k-d tree by density (the default).
+  kAuto,
+  /// Never index: schedulers scan `sensors` end to end (the reference
+  /// path, and the right call for tiny slots).
+  kNone,
+  kGrid,
+  kKdTree,
+};
+
+/// Minimum population for which kAuto bothers building an index.
+inline constexpr int kSlotIndexAutoThreshold = 32;
 
 /// A sensor as announced to the aggregator at the beginning of a time slot
 /// (Section 2.1): its location and its price for providing one measurement
@@ -30,16 +51,28 @@ struct SlotContext {
   /// (d_max of Eq. 4). Experiment-wide constant in the paper.
   double dmax = 5.0;
   std::vector<SlotSensor> sensors;
+  SlotIndexPolicy index_policy = SlotIndexPolicy::kAuto;
+  /// Spatial index over `sensors` locations (point index i == slot-sensor
+  /// index i), or null when the policy/population says brute force.
+  /// Schedulers treat null as "scan everything".
+  std::shared_ptr<const SpatialIndex> index;
 };
 
+/// (Re)builds `slot.index` from `slot.sensors` per `slot.index_policy`.
+/// Defined in src/index/spatial_index.cc.
+void AttachSlotIndex(SlotContext& slot);
+
 /// Builds the slot context from the sensor registry: available sensors
-/// inside `working_region` announce their location and cost.
+/// inside `working_region` announce their location and cost. Attaches the
+/// spatial index per `index_policy`.
 inline SlotContext BuildSlotContext(const std::vector<Sensor>& sensors,
                                     const Rect& working_region, int time,
-                                    double dmax) {
+                                    double dmax,
+                                    SlotIndexPolicy index_policy = SlotIndexPolicy::kAuto) {
   SlotContext ctx;
   ctx.time = time;
   ctx.dmax = dmax;
+  ctx.index_policy = index_policy;
   for (const Sensor& s : sensors) {
     if (!s.available()) continue;
     if (!working_region.Contains(s.position())) continue;
@@ -52,6 +85,7 @@ inline SlotContext BuildSlotContext(const std::vector<Sensor>& sensors,
     slot_sensor.trust = s.profile().trust;
     ctx.sensors.push_back(slot_sensor);
   }
+  AttachSlotIndex(ctx);
   return ctx;
 }
 

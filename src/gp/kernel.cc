@@ -1,8 +1,39 @@
 #include "gp/kernel.h"
 
 #include <cmath>
+#include <limits>
 
 namespace psens {
+
+double Kernel::SupportRadius(double /*tol*/) const {
+  return std::numeric_limits<double>::infinity();
+}
+
+double SquaredExponentialKernel::SupportRadius(double tol) const {
+  if (tol <= 0.0) return std::numeric_limits<double>::infinity();
+  if (tol >= variance_) return 0.0;
+  // variance * exp(-d^2 / 2l^2) = tol  =>  d = l sqrt(2 ln(variance/tol)).
+  return length_scale_ * std::sqrt(2.0 * std::log(variance_ / tol));
+}
+
+double Matern32Kernel::SupportRadius(double tol) const {
+  if (tol <= 0.0) return std::numeric_limits<double>::infinity();
+  if (tol >= variance_) return 0.0;
+  // Solve (1 + r) exp(-r) = tol / variance by bisection; the left side is
+  // strictly decreasing for r > 0.
+  const double target = tol / variance_;
+  double lo = 0.0, hi = 1.0;
+  while ((1.0 + hi) * std::exp(-hi) > target) hi *= 2.0;
+  for (int it = 0; it < 64; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if ((1.0 + mid) * std::exp(-mid) > target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi * length_scale_ / std::sqrt(3.0);
+}
 
 double SquaredExponentialKernel::operator()(const Point& a, const Point& b) const {
   const double d = Distance(a, b);

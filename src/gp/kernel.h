@@ -17,6 +17,12 @@ class Kernel {
   virtual double operator()(const Point& a, const Point& b) const = 0;
   /// Prior variance at any location (k(x, x)).
   virtual double Variance() const = 0;
+  /// Conservative support radius: a distance R such that k(a, b) < tol
+  /// whenever Distance(a, b) > R. Candidate pruning uses it to skip
+  /// observations that cannot meaningfully reduce variance anywhere near
+  /// the targets; infinity (the default) disables such pruning for
+  /// kernels without a known bound.
+  virtual double SupportRadius(double tol) const;
 };
 
 /// Squared-exponential kernel: variance * exp(-d^2 / (2 l^2)).
@@ -27,6 +33,7 @@ class SquaredExponentialKernel : public Kernel {
 
   double operator()(const Point& a, const Point& b) const override;
   double Variance() const override { return variance_; }
+  double SupportRadius(double tol) const override;
 
  private:
   double variance_;
@@ -41,6 +48,7 @@ class Matern32Kernel : public Kernel {
 
   double operator()(const Point& a, const Point& b) const override;
   double Variance() const override { return variance_; }
+  double SupportRadius(double tol) const override;
 
  private:
   double variance_;

@@ -1,0 +1,54 @@
+#ifndef PSENS_INDEX_KD_TREE_H_
+#define PSENS_INDEX_KD_TREE_H_
+
+#include <vector>
+
+#include "index/spatial_index.h"
+
+namespace psens {
+
+/// Balanced 2-d tree: median splits on the wider axis, exact per-subtree
+/// bounding boxes, leaves of up to kLeafSize points. Interior pruning uses
+/// conservative squared-distance bounds with a small relative slack; every
+/// surviving leaf point goes through the exact `Distance`/`Contains`
+/// predicate, so results match a brute-force scan bit for bit. Handles
+/// duplicate and collinear points (degenerate boxes just stop splitting
+/// early or split by index).
+class KdTreeIndex : public SpatialIndex {
+ public:
+  explicit KdTreeIndex(const std::vector<Point>& points);
+
+  int size() const override { return static_cast<int>(order_.size()); }
+  void RangeQuery(const Point& center, double radius,
+                  std::vector<int>* out) const override;
+  void RectQuery(const Rect& rect, std::vector<int>* out) const override;
+  int Nearest(const Point& p) const override;
+  const char* Name() const override { return "kd-tree"; }
+
+  static constexpr int kLeafSize = 16;
+
+ private:
+  struct Node {
+    Rect bbox{0, 0, 0, 0};
+    int begin = 0;   // range into order_
+    int end = 0;
+    int left = -1;   // -1: leaf
+    int right = -1;
+  };
+
+  int Build(const std::vector<Point>& points, int begin, int end);
+  void RangeRecurse(int node, const Point& center, double radius, double r2,
+                    std::vector<int>* out) const;
+  void RectRecurse(int node, const Rect& rect, std::vector<int>* out) const;
+  void NearestRecurse(int node, const Point& p, int* best, double* best_d2) const;
+  static double BoxMinDist2(const Rect& b, const Point& p);
+
+  std::vector<int> order_;   // point indices, leaf ranges contiguous
+  std::vector<double> xs_;   // coordinates in order_ layout: leaf scans
+  std::vector<double> ys_;   //   read contiguous memory (cache locality)
+  std::vector<Node> nodes_;  // nodes_[0] is the root (when non-empty)
+};
+
+}  // namespace psens
+
+#endif  // PSENS_INDEX_KD_TREE_H_

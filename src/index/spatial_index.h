@@ -1,0 +1,68 @@
+#ifndef PSENS_INDEX_SPATIAL_INDEX_H_
+#define PSENS_INDEX_SPATIAL_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace psens {
+
+/// Read-only spatial index over a fixed set of 2-D points (the slot's
+/// sensor locations). All query methods return *exactly* the same point
+/// set a brute-force scan with the same predicate would return — interior
+/// pruning is conservative and the final filter uses the same `Distance`
+/// / `Rect::Contains` arithmetic as the valuation code — and results are
+/// always sorted ascending by point index. Both properties together are
+/// what lets the schedulers swap a full scan for an index probe without
+/// changing a single selected sensor, payment, or tie-break
+/// (see docs/ARCHITECTURE.md, "Spatial index layer").
+class SpatialIndex {
+ public:
+  virtual ~SpatialIndex() = default;
+
+  /// Number of indexed points.
+  virtual int size() const = 0;
+
+  /// Appends to `out` the indices (ascending) of all points p with
+  /// Distance(p, center) <= radius. `out` is cleared first.
+  virtual void RangeQuery(const Point& center, double radius,
+                          std::vector<int>* out) const = 0;
+
+  /// Appends to `out` the indices (ascending) of all points contained in
+  /// `rect` (inclusive bounds, same as Rect::Contains). `out` is cleared
+  /// first.
+  virtual void RectQuery(const Rect& rect, std::vector<int>* out) const = 0;
+
+  /// Index of the point nearest to `p`; ties broken toward the lowest
+  /// index; -1 when the index is empty.
+  virtual int Nearest(const Point& p) const = 0;
+
+  /// Human-readable implementation name ("uniform-grid", "kd-tree").
+  virtual const char* Name() const = 0;
+};
+
+/// Uniform bucket grid. O(1) cell lookup; ideal when points are dense and
+/// roughly evenly spread (most cells occupied). `cell_size <= 0` picks a
+/// cell size targeting ~2 points per cell over the bounding box.
+std::unique_ptr<SpatialIndex> BuildUniformGridIndex(const std::vector<Point>& points,
+                                                    double cell_size = 0.0);
+
+/// Balanced k-d tree (median splits, exact subtree bounding boxes).
+/// Robust to heavy clustering, collinear and duplicate points.
+std::unique_ptr<SpatialIndex> BuildKdTreeIndex(const std::vector<Point>& points);
+
+/// Density-based choice between the two: builds the auto-sized grid's
+/// occupancy histogram in O(n) and keeps the grid when at least
+/// `kGridOccupancyThreshold` of its cells are occupied (dense, even
+/// population); falls back to the k-d tree for skewed/clustered
+/// populations where a grid would be mostly empty cells.
+std::unique_ptr<SpatialIndex> BuildSpatialIndexAuto(const std::vector<Point>& points);
+
+/// Occupied-cell fraction below which BuildSpatialIndexAuto prefers the
+/// k-d tree.
+inline constexpr double kGridOccupancyThreshold = 0.20;
+
+}  // namespace psens
+
+#endif  // PSENS_INDEX_SPATIAL_INDEX_H_

@@ -142,8 +142,8 @@ ExperimentResult RunPointExperiment(const PointExperimentConfig& config) {
 
   const int slots = std::min(config.num_slots, config.trace->NumSlots());
   const auto body = [&](int t, const std::vector<Sensor>& slot_sensors) {
-    const SlotContext slot =
-        BuildSlotContext(slot_sensors, config.working_region, t, config.dmax);
+    const SlotContext slot = BuildSlotContext(slot_sensors, config.working_region,
+                                              t, config.dmax, config.index_policy);
     Rng slot_rng = SlotStream(query_rng, t);
     const std::vector<PointQuery> queries =
         GeneratePointQueries(config.queries_per_slot, config.working_region,
@@ -186,8 +186,9 @@ ExperimentResult RunAggregateExperiment(const AggregateExperimentConfig& config)
 
   const int slots = std::min(config.num_slots, config.trace->NumSlots());
   const auto body = [&](int t, const std::vector<Sensor>& slot_sensors) {
-    const SlotContext slot = BuildSlotContext(slot_sensors, config.working_region,
-                                              t, config.sensing_range);
+    const SlotContext slot =
+        BuildSlotContext(slot_sensors, config.working_region, t,
+                         config.sensing_range, config.index_policy);
     Rng slot_rng = SlotStream(query_rng, t);
     const std::vector<AggregateQuery::Params> params = GenerateAggregateQueries(
         config.mean_queries_per_slot, config.working_region, config.sensing_range,
@@ -244,8 +245,8 @@ ExperimentResult RunLocationMonitoringExperiment(
   const int slots = std::min(config.num_slots, config.trace->NumSlots());
   for (int t = 0; t < slots; ++t) {
     ApplyTraceSlot(*config.trace, t, &sensors);
-    const SlotContext slot =
-        BuildSlotContext(sensors, config.working_region, t, config.dmax);
+    const SlotContext slot = BuildSlotContext(sensors, config.working_region, t,
+                                              config.dmax, config.index_policy);
 
     // New arrivals, keeping the live population under max_alive.
     const int arrivals = static_cast<int>(
@@ -315,8 +316,9 @@ ExperimentResult RunRegionMonitoringExperiment(
   int next_id = 0;
   for (int t = 0; t < config.num_slots; ++t) {
     ApplyTraceSlot(trace, t, &sensors);
-    const SlotContext slot =
-        BuildSlotContext(sensors, config.field, t, config.sensing_radius);
+    const SlotContext slot = BuildSlotContext(sensors, config.field, t,
+                                              config.sensing_radius,
+                                              config.index_policy);
 
     manager.AddQuery(GenerateRegionMonitoringQuery(next_id++, config.field, t,
                                                    config.num_slots,
@@ -375,8 +377,8 @@ QueryMixResultSummary RunQueryMixExperiment(const QueryMixExperimentConfig& conf
   const int slots = std::min(config.num_slots, config.trace->NumSlots());
   for (int t = 0; t < slots; ++t) {
     ApplyTraceSlot(*config.trace, t, &sensors);
-    const SlotContext slot =
-        BuildSlotContext(sensors, config.working_region, t, config.dmax);
+    const SlotContext slot = BuildSlotContext(sensors, config.working_region, t,
+                                              config.dmax, config.index_policy);
 
     const std::vector<PointQuery> points = GeneratePointQueries(
         config.point_queries_per_slot, config.working_region,

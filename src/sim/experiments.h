@@ -44,6 +44,10 @@ struct PointExperimentConfig {
   double theta_min = 0.2;
   PointScheduler scheduler = PointScheduler::kLocalSearch;
   SensorPopulationConfig sensors;  // `count` must match the trace
+  /// Spatial-index policy for each slot's sensor population (kAuto: index
+  /// large slots, prune valuations; kNone: reference full scans). Pruned
+  /// and unpruned runs produce bit-identical results.
+  SlotIndexPolicy index_policy = SlotIndexPolicy::kAuto;
   uint64_t seed = 123;
   int64_t node_limit = 500'000;
   /// Worker threads sharding the simulation slots; 0 = hardware
@@ -74,6 +78,8 @@ struct AggregateExperimentConfig {
   /// Engine executing the Algorithm 1 selection (ignored by the baseline).
   GreedyEngine engine = GreedyEngine::kLazy;
   SensorPopulationConfig sensors;
+  /// Same contract as PointExperimentConfig::index_policy.
+  SlotIndexPolicy index_policy = SlotIndexPolicy::kAuto;
   uint64_t seed = 123;
   /// Same contract as PointExperimentConfig::parallelism.
   int parallelism = 0;
@@ -104,6 +110,8 @@ struct LocationMonitoringExperimentConfig {
   std::vector<double> history_times;
   std::vector<double> history_values;
   SensorPopulationConfig sensors;
+  /// Same contract as PointExperimentConfig::index_policy.
+  SlotIndexPolicy index_policy = SlotIndexPolicy::kAuto;
   uint64_t seed = 123;
 };
 
@@ -132,6 +140,8 @@ struct RegionMonitoringExperimentConfig {
   bool cost_weighting = true;
   bool share_extra_sensors = true;
   SensorPopulationConfig sensors;
+  /// Same contract as PointExperimentConfig::index_policy.
+  SlotIndexPolicy index_policy = SlotIndexPolicy::kAuto;
   uint64_t seed = 123;
 };
 
@@ -157,6 +167,8 @@ struct QueryMixExperimentConfig {
   std::vector<double> history_times;
   std::vector<double> history_values;
   SensorPopulationConfig sensors;
+  /// Same contract as PointExperimentConfig::index_policy.
+  SlotIndexPolicy index_policy = SlotIndexPolicy::kAuto;
   uint64_t seed = 123;
 };
 

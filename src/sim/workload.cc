@@ -95,6 +95,83 @@ bool HasCrossSlotFeedback(const SensorPopulationConfig& config, int num_slots) {
   return config.lifetime < num_slots;
 }
 
+namespace {
+
+/// Samples a cluster index from the scenario's cumulative weights.
+int DrawCluster(const std::vector<double>& cdf, Rng& rng) {
+  const double u = rng.UniformDouble();
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  const int k = static_cast<int>(it - cdf.begin());
+  return std::min(k, static_cast<int>(cdf.size()) - 1);
+}
+
+/// A location with the scenario's clustered spatial law: uniform with the
+/// background probability, otherwise a Gaussian offset from a
+/// weight-sampled cluster center, clamped into the field.
+Point DrawClusteredLocation(const ScaleScenario& scenario,
+                            const ClusteredPopulationConfig& config, Rng& rng) {
+  if (scenario.cluster_centers.empty() ||
+      rng.UniformDouble() < config.background_fraction) {
+    return Point{rng.Uniform(scenario.field.x_min, scenario.field.x_max),
+                 rng.Uniform(scenario.field.y_min, scenario.field.y_max)};
+  }
+  const int k = DrawCluster(scenario.cluster_cdf, rng);
+  const Point& c = scenario.cluster_centers[static_cast<size_t>(k)];
+  return scenario.field.Clamp(Point{rng.Normal(c.x, config.cluster_sigma),
+                                    rng.Normal(c.y, config.cluster_sigma)});
+}
+
+}  // namespace
+
+ScaleScenario GenerateClusteredSensors(const ClusteredPopulationConfig& config,
+                                       const Rect& field, Rng& rng) {
+  ScaleScenario scenario;
+  scenario.field = field;
+  const int clusters = std::max(1, config.num_clusters);
+  scenario.cluster_centers.reserve(clusters);
+  for (int k = 0; k < clusters; ++k) {
+    scenario.cluster_centers.push_back(
+        Point{rng.Uniform(field.x_min, field.x_max),
+              rng.Uniform(field.y_min, field.y_max)});
+  }
+  // Zipf-like weights w_k = (k+1)^-skew, normalized into a CDF.
+  scenario.cluster_cdf.resize(clusters);
+  double total = 0.0;
+  for (int k = 0; k < clusters; ++k) {
+    total += std::pow(static_cast<double>(k + 1), -config.density_skew);
+  }
+  double acc = 0.0;
+  for (int k = 0; k < clusters; ++k) {
+    acc += std::pow(static_cast<double>(k + 1), -config.density_skew) / total;
+    scenario.cluster_cdf[static_cast<size_t>(k)] = acc;
+  }
+
+  SensorPopulationConfig profile = config.profile;
+  profile.count = config.count;
+  scenario.sensors = GenerateSensors(profile, rng);
+  for (Sensor& s : scenario.sensors) {
+    s.SetPosition(DrawClusteredLocation(scenario, config, rng), true);
+  }
+  return scenario;
+}
+
+std::vector<PointQuery> GenerateClusteredPointQueries(
+    int count, const ScaleScenario& scenario,
+    const ClusteredPopulationConfig& config, const BudgetScheme& budget,
+    double theta_min, int id_base, Rng& rng) {
+  std::vector<PointQuery> queries;
+  queries.reserve(static_cast<size_t>(std::max(count, 0)));
+  for (int i = 0; i < count; ++i) {
+    PointQuery q;
+    q.id = id_base + i;
+    q.location = DrawClusteredLocation(scenario, config, rng);
+    q.budget = budget.Draw(rng);
+    q.theta_min = theta_min;
+    queries.push_back(q);
+  }
+  return queries;
+}
+
 LocationMonitoringQuery GenerateLocationMonitoringQuery(
     int id, const Rect& working, int t_now, int horizon,
     const std::vector<double>& history_times,

@@ -71,6 +71,52 @@ std::vector<Sensor> GenerateSensors(const SensorPopulationConfig& config, Rng& r
 /// across threads (see the `parallelism` knob in sim/experiments.h).
 bool HasCrossSlotFeedback(const SensorPopulationConfig& config, int num_slots);
 
+// ---------------------------------------------------------------------------
+// Large-scale clustered populations (fig11_scale_sweep)
+// ---------------------------------------------------------------------------
+
+/// Generator for city-scale sensor populations (100k-1M participants):
+/// sensors concentrate in Gaussian clusters ("districts") whose weights
+/// follow a Zipf-like law, over a uniform background — the density skew of
+/// real participatory deployments that uniform populations miss and that
+/// the spatial index's density heuristic keys on.
+struct ClusteredPopulationConfig {
+  int count = 100'000;
+  int num_clusters = 32;
+  /// Standard deviation of each Gaussian cluster, in field units.
+  double cluster_sigma = 5.0;
+  /// Zipf exponent of the cluster weights (w_k proportional to
+  /// (k+1)^-skew); 0 spreads sensors evenly across clusters.
+  double density_skew = 1.0;
+  /// Fraction of sensors scattered uniformly over the whole field.
+  double background_fraction = 0.1;
+  /// Profile randomization shared with GenerateSensors (`count` ignored).
+  SensorPopulationConfig profile;
+};
+
+struct ScaleScenario {
+  /// Sensors with positions set and marked present (no mobility trace —
+  /// the scale sweep studies single-slot scheduling throughput).
+  std::vector<Sensor> sensors;
+  Point cluster_center(int k) const { return cluster_centers[k]; }
+  std::vector<Point> cluster_centers;
+  /// Cumulative cluster weights, for sampling query locations with the
+  /// same spatial skew as the population.
+  std::vector<double> cluster_cdf;
+  Rect field{0, 0, 0, 0};
+};
+
+ScaleScenario GenerateClusteredSensors(const ClusteredPopulationConfig& config,
+                                       const Rect& field, Rng& rng);
+
+/// Point queries whose locations follow the scenario's clustered density
+/// (cluster draw + Gaussian offset, uniform with the scenario's background
+/// probability) — the traffic shape of users querying where sensors are.
+std::vector<PointQuery> GenerateClusteredPointQueries(
+    int count, const ScaleScenario& scenario,
+    const ClusteredPopulationConfig& config, const BudgetScheme& budget,
+    double theta_min, int id_base, Rng& rng);
+
 /// New location-monitoring query (Section 4.5): random location in
 /// `working`, duration uniform in [5, 20] (clipped to `horizon`), desired
 /// sampling times = duration/3 slots picked by the OptiMoS-style selector

@@ -52,6 +52,31 @@ TEST(SharingWeightTest, Equation18Values) {
   EXPECT_DOUBLE_EQ(SharingWeight(50), 0.1);
 }
 
+TEST(RegionMonitoringTest, KernelSupportPruningDropsOnlyZeroGainCandidates) {
+  // SelectSamplingPoints prunes candidates farther from the target region
+  // than the kernel's support radius. In-region candidates sit at
+  // distance 0 and must all survive; a candidate far beyond the support
+  // radius has (numerically) zero variance-reduction gain and must never
+  // be chosen even when offered. The debug build additionally asserts
+  // the dropped candidates' MarginalGain is ~0 (the satellite
+  // cross-check); this test pins the behavioural half in all builds.
+  RegionMonitoringManager manager(Se(), DefaultConfig());
+  const RegionMonitoringQuery query = MakeQuery(1);
+  // Two useful in-region sensors plus one far outside any plausible
+  // support radius (SE kernel, length 3: support < 25 for tol 1e-12*var).
+  SlotContext slot = MakeSlot({Point{2, 2}, Point{8, 6}, Point{500, 500}});
+  const std::vector<int> candidates{0, 1, 2};
+  const std::vector<double> cost_scale(slot.sensors.size(), 1.0);
+  const std::vector<int> chosen =
+      manager.SelectSamplingPoints(query, slot, candidates, cost_scale, 100.0);
+  EXPECT_FALSE(chosen.empty());
+  for (int si : chosen) EXPECT_NE(si, 2) << "far-away sensor must be pruned";
+  // Pruning must not change what gets chosen from the viable candidates.
+  const std::vector<int> viable{0, 1};
+  EXPECT_EQ(chosen,
+            manager.SelectSamplingPoints(query, slot, viable, cost_scale, 100.0));
+}
+
 TEST(RegionMonitoringTest, CostScaleReflectsOverlappingQueries) {
   RegionMonitoringManager manager(Se(), DefaultConfig());
   manager.AddQuery(MakeQuery(1));

@@ -1,0 +1,264 @@
+// Tests of the spatial index subsystem (src/index/): the uniform grid and
+// the k-d tree must return *exactly* the brute-force result set — same
+// predicate, ascending order — on random, clustered, and adversarial
+// (collinear, duplicate-point, degenerate) inputs, and the auto factory
+// must pick the right structure by density.
+
+#include "index/spatial_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/slot.h"
+#include "index/kd_tree.h"
+#include "index/uniform_grid.h"
+
+namespace psens {
+namespace {
+
+std::vector<int> BruteRange(const std::vector<Point>& points, const Point& center,
+                            double radius) {
+  std::vector<int> out;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (Distance(points[i], center) <= radius) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<int> BruteRect(const std::vector<Point>& points, const Rect& rect) {
+  std::vector<int> out;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (rect.Contains(points[i])) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+int BruteNearest(const std::vector<Point>& points, const Point& p) {
+  int best = -1;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < points.size(); ++i) {
+    const double dx = points[i].x - p.x;
+    const double dy = points[i].y - p.y;
+    const double d2 = dx * dx + dy * dy;
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+/// Exercises every query type of `index` against brute force on `points`.
+void CheckIndexAgainstBruteForce(const SpatialIndex& index,
+                                 const std::vector<Point>& points,
+                                 uint64_t seed) {
+  ASSERT_EQ(index.size(), static_cast<int>(points.size()));
+  Rng rng(seed);
+  std::vector<int> got;
+  for (int probe = 0; probe < 30; ++probe) {
+    const Point center{rng.Uniform(-5.0, 55.0), rng.Uniform(-5.0, 55.0)};
+    for (double radius : {0.0, 0.8, 4.0, 12.0, 200.0}) {
+      index.RangeQuery(center, radius, &got);
+      EXPECT_EQ(got, BruteRange(points, center, radius))
+          << "range probe " << probe << " r=" << radius;
+    }
+    const double x0 = rng.Uniform(-5.0, 55.0), x1 = rng.Uniform(-5.0, 55.0);
+    const double y0 = rng.Uniform(-5.0, 55.0), y1 = rng.Uniform(-5.0, 55.0);
+    const Rect rect{std::min(x0, x1), std::min(y0, y1), std::max(x0, x1),
+                    std::max(y0, y1)};
+    index.RectQuery(rect, &got);
+    EXPECT_EQ(got, BruteRect(points, rect)) << "rect probe " << probe;
+    EXPECT_EQ(index.Nearest(center), BruteNearest(points, center))
+        << "nearest probe " << probe;
+  }
+  // Degenerate rects: zero width/height lines and a point rect through an
+  // actual data point must still honor inclusive Contains semantics.
+  if (!points.empty()) {
+    const Point& p = points[points.size() / 2];
+    const Rect point_rect{p.x, p.y, p.x, p.y};
+    index.RectQuery(point_rect, &got);
+    EXPECT_EQ(got, BruteRect(points, point_rect));
+    const Rect vline{p.x, -100.0, p.x, 100.0};
+    index.RectQuery(vline, &got);
+    EXPECT_EQ(got, BruteRect(points, vline));
+    // Range query centered exactly on a data point with radius 0.
+    index.RangeQuery(p, 0.0, &got);
+    EXPECT_EQ(got, BruteRange(points, p, 0.0));
+  }
+  // Far-away probes (everything out of range / out of rect).
+  index.RangeQuery(Point{1e6, 1e6}, 1.0, &got);
+  EXPECT_TRUE(got.empty());
+  index.RectQuery(Rect{1e6, 1e6, 1e6 + 1, 1e6 + 1}, &got);
+  EXPECT_TRUE(got.empty());
+}
+
+std::vector<Point> UniformPoints(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> points;
+  for (int i = 0; i < n; ++i) {
+    points.push_back(Point{rng.Uniform(0.0, 50.0), rng.Uniform(0.0, 50.0)});
+  }
+  return points;
+}
+
+std::vector<Point> ClusteredPoints(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> points;
+  const Point centers[] = {{5, 5}, {45, 45}, {5, 45}};
+  for (int i = 0; i < n; ++i) {
+    const Point& c = centers[i % 3];
+    points.push_back(Point{rng.Normal(c.x, 0.7), rng.Normal(c.y, 0.7)});
+  }
+  return points;
+}
+
+struct NamedPoints {
+  const char* name;
+  std::vector<Point> points;
+};
+
+std::vector<NamedPoints> AdversarialSets() {
+  std::vector<NamedPoints> sets;
+  sets.push_back({"empty", {}});
+  sets.push_back({"single", {Point{3.0, 4.0}}});
+  std::vector<Point> dup(40, Point{10.0, 20.0});
+  sets.push_back({"all-duplicates", dup});
+  std::vector<Point> collinear_x;
+  for (int i = 0; i < 50; ++i) collinear_x.push_back(Point{i * 1.0, 7.0});
+  sets.push_back({"collinear-x", collinear_x});
+  std::vector<Point> collinear_y;
+  for (int i = 0; i < 50; ++i) collinear_y.push_back(Point{-3.0, i * 0.5});
+  sets.push_back({"collinear-y", collinear_y});
+  std::vector<Point> diagonal;
+  for (int i = 0; i < 50; ++i) diagonal.push_back(Point{i * 1.0, i * 1.0});
+  sets.push_back({"diagonal", diagonal});
+  // Duplicates mixed with distinct points: nearest must tie-break to the
+  // lowest index.
+  std::vector<Point> mixed = dup;
+  mixed.push_back(Point{10.0, 21.0});
+  mixed.insert(mixed.begin(), Point{10.0, 19.0});
+  sets.push_back({"duplicates-plus", mixed});
+  return sets;
+}
+
+TEST(SpatialIndexTest, GridMatchesBruteForceOnRandomInputs) {
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    const std::vector<Point> points = UniformPoints(400, seed);
+    UniformGridIndex grid(points);
+    CheckIndexAgainstBruteForce(grid, points, 100 + seed);
+  }
+}
+
+TEST(SpatialIndexTest, KdTreeMatchesBruteForceOnRandomInputs) {
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    const std::vector<Point> points = UniformPoints(400, seed);
+    KdTreeIndex tree(points);
+    CheckIndexAgainstBruteForce(tree, points, 100 + seed);
+  }
+}
+
+TEST(SpatialIndexTest, BothMatchBruteForceOnClusteredInputs) {
+  const std::vector<Point> points = ClusteredPoints(300, 7);
+  UniformGridIndex grid(points);
+  KdTreeIndex tree(points);
+  CheckIndexAgainstBruteForce(grid, points, 11);
+  CheckIndexAgainstBruteForce(tree, points, 11);
+}
+
+TEST(SpatialIndexTest, AdversarialInputs) {
+  for (const NamedPoints& set : AdversarialSets()) {
+    SCOPED_TRACE(set.name);
+    UniformGridIndex grid(set.points);
+    KdTreeIndex tree(set.points);
+    CheckIndexAgainstBruteForce(grid, set.points, 23);
+    CheckIndexAgainstBruteForce(tree, set.points, 23);
+    if (set.points.empty()) {
+      EXPECT_EQ(grid.Nearest(Point{0, 0}), -1);
+      EXPECT_EQ(tree.Nearest(Point{0, 0}), -1);
+    }
+  }
+}
+
+TEST(SpatialIndexTest, NearestTieBreaksToLowestIndex) {
+  // Two points equidistant from the probe; the lower index must win in
+  // both implementations (matching the ascending brute-force scan).
+  const std::vector<Point> points{Point{0.0, 1.0}, Point{0.0, -1.0},
+                                  Point{0.0, 1.0}};
+  UniformGridIndex grid(points);
+  KdTreeIndex tree(points);
+  EXPECT_EQ(grid.Nearest(Point{0.0, 0.0}), 0);
+  EXPECT_EQ(tree.Nearest(Point{0.0, 0.0}), 0);
+}
+
+TEST(SpatialIndexTest, AutoFactoryPicksGridForDenseUniformPopulations) {
+  const std::vector<Point> points = UniformPoints(2000, 9);
+  const auto index = BuildSpatialIndexAuto(points);
+  EXPECT_STREQ(index->Name(), "uniform-grid");
+  CheckIndexAgainstBruteForce(*index, points, 31);
+}
+
+TEST(SpatialIndexTest, AutoFactoryPicksKdTreeForHeavilyClusteredPopulations) {
+  // Three tight clusters in a huge otherwise-empty bounding box: the
+  // auto-sized grid is almost entirely empty cells.
+  Rng rng(13);
+  std::vector<Point> points;
+  const Point centers[] = {{0, 0}, {1000, 1000}, {0, 1000}};
+  for (int i = 0; i < 600; ++i) {
+    const Point& c = centers[i % 3];
+    points.push_back(Point{rng.Normal(c.x, 0.5), rng.Normal(c.y, 0.5)});
+  }
+  const auto index = BuildSpatialIndexAuto(points);
+  EXPECT_STREQ(index->Name(), "kd-tree");
+  std::vector<int> got;
+  index->RangeQuery(Point{0, 0}, 3.0, &got);
+  EXPECT_EQ(got, BruteRange(points, Point{0, 0}, 3.0));
+}
+
+TEST(SpatialIndexTest, AttachSlotIndexHonorsPolicy) {
+  Rng rng(17);
+  SlotContext slot;
+  slot.dmax = 5.0;
+  for (int i = 0; i < 64; ++i) {
+    SlotSensor s;
+    s.index = i;
+    s.sensor_id = i;
+    s.location = Point{rng.Uniform(0.0, 40.0), rng.Uniform(0.0, 40.0)};
+    slot.sensors.push_back(s);
+  }
+
+  slot.index_policy = SlotIndexPolicy::kNone;
+  AttachSlotIndex(slot);
+  EXPECT_EQ(slot.index, nullptr);
+
+  slot.index_policy = SlotIndexPolicy::kAuto;
+  AttachSlotIndex(slot);
+  ASSERT_NE(slot.index, nullptr);
+  EXPECT_EQ(slot.index->size(), 64);
+
+  slot.index_policy = SlotIndexPolicy::kGrid;
+  AttachSlotIndex(slot);
+  EXPECT_STREQ(slot.index->Name(), "uniform-grid");
+
+  slot.index_policy = SlotIndexPolicy::kKdTree;
+  AttachSlotIndex(slot);
+  EXPECT_STREQ(slot.index->Name(), "kd-tree");
+
+  // kAuto skips tiny populations (below kSlotIndexAutoThreshold).
+  SlotContext tiny;
+  tiny.sensors.resize(kSlotIndexAutoThreshold - 1);
+  for (int i = 0; i < static_cast<int>(tiny.sensors.size()); ++i) {
+    tiny.sensors[i].index = i;
+    tiny.sensors[i].location = Point{static_cast<double>(i), 0.0};
+  }
+  tiny.index_policy = SlotIndexPolicy::kAuto;
+  AttachSlotIndex(tiny);
+  EXPECT_EQ(tiny.index, nullptr);
+}
+
+}  // namespace
+}  // namespace psens
