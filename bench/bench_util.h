@@ -7,7 +7,32 @@
 #include <cstring>
 #include <string>
 
+#include "core/point_scheduling.h"
+#include "core/slot.h"
+
 namespace psens::bench {
+
+/// Bit-exact equality of two schedule outcomes (selections, assignments,
+/// payments, totals). Any drift means an "equivalent" execution path
+/// changed an answer — both the fig11 (indexed vs. brute force) and
+/// fig12 (incremental vs. rebuild) gates rest on this one comparator.
+inline bool SameSchedule(const PointScheduleResult& a,
+                         const PointScheduleResult& b) {
+  if (a.selected_sensors != b.selected_sensors) return false;
+  if (a.total_value != b.total_value || a.total_cost != b.total_cost) {
+    return false;
+  }
+  if (a.assignments.size() != b.assignments.size()) return false;
+  for (size_t i = 0; i < a.assignments.size(); ++i) {
+    const PointAssignment& x = a.assignments[i];
+    const PointAssignment& y = b.assignments[i];
+    if (x.sensor != y.sensor || x.value != y.value || x.quality != y.quality ||
+        x.payment != y.payment) {
+      return false;
+    }
+  }
+  return true;
+}
 
 /// Shared command-line handling for the figure binaries:
 ///   --slots N        simulate N time slots (default 50, the paper's setting)
@@ -17,8 +42,14 @@ namespace psens::bench {
 ///                    (default 0 = hardware concurrency; results are
 ///                    bit-identical for any value)
 ///   --json PATH      also write machine-readable results to PATH (only
-///                    binaries that support it; fig11_scale_sweep does)
-///   --max-sensors N  cap the population sweep (fig11_scale_sweep)
+///                    binaries that support it; fig11/fig12 do)
+///   --max-sensors N  cap the population sweep (fig11/fig12)
+///   --index-policy P spatial-index policy for the indexed runs: auto
+///                    (default), grid, kd, none — ablates the kAuto
+///                    density heuristic in the fig11/fig12 sweeps
+///   --index-threshold N
+///                    minimum population for which kAuto builds an index
+///                    (default kSlotIndexAutoThreshold = 32)
 struct BenchArgs {
   int slots = 50;
   uint64_t seed = 123;
@@ -27,6 +58,8 @@ struct BenchArgs {
   int threads = 0;
   std::string json_path;
   int max_sensors = 0;
+  SlotIndexPolicy index_policy = SlotIndexPolicy::kAuto;
+  int index_threshold = kSlotIndexAutoThreshold;
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
@@ -46,9 +79,25 @@ struct BenchArgs {
         args.json_path = argv[++i];
       } else if (std::strcmp(argv[i], "--max-sensors") == 0 && i + 1 < argc) {
         args.max_sensors = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--index-policy") == 0 && i + 1 < argc) {
+        args.index_policy = ParseIndexPolicy(argv[++i]);
+      } else if (std::strcmp(argv[i], "--index-threshold") == 0 && i + 1 < argc) {
+        args.index_threshold = std::atoi(argv[++i]);
       }
     }
     return args;
+  }
+
+  static SlotIndexPolicy ParseIndexPolicy(const char* name) {
+    if (std::strcmp(name, "none") == 0) return SlotIndexPolicy::kNone;
+    if (std::strcmp(name, "grid") == 0) return SlotIndexPolicy::kGrid;
+    if (std::strcmp(name, "kd") == 0 || std::strcmp(name, "kd-tree") == 0) {
+      return SlotIndexPolicy::kKdTree;
+    }
+    if (std::strcmp(name, "auto") != 0) {
+      std::fprintf(stderr, "unknown --index-policy '%s'; using auto\n", name);
+    }
+    return SlotIndexPolicy::kAuto;
   }
 };
 

@@ -45,27 +45,11 @@ struct SweepResult {
   std::string index_kind;
 };
 
-/// Bit-exact equality of two schedule outcomes (selections, assignments,
-/// payments, totals). Any drift here means pruning changed an answer.
-bool SameSchedule(const PointScheduleResult& a, const PointScheduleResult& b) {
-  if (a.selected_sensors != b.selected_sensors) return false;
-  if (a.total_value != b.total_value || a.total_cost != b.total_cost) return false;
-  if (a.assignments.size() != b.assignments.size()) return false;
-  for (size_t i = 0; i < a.assignments.size(); ++i) {
-    const PointAssignment& x = a.assignments[i];
-    const PointAssignment& y = b.assignments[i];
-    if (x.sensor != y.sensor || x.value != y.value || x.quality != y.quality ||
-        x.payment != y.payment) {
-      return false;
-    }
-  }
-  return true;
-}
-
 SlotContext MakeSlot(const ScaleScenario& scenario, double dmax,
-                     SlotIndexPolicy policy) {
+                     SlotIndexPolicy policy,
+                     int threshold = kSlotIndexAutoThreshold) {
   return BuildSlotContext(scenario.sensors, scenario.field, /*time=*/0, dmax,
-                          policy);
+                          policy, threshold);
 }
 
 /// Candidate pairs actually scanned by the indexed path (deterministic —
@@ -88,7 +72,8 @@ int64_t CountCandidatePairs(const SlotContext& slot,
 SweepResult RunOne(const char* name, PointScheduler scheduler,
                    const ScaleScenario& scenario,
                    const std::vector<PointQuery>& queries, double dmax,
-                   int reps, uint64_t seed) {
+                   int reps, uint64_t seed, SlotIndexPolicy index_policy,
+                   int index_threshold) {
   SweepResult r;
   r.name = name;
   r.sensors = static_cast<int>(scenario.sensors.size());
@@ -99,8 +84,9 @@ SweepResult RunOne(const char* name, PointScheduler scheduler,
   // time the one real AttachSlotIndex (BuildSlotContext with kAuto would
   // already have built it once, wasting a build and warming the caches
   // the timed build is charged for).
-  SlotContext pruned_slot = MakeSlot(scenario, dmax, SlotIndexPolicy::kNone);
-  pruned_slot.index_policy = SlotIndexPolicy::kAuto;
+  SlotContext pruned_slot =
+      MakeSlot(scenario, dmax, SlotIndexPolicy::kNone, index_threshold);
+  pruned_slot.index_policy = index_policy;
   r.index_build_ms = bench::TimeMs([&] { AttachSlotIndex(pruned_slot); });
   r.index_kind = pruned_slot.index != nullptr ? pruned_slot.index->Name() : "none";
 
@@ -121,7 +107,7 @@ SweepResult RunOne(const char* name, PointScheduler scheduler,
     if (bm < r.brute_ms) r.brute_ms = bm;
     if (pm < r.pruned_ms) r.pruned_ms = pm;
   }
-  r.identical = SameSchedule(brute_result, pruned_result);
+  r.identical = bench::SameSchedule(brute_result, pruned_result);
   r.speedup = r.brute_ms / (r.pruned_ms + r.index_build_ms);
   r.brute_pairs = static_cast<int64_t>(r.sensors) * r.queries;
   r.pruned_pairs = CountCandidatePairs(pruned_slot, queries);
@@ -216,8 +202,8 @@ int main(int argc, char** argv) {
         {"point_baseline", PointScheduler::kBaseline},
     };
     for (const auto& w : workloads) {
-      SweepResult r =
-          RunOne(w.name, w.scheduler, scenario, queries, dmax, reps, args.seed);
+      SweepResult r = RunOne(w.name, w.scheduler, scenario, queries, dmax, reps,
+                             args.seed, args.index_policy, args.index_threshold);
       all_identical = all_identical && r.identical;
       std::printf("%-18s %9d %8d %10.2f %10.2f %9.2f %7.1fx %9.1fx %s\n",
                   r.name.c_str(), r.sensors, r.queries, r.brute_ms, r.pruned_ms,

@@ -17,12 +17,19 @@ BENCH_pr.json artifact and diffs it against the committed baseline
      same process), which makes the committed baseline comparable across
      hosts of different speeds. Time checks require --strict-time; without
      it they only warn, because shared CI runners jitter more than 20%
-     while checks 1-3 stay exact.
+     while checks 1-3 stay exact;
+  5. when --fig12 is given: any fig12 slot where the incremental engine's
+     schedule diverged from the per-slot rebuild (`identical: false`) —
+     zero tolerance — and a median slot-turnover speedup below
+     --min-fig12-speedup (default 5x) on the gate scenario (the "churn"
+     workload at 100k sensors, 1% churn).
 
 Usage:
-  check_bench_regression.py --fig11 fig11.json [--schedulers sched.json]
+  check_bench_regression.py --fig11 fig11.json [--fig12 fig12.json]
+      [--schedulers sched.json]
       --baseline bench/BENCH_baseline.json --out BENCH_pr.json
-      [--min-speedup 10] [--tolerance 0.2] [--strict-time] [--update]
+      [--min-speedup 10] [--min-fig12-speedup 5] [--tolerance 0.2]
+      [--strict-time] [--update]
 
 --update rewrites the baseline from the current run instead of checking.
 """
@@ -54,10 +61,12 @@ def google_benchmark_times(doc):
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--fig11", required=True, help="fig11_scale_sweep --json output")
+    ap.add_argument("--fig12", help="fig12_streaming --json output")
     ap.add_argument("--schedulers", help="bench_schedulers --benchmark_out JSON")
     ap.add_argument("--baseline", required=True)
     ap.add_argument("--out", default="BENCH_pr.json")
     ap.add_argument("--min-speedup", type=float, default=10.0)
+    ap.add_argument("--min-fig12-speedup", type=float, default=5.0)
     ap.add_argument("--tolerance", type=float, default=0.20)
     ap.add_argument("--strict-time", action="store_true",
                     help="make normalized-time regressions fatal, not warnings")
@@ -66,11 +75,13 @@ def main():
     args = ap.parse_args()
 
     fig11 = load(args.fig11)
+    fig12 = load(args.fig12) if args.fig12 else None
     schedulers = load(args.schedulers) if args.schedulers else None
 
     pr = {
         "cal_ms": fig11.get("cal_ms", 0.0),
         "fig11": fig11.get("results", []),
+        "fig12": (fig12 or {}).get("results", []),
         "scheduler_times_ms": google_benchmark_times(schedulers),
     }
     with open(args.out, "w") as f:
@@ -78,8 +89,21 @@ def main():
     print(f"wrote {args.out}")
 
     if args.update:
+        # Preserve baseline sections the current invocation did not
+        # re-measure: a fig11-only refresh must not silently wipe the
+        # fig12 (or scheduler) rows and degrade their gates to "not in
+        # baseline" warnings.
+        updated = dict(pr)
+        try:
+            old = load(args.baseline)
+        except FileNotFoundError:
+            old = {}
+        if fig12 is None and old.get("fig12"):
+            updated["fig12"] = old["fig12"]
+        if schedulers is None and old.get("scheduler_times_ms"):
+            updated["scheduler_times_ms"] = old["scheduler_times_ms"]
         with open(args.baseline, "w") as f:
-            json.dump(pr, f, indent=2)
+            json.dump(updated, f, indent=2)
         print(f"baseline updated: {args.baseline}")
         return 0
 
@@ -107,6 +131,28 @@ def main():
                       f"{r['speedup']:.1f}x (>= {args.min_speedup:.1f}x)")
     else:
         failures.append("fig11 produced no results")
+
+    # 5. fig12 streaming-engine gate (only when the run provided it).
+    if fig12 is not None:
+        gate_rows = 0
+        for r in pr["fig12"]:
+            if not r.get("identical", False):
+                failures.append(
+                    f"fig12 {r.get('workload', '?')} n={r['sensors']}: "
+                    "incremental engine diverged from per-slot rebuild")
+            if r.get("workload") == "churn" and r["sensors"] == 100_000:
+                gate_rows += 1
+                if r["turnover_speedup"] < args.min_fig12_speedup:
+                    failures.append(
+                        f"fig12 churn n={r['sensors']}: turnover speedup "
+                        f"{r['turnover_speedup']:.1f}x < required "
+                        f"{args.min_fig12_speedup:.1f}x")
+                else:
+                    print(f"ok: fig12 churn n={r['sensors']} turnover speedup "
+                          f"{r['turnover_speedup']:.1f}x "
+                          f"(>= {args.min_fig12_speedup:.1f}x)")
+        if gate_rows == 0:
+            failures.append("fig12 produced no gate row (churn @ 100k sensors)")
 
     try:
         base = load(args.baseline)
@@ -137,6 +183,24 @@ def main():
                     msg = (f"fig11 {r['name']} n={r['sensors']}: normalized "
                            f"pruned time {norm_pr:.3f} > {limit:.2f}x baseline "
                            f"{norm_base:.3f}")
+                    (failures if args.strict_time else warnings).append(msg)
+
+        base_fig12 = {(r.get("workload"), r["sensors"]): r
+                      for r in base.get("fig12", [])}
+        for r in pr["fig12"]:
+            b = base_fig12.get((r.get("workload"), r["sensors"]))
+            if b is None:
+                warnings.append(f"fig12 {r.get('workload', '?')} "
+                                f"n={r['sensors']}: not in baseline")
+                continue
+            if (pr["cal_ms"] > 0 and base.get("cal_ms", 0) > 0
+                    and b["incremental_turnover_ms"] > 0):
+                norm_pr = r["incremental_turnover_ms"] / pr["cal_ms"]
+                norm_base = b["incremental_turnover_ms"] / base["cal_ms"]
+                if norm_base > 0 and norm_pr > norm_base * limit:
+                    msg = (f"fig12 {r.get('workload', '?')} n={r['sensors']}: "
+                           f"normalized incremental turnover {norm_pr:.4f} > "
+                           f"{limit:.2f}x baseline {norm_base:.4f}")
                     (failures if args.strict_time else warnings).append(msg)
 
         base_times = base.get("scheduler_times_ms", {})

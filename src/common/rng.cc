@@ -84,6 +84,23 @@ double Rng::Exponential(double lambda) {
   return -std::log(u) / lambda;
 }
 
+int64_t Rng::Poisson(double mean) {
+  if (!(mean > 0.0)) return 0;
+  if (mean > 64.0) {
+    const double draw = std::round(Normal(mean, std::sqrt(mean)));
+    return draw < 0.0 ? 0 : static_cast<int64_t>(draw);
+  }
+  // Knuth: count uniform factors until the product drops below e^-mean.
+  const double limit = std::exp(-mean);
+  int64_t k = 0;
+  double product = UniformDouble();
+  while (product > limit) {
+    ++k;
+    product *= UniformDouble();
+  }
+  return k;
+}
+
 Rng Rng::Fork(uint64_t stream) {
   return Rng(NextUint64() ^ (stream * 0xD1B54A32D192ED03ULL));
 }

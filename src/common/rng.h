@@ -42,6 +42,12 @@ class Rng {
   /// Returns a sample from an exponential distribution with rate `lambda`.
   double Exponential(double lambda);
 
+  /// Returns a Poisson(mean) sample (Knuth's product method for small
+  /// means; for mean > 64 a rounded normal approximation, which keeps the
+  /// draw O(1) — churn streams only need the right scale plus exact
+  /// reproducibility, both of which hold).
+  int64_t Poisson(double mean);
+
   /// Fisher-Yates shuffle of `items` in place.
   template <typename T>
   void Shuffle(std::vector<T>& items) {

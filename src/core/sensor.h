@@ -62,12 +62,19 @@ class Sensor {
 
   const Point& position() const { return position_; }
   bool available() const { return available_ && !WornOut(); }
+  /// The raw presence flag as announced (ignores wear-out) — lets the
+  /// streaming engine diff a mobility/churn update against current state.
+  bool present() const { return available_; }
 
   /// Updates this slot's position/presence (from the mobility trace).
   void SetPosition(const Point& p, bool present) {
     position_ = p;
     available_ = present;
   }
+
+  /// Re-announces the fixed price component C_s (price-jitter churn
+  /// streams; flows into EnergyCost/PrivacyCost like the original price).
+  void SetBasePrice(double base_price) { profile_.base_price = base_price; }
 
   /// Remaining energy E in [0, 1]: 1 - readings / lifetime.
   double RemainingEnergy() const;

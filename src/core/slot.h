@@ -52,6 +52,9 @@ struct SlotContext {
   double dmax = 5.0;
   std::vector<SlotSensor> sensors;
   SlotIndexPolicy index_policy = SlotIndexPolicy::kAuto;
+  /// Minimum population for which kAuto builds an index (ablation knob;
+  /// bench CLIs expose it as --index-threshold).
+  int index_auto_threshold = kSlotIndexAutoThreshold;
   /// Spatial index over `sensors` locations (point index i == slot-sensor
   /// index i), or null when the policy/population says brute force.
   /// Schedulers treat null as "scan everything".
@@ -68,11 +71,13 @@ void AttachSlotIndex(SlotContext& slot);
 inline SlotContext BuildSlotContext(const std::vector<Sensor>& sensors,
                                     const Rect& working_region, int time,
                                     double dmax,
-                                    SlotIndexPolicy index_policy = SlotIndexPolicy::kAuto) {
+                                    SlotIndexPolicy index_policy = SlotIndexPolicy::kAuto,
+                                    int index_auto_threshold = kSlotIndexAutoThreshold) {
   SlotContext ctx;
   ctx.time = time;
   ctx.dmax = dmax;
   ctx.index_policy = index_policy;
+  ctx.index_auto_threshold = index_auto_threshold;
   for (const Sensor& s : sensors) {
     if (!s.available()) continue;
     if (!working_region.Contains(s.position())) continue;

@@ -1,0 +1,320 @@
+#include "engine/acquisition_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace psens {
+
+/// Presents the engine's id-keyed dynamic index as the slot-indexed
+/// SpatialIndex the schedulers consume. ctx_.sensors is sorted ascending
+/// by sensor_id, so the id -> slot-index map is monotone and translated
+/// result lists stay ascending — the tie-break/accumulation-order half of
+/// the exactness contract survives the translation for free.
+class AcquisitionEngine::SlotIndexView : public SpatialIndex {
+ public:
+  SlotIndexView(const SpatialIndex* base, const std::vector<int>* slot_pos)
+      : base_(base), slot_pos_(slot_pos) {}
+
+  int size() const override { return base_->size(); }
+  void RangeQuery(const Point& center, double radius,
+                  std::vector<int>* out) const override {
+    base_->RangeQuery(center, radius, out);
+    for (int& v : *out) v = (*slot_pos_)[v];
+  }
+  void RectQuery(const Rect& rect, std::vector<int>* out) const override {
+    base_->RectQuery(rect, out);
+    for (int& v : *out) v = (*slot_pos_)[v];
+  }
+  int Nearest(const Point& p) const override {
+    const int id = base_->Nearest(p);
+    return id < 0 ? -1 : (*slot_pos_)[id];
+  }
+  const char* Name() const override { return base_->Name(); }
+
+ private:
+  const SpatialIndex* base_;
+  const std::vector<int>* slot_pos_;
+};
+
+AcquisitionEngine::AcquisitionEngine(std::vector<Sensor> sensors,
+                                     const EngineConfig& config)
+    : config_(config), sensors_(std::move(sensors)) {
+  const int n = static_cast<int>(sensors_.size());
+  for (int i = 0; i < n; ++i) {
+    assert(sensors_[i].id() == i && "registry must be id-dense");
+    (void)i;
+  }
+  ctx_.dmax = config_.dmax;
+  ctx_.index_policy = config_.index_policy;
+  ctx_.index_auto_threshold = config_.index_auto_threshold;
+  slot_pos_.assign(static_cast<size_t>(n), -1);
+  if (!config_.incremental) return;
+  changed_flag_.assign(static_cast<size_t>(n), 0);
+  cost_dirty_.assign(static_cast<size_t>(n), 0);
+  privacy_flag_.assign(static_cast<size_t>(n), 0);
+  changed_.reserve(static_cast<size_t>(n));
+  if (config_.index_policy != SlotIndexPolicy::kNone) {
+    index_ = std::make_unique<DynamicSpatialIndex>(config_.working_region,
+                                                   config_.index_policy, n);
+  }
+  for (int id = 0; id < n; ++id) {
+    MarkChanged(id, /*cost_dirty=*/true);
+    if (PrivacyLevelValue(sensors_[id].profile().privacy) > 0.0 &&
+        !sensors_[id].report_history().empty()) {
+      privacy_flag_[id] = 1;
+      privacy_refresh_.push_back(id);
+    }
+  }
+}
+
+void AcquisitionEngine::MarkChanged(int id, bool cost_dirty) {
+  if (!config_.incremental) return;
+  if (cost_dirty) cost_dirty_[id] = 1;
+  if (!changed_flag_[id]) {
+    changed_flag_[id] = 1;
+    changed_.push_back(id);
+  }
+}
+
+void AcquisitionEngine::ApplyTrace(const Trace& trace, int slot) {
+  const int n = static_cast<int>(sensors_.size());
+  const int tn = trace.NumSensors();
+  for (int id = 0; id < n; ++id) {
+    Sensor& s = sensors_[id];
+    const Point p = id < tn ? trace.Position(slot, id) : Point{0, 0};
+    const bool present = id < tn && trace.Present(slot, id);
+    if (s.present() == present && s.position() == p) continue;
+    s.SetPosition(p, present);
+    MarkChanged(id, /*cost_dirty=*/false);
+  }
+}
+
+void AcquisitionEngine::ApplyDelta(const SensorDelta& delta) {
+  for (const SensorDelta::Placement& a : delta.arrivals) {
+    sensors_[a.sensor_id].SetPosition(a.position, true);
+    MarkChanged(a.sensor_id, /*cost_dirty=*/false);
+  }
+  for (int id : delta.departures) {
+    sensors_[id].SetPosition(sensors_[id].position(), false);
+    MarkChanged(id, /*cost_dirty=*/false);
+  }
+  for (const SensorDelta::Placement& m : delta.moves) {
+    sensors_[m.sensor_id].SetPosition(m.position, true);
+    MarkChanged(m.sensor_id, /*cost_dirty=*/false);
+  }
+  for (const SensorDelta::PriceChange& pc : delta.price_changes) {
+    sensors_[pc.sensor_id].SetBasePrice(pc.base_price);
+    MarkChanged(pc.sensor_id, /*cost_dirty=*/true);
+  }
+}
+
+void AcquisitionEngine::RefreshMember(int id, int time) {
+  const Sensor& s = sensors_[id];
+  const bool member =
+      s.available() && config_.working_region.Contains(s.position());
+  const int pos = slot_pos_[id];
+  if (member && pos < 0) {
+    pending_insert_.push_back(id);
+    if (index_ != nullptr) index_->Insert(id, s.position());
+    return;
+  }
+  if (!member) {
+    if (pos >= 0) {
+      pending_remove_.push_back(id);
+      if (index_ != nullptr) index_->Remove(id);
+    }
+    return;
+  }
+  // Continuing member: patch announcement in place.
+  SlotSensor& ss = ctx_.sensors[static_cast<size_t>(pos)];
+  if (!(ss.location == s.position())) {
+    ss.location = s.position();
+    if (index_ != nullptr) index_->Move(id, s.position());
+  }
+  if (cost_dirty_[id] || privacy_flag_[id]) ss.cost = s.Cost(time);
+}
+
+size_t AcquisitionEngine::InsertPosition(int id, size_t old_size) const {
+  // Old-array position where a new member with this id slots in: the
+  // position of the next live member above it. Registries are near-fully
+  // live, so a forward scan of slot_pos_ (4 bytes/step, sequential)
+  // almost always hits on the first probe — and unlike a binary search of
+  // the member array, it stays valid mid-merge: entries for ids above the
+  // one being inserted are untouched old positions (the in-place merge
+  // only rewrites entries at or below the current event id), even for
+  // elements currently parked in the displaced FIFO.
+  const int registry = static_cast<int>(slot_pos_.size());
+  for (int j = id + 1; j < registry; ++j) {
+    if (slot_pos_[j] >= 0) return static_cast<size_t>(slot_pos_[j]);
+  }
+  return old_size;
+}
+
+void AcquisitionEngine::RebuildMembership(int time) {
+  std::sort(pending_insert_.begin(), pending_insert_.end());
+  std::sort(pending_remove_.begin(), pending_remove_.end());
+  // Segment merge into a scratch buffer whose capacity persists across
+  // slots. With k churn events over n members the array has at most k+1
+  // unchanged runs; each run moves with one memcpy (SlotSensor is
+  // trivially copyable) followed by a fused fixup of the shifted .index
+  // fields and slot_pos_ entries while the run is still cache-hot. The
+  // O(n) byte traffic is unavoidable (every element after the first event
+  // shifts), but at streaming bandwidth it undercuts both a per-element
+  // branch-and-push_back loop and an in-place read-modify-write pass.
+  const size_t old_size = ctx_.sensors.size();
+  merge_scratch_.resize(old_size + pending_insert_.size());
+  const SlotSensor* src = ctx_.sensors.data();
+  SlotSensor* dst = merge_scratch_.data();
+  size_t si = 0;  // source cursor (old array)
+  size_t di = 0;  // destination cursor
+  const auto copy_run = [&](size_t src_end) {
+    const size_t len = src_end - si;
+    if (len == 0) return;
+    std::memcpy(dst + di, src + si, len * sizeof(SlotSensor));
+    if (di != si) {
+      const int shift = static_cast<int>(di) - static_cast<int>(si);
+      for (size_t k = di; k < di + len; ++k) {
+        dst[k].index += shift;
+        slot_pos_[dst[k].sensor_id] = static_cast<int>(k);
+      }
+    }
+    si = src_end;
+    di += len;
+  };
+  size_t ii = 0;  // pending_insert_ cursor
+  size_t ri = 0;  // pending_remove_ cursor
+  // Events ascend by sensor id, and the old array is sorted by sensor id,
+  // so event positions ascend too: removals resolve their position through
+  // slot_pos_, insertions land before the first larger id.
+  while (ii < pending_insert_.size() || ri < pending_remove_.size()) {
+    const bool take_insert =
+        ri >= pending_remove_.size() ||
+        (ii < pending_insert_.size() &&
+         pending_insert_[ii] < pending_remove_[ri]);
+    if (take_insert) {
+      const int id = pending_insert_[ii++];
+      copy_run(InsertPosition(id, old_size));
+      const Sensor& s = sensors_[id];
+      SlotSensor& ss = dst[di];
+      ss.index = static_cast<int>(di);
+      ss.sensor_id = id;
+      ss.location = s.position();
+      ss.cost = s.Cost(time);
+      ss.inaccuracy = s.profile().inaccuracy;
+      ss.trust = s.profile().trust;
+      slot_pos_[id] = static_cast<int>(di);
+      ++di;
+    } else {
+      const int id = pending_remove_[ri++];
+      copy_run(static_cast<size_t>(slot_pos_[id]));
+      slot_pos_[id] = -1;
+      ++si;  // skip the removed element
+    }
+  }
+  copy_run(old_size);
+  merge_scratch_.resize(di);
+  std::swap(ctx_.sensors, merge_scratch_);
+  pending_insert_.clear();
+  pending_remove_.clear();
+}
+
+void AcquisitionEngine::AttachIndex() {
+  const int n = static_cast<int>(ctx_.sensors.size());
+  const bool want =
+      index_ != nullptr && n > 0 &&
+      !(config_.index_policy == SlotIndexPolicy::kAuto &&
+        n < config_.index_auto_threshold);
+  if (!want) {
+    ctx_.index.reset();
+    return;
+  }
+  if (view_ == nullptr) {
+    view_ = std::make_shared<SlotIndexView>(index_.get(), &slot_pos_);
+  }
+  ctx_.index = view_;
+}
+
+const SlotContext& AcquisitionEngine::BeginSlot(int time) {
+  if (!config_.incremental) {
+    ctx_ = BuildSlotContext(sensors_, config_.working_region, time, config_.dmax,
+                            config_.index_policy, config_.index_auto_threshold);
+    return ctx_;
+  }
+  ctx_.time = time;
+  // Privacy-decay set: announced cost drifts with wall-clock time even
+  // without any event; membership never changes from it. Sensors also in
+  // changed_ get the full refresh below instead. Once every history
+  // entry has aged past the privacy window the cost is constant until
+  // the next reading (which re-enrolls the sensor via NoteReading), so
+  // the set is compacted after writing that final constant value —
+  // otherwise every sensor ever read would be refreshed forever and the
+  // O(churn) turnover claim would erode with run age.
+  size_t keep = 0;
+  for (int id : privacy_refresh_) {
+    if (changed_flag_[id]) {
+      privacy_refresh_[keep++] = id;  // full refresh below; re-evaluate next slot
+      continue;
+    }
+    const Sensor& s = sensors_[id];
+    const int pos = slot_pos_[id];
+    if (pos >= 0) {
+      ctx_.sensors[static_cast<size_t>(pos)].cost = s.Cost(time);
+    }
+    const bool decaying =
+        !s.report_history().empty() &&
+        time - s.report_history().back() < s.profile().privacy_window;
+    if (decaying) {
+      privacy_refresh_[keep++] = id;
+    } else {
+      privacy_flag_[id] = 0;
+    }
+  }
+  privacy_refresh_.resize(keep);
+  // Ascending id order turns the refresh loop's registry, context, and
+  // slot_pos_ accesses into forward sweeps (and hands RebuildMembership
+  // pre-sorted pending lists).
+  std::sort(changed_.begin(), changed_.end());
+  for (int id : changed_) {
+    RefreshMember(id, time);
+    changed_flag_[id] = 0;
+    cost_dirty_[id] = 0;
+  }
+  changed_.clear();
+  if (!pending_insert_.empty() || !pending_remove_.empty()) {
+    RebuildMembership(time);
+  }
+  AttachIndex();
+  return ctx_;
+}
+
+void AcquisitionEngine::NoteReading(int id, int time) {
+  Sensor& s = sensors_[id];
+  s.RecordReading(time);
+  MarkChanged(id, /*cost_dirty=*/true);
+  if (config_.incremental && !privacy_flag_[id] &&
+      PrivacyLevelValue(s.profile().privacy) > 0.0) {
+    privacy_flag_[id] = 1;
+    privacy_refresh_.push_back(id);
+  }
+}
+
+void AcquisitionEngine::RecordReadings(const std::vector<int>& sensor_ids,
+                                       int time) {
+  for (int id : sensor_ids) NoteReading(id, time);
+}
+
+void AcquisitionEngine::RecordSlotReadings(const std::vector<int>& slot_indices,
+                                           int time) {
+  for (int si : slot_indices) {
+    NoteReading(ctx_.sensors[static_cast<size_t>(si)].sensor_id, time);
+  }
+}
+
+const char* AcquisitionEngine::IndexBackendName() const {
+  if (!config_.incremental) return "rebuild";
+  if (ctx_.index == nullptr) return "none";
+  return ctx_.index->Name();
+}
+
+}  // namespace psens

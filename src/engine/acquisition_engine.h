@@ -1,0 +1,161 @@
+#ifndef PSENS_ENGINE_ACQUISITION_ENGINE_H_
+#define PSENS_ENGINE_ACQUISITION_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/geometry.h"
+#include "core/sensor.h"
+#include "core/slot.h"
+#include "index/dynamic_index.h"
+#include "mobility/trace.h"
+
+namespace psens {
+
+/// One slot's worth of sensor-population change, as produced by the
+/// churn/mobility workload streams (sim/workload.h) or assembled by an
+/// application driving the engine directly. Deltas are applied in field
+/// order: arrivals, departures, moves, price changes; a later entry for
+/// the same sensor wins.
+struct SensorDelta {
+  struct Placement {
+    int sensor_id = 0;
+    Point position;
+  };
+  struct PriceChange {
+    int sensor_id = 0;
+    double base_price = 0.0;
+  };
+  /// Sensors announcing themselves present at a location.
+  std::vector<Placement> arrivals;
+  /// Sensors leaving the system (presence off; profile state retained).
+  std::vector<int> departures;
+  /// Present sensors re-announcing a new location.
+  std::vector<Placement> moves;
+  /// Sensors re-announcing a new fixed price component C_s.
+  std::vector<PriceChange> price_changes;
+
+  bool empty() const {
+    return arrivals.empty() && departures.empty() && moves.empty() &&
+           price_changes.empty();
+  }
+};
+
+struct EngineConfig {
+  /// Working region filtering slot membership (same role as the
+  /// `working_region` argument of BuildSlotContext).
+  Rect working_region;
+  double dmax = 5.0;
+  SlotIndexPolicy index_policy = SlotIndexPolicy::kAuto;
+  int index_auto_threshold = kSlotIndexAutoThreshold;
+  /// true: repair the slot context and spatial index from deltas (O(churn)
+  /// per slot). false: reference mode — BeginSlot rebuilds both from the
+  /// full registry exactly like the pre-engine batch loops. Both modes
+  /// produce bit-identical slot contexts, selections, and payments
+  /// (tests/streaming_equivalence_test.cc).
+  bool incremental = true;
+};
+
+/// Long-running acquisition service state: owns the sensor registry, the
+/// current slot context, and a *dynamic* spatial index, carrying all three
+/// across time slots. Callers stream in population changes (a mobility
+/// trace slot or a churn delta), call BeginSlot to get the slot context
+/// schedulers consume, and report the slot's purchased readings back:
+///
+///   AcquisitionEngine engine(std::move(sensors), config);
+///   for (int t = 0; t < slots; ++t) {
+///     engine.ApplyTrace(trace, t);            // or engine.ApplyDelta(...)
+///     const SlotContext& slot = engine.BeginSlot(t);
+///     ... schedule queries against `slot` ...
+///     engine.RecordSlotReadings(result.selected_sensors, t);
+///   }
+///
+/// In incremental mode BeginSlot only touches what the delta invalidated:
+/// membership changes merge into the sorted slot-sensor array, moved
+/// sensors patch their location in place and in the index, and announced
+/// costs are recomputed only for sensors whose cost can actually have
+/// changed (price re-announcements, readings taken, and the privacy decay
+/// set — see below). The resulting context is bit-identical to a from-
+/// scratch BuildSlotContext over the same registry.
+///
+/// The registry must be id-dense: sensors_[i].id() == i (what
+/// GenerateSensors produces). Asserted at construction.
+class AcquisitionEngine {
+ public:
+  AcquisitionEngine(std::vector<Sensor> sensors, const EngineConfig& config);
+
+  // Pinned: the slot context's index view holds pointers into this
+  // object (slot_pos_, the dynamic index), so a moved-from or copied
+  // engine would hand schedulers dangling state.
+  AcquisitionEngine(const AcquisitionEngine&) = delete;
+  AcquisitionEngine& operator=(const AcquisitionEngine&) = delete;
+  AcquisitionEngine(AcquisitionEngine&&) = delete;
+  AcquisitionEngine& operator=(AcquisitionEngine&&) = delete;
+
+  /// Streams one mobility-trace slot in as a delta: only sensors whose
+  /// position or presence actually changed are touched. Sensors beyond the
+  /// trace width are marked absent (same convention as ApplyTraceSlot).
+  void ApplyTrace(const Trace& trace, int slot);
+
+  /// Applies a churn delta (arrivals/departures/moves/price changes).
+  void ApplyDelta(const SensorDelta& delta);
+
+  /// Finalizes announcements for slot `time` and returns the context.
+  /// Valid until the next BeginSlot call or engine destruction.
+  const SlotContext& BeginSlot(int time);
+
+  /// Charges one reading each to the given *global sensor ids* at slot
+  /// `time` (energy + privacy history), flagging their announcements for
+  /// refresh at the next BeginSlot.
+  void RecordReadings(const std::vector<int>& sensor_ids, int time);
+
+  /// Same, addressed by the current context's slot-sensor indices (the
+  /// form scheduler results use).
+  void RecordSlotReadings(const std::vector<int>& slot_indices, int time);
+
+  const std::vector<Sensor>& sensors() const { return sensors_; }
+  const EngineConfig& config() const { return config_; }
+  /// Name of the live dynamic-index backend ("dynamic-grid",
+  /// "kd-buffered", "rebuild" in reference mode, "none" when unindexed).
+  const char* IndexBackendName() const;
+
+ private:
+  /// Adapter presenting the engine's id-keyed dynamic index as the
+  /// slot-indexed SpatialIndex schedulers expect. Sensor ids ascend with
+  /// slot indices, so translated results stay ascending.
+  class SlotIndexView;
+
+  void MarkChanged(int id, bool cost_dirty);
+  void NoteReading(int id, int time);
+  size_t InsertPosition(int id, size_t old_size) const;
+  void RefreshMember(int id, int time);
+  void RebuildMembership(int time);
+  void AttachIndex();
+
+  EngineConfig config_;
+  std::vector<Sensor> sensors_;
+  SlotContext ctx_;
+  /// id -> position in ctx_.sensors, or -1 when not a member.
+  std::vector<int> slot_pos_;
+  /// Sensors touched since the last BeginSlot (dedup by flag).
+  std::vector<int> changed_;
+  std::vector<char> changed_flag_;
+  /// Subset of changed_ whose announced cost must be recomputed.
+  std::vector<char> cost_dirty_;
+  /// Sensors whose privacy cost decays with wall-clock time (privacy
+  /// multiplier > 0 and non-empty report history): refreshed every slot.
+  std::vector<int> privacy_refresh_;
+  std::vector<char> privacy_flag_;
+  /// Membership changes discovered by BeginSlot, merged in one pass.
+  std::vector<int> pending_insert_;
+  std::vector<int> pending_remove_;
+  /// Merge target whose capacity persists across slots (swapped with
+  /// ctx_.sensors after each membership rebuild).
+  std::vector<SlotSensor> merge_scratch_;
+  std::unique_ptr<DynamicSpatialIndex> index_;
+  std::shared_ptr<SlotIndexView> view_;
+};
+
+}  // namespace psens
+
+#endif  // PSENS_ENGINE_ACQUISITION_ENGINE_H_

@@ -28,7 +28,7 @@ void IncrementalGpSelector::Whiten(const Point& s, std::vector<double>* z,
 }
 
 double IncrementalGpSelector::MarginalGain(const Point& s) const {
-  std::vector<double> z;
+  std::vector<double>& z = whiten_scratch_;
   double var = 0.0;
   Whiten(s, &z, &var);
   double gain = 0.0;
@@ -42,7 +42,7 @@ double IncrementalGpSelector::MarginalGain(const Point& s) const {
 }
 
 void IncrementalGpSelector::Add(const Point& s) {
-  std::vector<double> z;
+  std::vector<double>& z = whiten_scratch_;
   double var = 0.0;
   Whiten(s, &z, &var);
   const double diag = std::sqrt(var);

@@ -48,6 +48,12 @@ class IncrementalGpSelector {
   std::vector<std::vector<double>> l_rows_;
   /// Per target: z_v (|A| entries each).
   std::vector<std::vector<double>> target_z_;
+  /// Whitening scratch reused across MarginalGain probes: the greedy
+  /// planner evaluates every candidate every round, and a fresh
+  /// std::vector allocation per probe dominated the loop. Makes the
+  /// selector non-reentrant per instance (it already was: Add mutates) —
+  /// callers needing concurrency use one selector per thread.
+  mutable std::vector<double> whiten_scratch_;
 };
 
 }  // namespace psens

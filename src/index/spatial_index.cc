@@ -31,7 +31,7 @@ void AttachSlotIndex(SlotContext& slot) {
   slot.index.reset();
   if (slot.index_policy == SlotIndexPolicy::kNone) return;
   const int n = static_cast<int>(slot.sensors.size());
-  if (slot.index_policy == SlotIndexPolicy::kAuto && n < kSlotIndexAutoThreshold)
+  if (slot.index_policy == SlotIndexPolicy::kAuto && n < slot.index_auto_threshold)
     return;
   if (n == 0) return;
   std::vector<Point> points;

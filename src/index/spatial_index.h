@@ -8,21 +8,49 @@
 
 namespace psens {
 
-/// Read-only spatial index over a fixed set of 2-D points (the slot's
-/// sensor locations). All query methods return *exactly* the same point
-/// set a brute-force scan with the same predicate would return — interior
-/// pruning is conservative and the final filter uses the same `Distance`
-/// / `Rect::Contains` arithmetic as the valuation code — and results are
+/// Spatial index over a set of 2-D points (the slot's sensor locations).
+/// All query methods return *exactly* the same point set a brute-force
+/// scan with the same predicate would return — interior pruning is
+/// conservative and the final filter uses the same `Distance` /
+/// `Rect::Contains` arithmetic as the valuation code — and results are
 /// always sorted ascending by point index. Both properties together are
 /// what lets the schedulers swap a full scan for an index probe without
 /// changing a single selected sensor, payment, or tie-break
 /// (see docs/ARCHITECTURE.md, "Spatial index layer").
+///
+/// Indexes come in two flavours. The static structures (`UniformGridIndex`,
+/// `KdTreeIndex`) are built once from a point vector whose positions
+/// 0..n-1 are the indices queries hand back. The dynamic structures
+/// (src/index/dynamic_index.h) additionally support Insert/Remove/Move
+/// keyed by arbitrary non-negative ids, so a long-running engine can repair
+/// the index from a churn delta instead of rebuilding it each slot.
 class SpatialIndex {
  public:
   virtual ~SpatialIndex() = default;
 
   /// Number of indexed points.
   virtual int size() const = 0;
+
+  /// Dynamic maintenance, O(delta) per call on implementations that
+  /// support it. The default implementations return false ("static index —
+  /// rebuild instead"). `id` is the point index queries return; dynamic
+  /// implementations accept sparse id sets.
+  virtual bool Insert(int id, const Point& p) {
+    (void)id;
+    (void)p;
+    return false;
+  }
+  virtual bool Remove(int id) {
+    (void)id;
+    return false;
+  }
+  /// Relocates `id` (equivalent to Remove + Insert, but implementations
+  /// can short-circuit moves within the same bucket).
+  virtual bool Move(int id, const Point& p) {
+    (void)id;
+    (void)p;
+    return false;
+  }
 
   /// Appends to `out` the indices (ascending) of all points p with
   /// Distance(p, center) <= radius. `out` is cleared first.

@@ -5,57 +5,19 @@
 #include <limits>
 
 namespace psens {
-namespace {
-
-/// Auto cell sizing: ~2 points per cell over the bounding box. Degenerate
-/// boxes (all points collinear or identical) fall back to the larger
-/// extent, and finally to 1.0 so the grid always has a valid geometry.
-double AutoCellSize(const Rect& bounds, size_t n) {
-  const double area = bounds.Area();
-  if (area > 0.0 && n > 0) {
-    return std::max(1e-9, std::sqrt(2.0 * area / static_cast<double>(n)));
-  }
-  const double extent = std::max(bounds.Width(), bounds.Height());
-  if (extent > 0.0 && n > 0) {
-    return std::max(1e-9, extent / std::max(1.0, std::sqrt(static_cast<double>(n))));
-  }
-  return 1.0;
-}
-
-}  // namespace
 
 UniformGridIndex::UniformGridIndex(const std::vector<Point>& points, double cell_size) {
-  if (!points.empty()) {
-    bounds_.x_min = bounds_.x_max = points[0].x;
-    bounds_.y_min = bounds_.y_max = points[0].y;
-    for (const Point& p : points) {
-      bounds_.x_min = std::min(bounds_.x_min, p.x);
-      bounds_.x_max = std::max(bounds_.x_max, p.x);
-      bounds_.y_min = std::min(bounds_.y_min, p.y);
-      bounds_.y_max = std::max(bounds_.y_max, p.y);
-    }
-  }
-  cell_ = cell_size > 0.0 ? cell_size : AutoCellSize(bounds_, points.size());
-  nx_ = std::max(1, static_cast<int>(std::ceil(bounds_.Width() / cell_)));
-  ny_ = std::max(1, static_cast<int>(std::ceil(bounds_.Height() / cell_)));
-  // Bound the table at ~4 cells per point: a caller-supplied tiny cell on a
-  // huge box must not allocate an unbounded histogram.
-  const long long max_cells =
-      4LL * static_cast<long long>(std::max<size_t>(points.size(), 4)) + 16;
-  while (static_cast<long long>(nx_) * ny_ > max_cells) {
-    cell_ *= 2.0;
-    nx_ = std::max(1, static_cast<int>(std::ceil(bounds_.Width() / cell_)));
-    ny_ = std::max(1, static_cast<int>(std::ceil(bounds_.Height() / cell_)));
-  }
+  geo_ = GridGeometry::Layout(GridGeometry::BoundsOf(points), points.size(),
+                              cell_size);
 
   // Counting sort into CSR; iterating points in index order keeps each
   // cell's item list ascending. Cell ids are computed once and cached —
   // the floor/clamp arithmetic is the build's hottest instruction.
   std::vector<int> cell_of(points.size());
   for (size_t i = 0; i < points.size(); ++i) {
-    cell_of[i] = CellY(points[i].y) * nx_ + CellX(points[i].x);
+    cell_of[i] = geo_.CellOf(points[i]);
   }
-  cell_start_.assign(static_cast<size_t>(nx_) * ny_ + 1, 0);
+  cell_start_.assign(geo_.NumCells() + 1, 0);
   for (int c : cell_of) ++cell_start_[c + 1];
   for (size_t c = 1; c < cell_start_.size(); ++c) cell_start_[c] += cell_start_[c - 1];
   cell_items_.resize(points.size());
@@ -70,53 +32,22 @@ UniformGridIndex::UniformGridIndex(const std::vector<Point>& points, double cell
   }
 }
 
-int UniformGridIndex::CellX(double x) const {
-  const int c = static_cast<int>(std::floor((x - bounds_.x_min) / cell_));
-  return std::clamp(c, 0, nx_ - 1);
-}
-
-int UniformGridIndex::CellY(double y) const {
-  const int c = static_cast<int>(std::floor((y - bounds_.y_min) / cell_));
-  return std::clamp(c, 0, ny_ - 1);
-}
-
-double UniformGridIndex::CellMinDist2(const Point& p, int cx, int cy) const {
-  const double x_lo = bounds_.x_min + cx * cell_;
-  const double y_lo = bounds_.y_min + cy * cell_;
-  const double dx = std::max({x_lo - p.x, p.x - (x_lo + cell_), 0.0});
-  const double dy = std::max({y_lo - p.y, p.y - (y_lo + cell_), 0.0});
-  return dx * dx + dy * dy;
-}
-
 void UniformGridIndex::RangeQuery(const Point& center, double radius,
                                   std::vector<int>* out) const {
   out->clear();
   if (cell_items_.empty() || radius < 0.0) return;
-  // Cell range with an absolute slack that dwarfs the +-r arithmetic's
-  // rounding (so a boundary point's cell is never missed) yet stays far
-  // below any practical cell size (so it almost never widens the box).
-  const double slack = 1e-9 * (1.0 + std::abs(center.x) + std::abs(center.y) + radius);
-  const int cx0 = CellX(center.x - radius - slack);
-  const int cx1 = CellX(center.x + radius + slack);
-  const int cy0 = CellY(center.y - radius - slack);
-  const int cy1 = CellY(center.y + radius + slack);
-  // Two-phase filter: squared-distance accept/reject away from the
-  // boundary, the exact `Distance <= radius` predicate (identical to the
-  // brute-force scan's) within the narrow ambiguous band.
-  const double r2 = radius * radius;
-  const double r2_lo = r2 * (1.0 - 1e-12);
-  const double r2_hi = r2 * (1.0 + 1e-12);
+  const RangeFilter filter(center, radius);
+  const double slack = filter.BoxSlack();
+  const int cx0 = geo_.CellX(center.x - radius - slack);
+  const int cx1 = geo_.CellX(center.x + radius + slack);
+  const int cy0 = geo_.CellY(center.y - radius - slack);
+  const int cy1 = geo_.CellY(center.y + radius + slack);
   for (int cy = cy0; cy <= cy1; ++cy) {
-    const int row = cy * nx_;
+    const int row = cy * geo_.nx;
     for (int cx = cx0; cx <= cx1; ++cx) {
       const int c = row + cx;
       for (int k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
-        const double dx = xs_[k] - center.x;
-        const double dy = ys_[k] - center.y;
-        const double d2 = dx * dx + dy * dy;
-        if (d2 > r2_hi) continue;
-        if (d2 <= r2_lo ||
-            Distance(Point{xs_[k], ys_[k]}, center) <= radius) {
+        if (filter.Accept(Point{xs_[k], ys_[k]})) {
           out->push_back(cell_items_[k]);
         }
       }
@@ -128,19 +59,19 @@ void UniformGridIndex::RangeQuery(const Point& center, double radius,
 void UniformGridIndex::RectQuery(const Rect& rect, std::vector<int>* out) const {
   out->clear();
   if (cell_items_.empty()) return;
-  if (rect.x_max < bounds_.x_min || rect.x_min > bounds_.x_max ||
-      rect.y_max < bounds_.y_min || rect.y_min > bounds_.y_max) {
+  if (rect.x_max < geo_.bounds.x_min || rect.x_min > geo_.bounds.x_max ||
+      rect.y_max < geo_.bounds.y_min || rect.y_min > geo_.bounds.y_max) {
     return;
   }
   // Rect bounds feed the exact Contains filter verbatim; the cell range
   // covers every cell that can hold a contained point because the floor
   // arithmetic is monotone in the coordinate (same binning as the build).
-  const int cx0 = CellX(rect.x_min);
-  const int cx1 = CellX(rect.x_max);
-  const int cy0 = CellY(rect.y_min);
-  const int cy1 = CellY(rect.y_max);
+  const int cx0 = geo_.CellX(rect.x_min);
+  const int cx1 = geo_.CellX(rect.x_max);
+  const int cy0 = geo_.CellY(rect.y_min);
+  const int cy1 = geo_.CellY(rect.y_max);
   for (int cy = cy0; cy <= cy1; ++cy) {
-    const int row = cy * nx_;
+    const int row = cy * geo_.nx;
     for (int cx = cx0; cx <= cx1; ++cx) {
       const int c = row + cx;
       for (int k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
@@ -153,24 +84,24 @@ void UniformGridIndex::RectQuery(const Rect& rect, std::vector<int>* out) const 
 
 int UniformGridIndex::Nearest(const Point& p) const {
   if (cell_items_.empty()) return -1;
-  const int pcx = CellX(p.x);
-  const int pcy = CellY(p.y);
+  const int pcx = geo_.CellX(p.x);
+  const int pcy = geo_.CellY(p.y);
   int best = -1;
   double best_d2 = std::numeric_limits<double>::infinity();
-  const int max_ring = std::max(nx_, ny_);
+  const int max_ring = std::max(geo_.nx, geo_.ny);
   for (int ring = 0; ring <= max_ring; ++ring) {
     bool any_cell_in_range = false;
     for (int cy = pcy - ring; cy <= pcy + ring; ++cy) {
-      if (cy < 0 || cy >= ny_) continue;
+      if (cy < 0 || cy >= geo_.ny) continue;
       for (int cx = pcx - ring; cx <= pcx + ring; ++cx) {
-        if (cx < 0 || cx >= nx_) continue;
+        if (cx < 0 || cx >= geo_.nx) continue;
         // Only the ring's perimeter; the interior was handled earlier.
         if (ring > 0 && std::abs(cx - pcx) != ring && std::abs(cy - pcy) != ring)
           continue;
         // <= so that an equal-distance, lower-index point is still found.
-        if (CellMinDist2(p, cx, cy) > best_d2) continue;
+        if (geo_.CellMinDist2(p, cx, cy) > best_d2) continue;
         any_cell_in_range = true;
-        const int c = cy * nx_ + cx;
+        const int c = cy * geo_.nx + cx;
         for (int k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
           const double dx = xs_[k] - p.x;
           const double dy = ys_[k] - p.y;
@@ -189,7 +120,7 @@ int UniformGridIndex::Nearest(const Point& p) const {
 }
 
 double UniformGridIndex::OccupiedCellFraction() const {
-  const size_t total = static_cast<size_t>(nx_) * ny_;
+  const size_t total = geo_.NumCells();
   if (total == 0) return 0.0;
   size_t occupied = 0;
   for (size_t c = 0; c + 1 < cell_start_.size(); ++c) {

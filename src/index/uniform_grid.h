@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "index/grid_geometry.h"
 #include "index/spatial_index.h"
 
 namespace psens {
@@ -14,7 +15,8 @@ namespace psens {
 /// cache hits and misses on 100k+ populations. Point indices within a
 /// cell are ascending by construction (counting sort), so per-cell scans
 /// emit candidates in index order and only the cross-cell merge needs a
-/// final sort.
+/// final sort. Binning and pruning arithmetic is shared with the dynamic
+/// grid (index/grid_geometry.h).
 class UniformGridIndex : public SpatialIndex {
  public:
   explicit UniformGridIndex(const std::vector<Point>& points, double cell_size = 0.0);
@@ -31,15 +33,7 @@ class UniformGridIndex : public SpatialIndex {
   double OccupiedCellFraction() const;
 
  private:
-  int CellX(double x) const;
-  int CellY(double y) const;
-  /// Squared distance from `p` to cell (cx, cy)'s rectangle (0 inside).
-  double CellMinDist2(const Point& p, int cx, int cy) const;
-
-  Rect bounds_{0, 0, 0, 0};
-  double cell_ = 1.0;
-  int nx_ = 1;
-  int ny_ = 1;
+  GridGeometry geo_;
   std::vector<int> cell_start_;  // nx*ny + 1 CSR offsets
   std::vector<int> cell_items_;  // point indices, ascending per cell
   std::vector<double> xs_;       // coordinates in cell_items_ order

@@ -10,6 +10,7 @@
 #include "core/query_mix.h"
 #include "core/region_monitoring.h"
 #include "core/slot.h"
+#include "engine/acquisition_engine.h"
 #include "mobility/random_waypoint.h"
 
 namespace psens {
@@ -25,14 +26,6 @@ void ApplyTraceSlot(const Trace& trace, int slot, std::vector<Sensor>* sensors) 
 }
 
 namespace {
-
-/// Charges the selected slot sensors: one reading each this slot.
-void RecordReadings(const std::vector<int>& selected, const SlotContext& slot,
-                    std::vector<Sensor>* sensors) {
-  for (int si : selected) {
-    (*sensors)[slot.sensors[si].sensor_id].RecordReading(slot.time);
-  }
-}
 
 /// Independent RNG stream for slot `t`, a pure function of (base, t): the
 /// same stream backs the sequential and the sharded execution paths, so a
@@ -57,35 +50,51 @@ struct SlotOutcome {
   std::vector<int> read_sensor_ids;
 };
 
+/// Engine configuration shared by all slots of one experiment run.
+EngineConfig MakeEngineConfig(const Rect& working_region, double dmax,
+                              SlotIndexPolicy index_policy) {
+  EngineConfig config;
+  config.working_region = working_region;
+  config.dmax = dmax;
+  config.index_policy = index_policy;
+  return config;
+}
+
 /// Runs `slots` slot bodies either sequentially with sensor-state feedback
-/// (RecordReading between slots) or sharded over a thread pool when the
-/// population carries no cross-slot feedback. `body(t, sensors)` must only
-/// read `sensors` (trace already applied) and return the slot's partials.
+/// (RecordReadings between slots) or sharded over a thread pool when the
+/// population carries no cross-slot feedback. Every path streams the trace
+/// through a persistent AcquisitionEngine — the slot context and spatial
+/// index are repaired from each slot's position/presence delta rather than
+/// rebuilt — which is bit-identical to per-slot reconstruction
+/// (tests/streaming_equivalence_test.cc). `body(t, slot)` must only read
+/// `slot` and return the slot's partials.
 template <typename SlotBody>
 std::vector<SlotOutcome> RunSlots(const Trace& trace, int slots,
-                                  std::vector<Sensor>& sensors,
+                                  const std::vector<Sensor>& sensors,
                                   const SensorPopulationConfig& population,
+                                  const EngineConfig& engine_config,
                                   int parallelism, const SlotBody& body) {
   std::vector<SlotOutcome> outcomes(static_cast<size_t>(std::max(slots, 0)));
   if (HasCrossSlotFeedback(population, slots)) {
+    AcquisitionEngine engine(sensors, engine_config);
     for (int t = 0; t < slots; ++t) {
-      ApplyTraceSlot(trace, t, &sensors);
-      outcomes[t] = body(t, sensors);
-      for (int id : outcomes[t].read_sensor_ids) sensors[id].RecordReading(t);
+      engine.ApplyTrace(trace, t);
+      outcomes[t] = body(t, engine.BeginSlot(t));
+      engine.RecordReadings(outcomes[t].read_sensor_ids, t);
     }
     return outcomes;
   }
-  // Independent slots: ApplyTraceSlot rewrites every sensor's position and
-  // presence, and nothing on this path mutates the rest of the registry,
-  // so one pristine snapshot per worker — reused across all its slots —
-  // is bit-identical to a fresh copy per slot.
+  // Independent slots: each worker owns a pristine engine over its own
+  // registry snapshot, and nothing on this path feeds slot outcomes back,
+  // so any worker count — and any slot order within a worker — produces
+  // the same announcements a fresh rebuild would.
   const int threads =
       std::min(ThreadPool::ResolveParallelism(parallelism), std::max(slots, 1));
   if (threads == 1) {
-    std::vector<Sensor> local = sensors;
+    AcquisitionEngine engine(sensors, engine_config);
     for (int t = 0; t < slots; ++t) {
-      ApplyTraceSlot(trace, t, &local);
-      outcomes[t] = body(t, local);
+      engine.ApplyTrace(trace, t);
+      outcomes[t] = body(t, engine.BeginSlot(t));
     }
     return outcomes;
   }
@@ -93,10 +102,10 @@ std::vector<SlotOutcome> RunSlots(const Trace& trace, int slots,
   std::atomic<int> next{0};
   for (int w = 0; w < threads; ++w) {
     pool.Submit([&] {
-      std::vector<Sensor> local = sensors;
+      AcquisitionEngine engine(sensors, engine_config);
       for (int t = next++; t < slots; t = next++) {
-        ApplyTraceSlot(trace, t, &local);
-        outcomes[t] = body(t, local);
+        engine.ApplyTrace(trace, t);
+        outcomes[t] = body(t, engine.BeginSlot(t));
       }
     });
   }
@@ -138,12 +147,10 @@ ExperimentResult RunPointExperiment(const PointExperimentConfig& config) {
   Rng query_rng = rng.Fork(2);
   SensorPopulationConfig population = config.sensors;
   population.count = config.trace->NumSensors();
-  std::vector<Sensor> sensors = GenerateSensors(population, sensor_rng);
+  const std::vector<Sensor> sensors = GenerateSensors(population, sensor_rng);
 
   const int slots = std::min(config.num_slots, config.trace->NumSlots());
-  const auto body = [&](int t, const std::vector<Sensor>& slot_sensors) {
-    const SlotContext slot = BuildSlotContext(slot_sensors, config.working_region,
-                                              t, config.dmax, config.index_policy);
+  const auto body = [&](int t, const SlotContext& slot) {
     Rng slot_rng = SlotStream(query_rng, t);
     const std::vector<PointQuery> queries =
         GeneratePointQueries(config.queries_per_slot, config.working_region,
@@ -172,8 +179,10 @@ ExperimentResult RunPointExperiment(const PointExperimentConfig& config) {
     }
     return out;
   };
-  return ReduceOutcomes(RunSlots(*config.trace, slots, sensors, population,
-                                 config.parallelism, body));
+  return ReduceOutcomes(RunSlots(
+      *config.trace, slots, sensors, population,
+      MakeEngineConfig(config.working_region, config.dmax, config.index_policy),
+      config.parallelism, body));
 }
 
 ExperimentResult RunAggregateExperiment(const AggregateExperimentConfig& config) {
@@ -182,13 +191,10 @@ ExperimentResult RunAggregateExperiment(const AggregateExperimentConfig& config)
   Rng query_rng = rng.Fork(2);
   SensorPopulationConfig population = config.sensors;
   population.count = config.trace->NumSensors();
-  std::vector<Sensor> sensors = GenerateSensors(population, sensor_rng);
+  const std::vector<Sensor> sensors = GenerateSensors(population, sensor_rng);
 
   const int slots = std::min(config.num_slots, config.trace->NumSlots());
-  const auto body = [&](int t, const std::vector<Sensor>& slot_sensors) {
-    const SlotContext slot =
-        BuildSlotContext(slot_sensors, config.working_region, t,
-                         config.sensing_range, config.index_policy);
+  const auto body = [&](int t, const SlotContext& slot) {
     Rng slot_rng = SlotStream(query_rng, t);
     const std::vector<AggregateQuery::Params> params = GenerateAggregateQueries(
         config.mean_queries_per_slot, config.working_region, config.sensing_range,
@@ -220,8 +226,11 @@ ExperimentResult RunAggregateExperiment(const AggregateExperimentConfig& config)
     }
     return out;
   };
-  return ReduceOutcomes(RunSlots(*config.trace, slots, sensors, population,
-                                 config.parallelism, body));
+  return ReduceOutcomes(RunSlots(
+      *config.trace, slots, sensors, population,
+      MakeEngineConfig(config.working_region, config.sensing_range,
+                       config.index_policy),
+      config.parallelism, body));
 }
 
 ExperimentResult RunLocationMonitoringExperiment(
@@ -231,7 +240,9 @@ ExperimentResult RunLocationMonitoringExperiment(
   Rng query_rng = rng.Fork(2);
   SensorPopulationConfig population = config.sensors;
   population.count = config.trace->NumSensors();
-  std::vector<Sensor> sensors = GenerateSensors(population, sensor_rng);
+  AcquisitionEngine engine(
+      GenerateSensors(population, sensor_rng),
+      MakeEngineConfig(config.working_region, config.dmax, config.index_policy));
 
   LocationMonitoringManager::Config manager_config;
   manager_config.alpha = config.alpha;
@@ -244,9 +255,8 @@ ExperimentResult RunLocationMonitoringExperiment(
   int next_id = 0;
   const int slots = std::min(config.num_slots, config.trace->NumSlots());
   for (int t = 0; t < slots; ++t) {
-    ApplyTraceSlot(*config.trace, t, &sensors);
-    const SlotContext slot = BuildSlotContext(sensors, config.working_region, t,
-                                              config.dmax, config.index_policy);
+    engine.ApplyTrace(*config.trace, t);
+    const SlotContext& slot = engine.BeginSlot(t);
 
     // New arrivals, keeping the live population under max_alive.
     const int arrivals = static_cast<int>(
@@ -268,7 +278,7 @@ ExperimentResult RunLocationMonitoringExperiment(
     total_utility += realized - schedule.total_cost;
     result.avg_cost += schedule.total_cost;
     result.avg_value += realized;
-    RecordReadings(schedule.selected_sensors, slot, &sensors);
+    engine.RecordSlotReadings(schedule.selected_sensors, t);
     manager.RemoveExpired(t + 1);
   }
   // Finalize remaining queries for the quality statistics.
@@ -303,7 +313,9 @@ ExperimentResult RunRegionMonitoringExperiment(
 
   SensorPopulationConfig population = config.sensors;
   population.count = config.num_sensors;
-  std::vector<Sensor> sensors = GenerateSensors(population, sensor_rng);
+  AcquisitionEngine engine(
+      GenerateSensors(population, sensor_rng),
+      MakeEngineConfig(config.field, config.sensing_radius, config.index_policy));
 
   RegionMonitoringManager::Config manager_config;
   manager_config.alpha = config.alpha;
@@ -315,10 +327,8 @@ ExperimentResult RunRegionMonitoringExperiment(
   double total_utility = 0.0;
   int next_id = 0;
   for (int t = 0; t < config.num_slots; ++t) {
-    ApplyTraceSlot(trace, t, &sensors);
-    const SlotContext slot = BuildSlotContext(sensors, config.field, t,
-                                              config.sensing_radius,
-                                              config.index_policy);
+    engine.ApplyTrace(trace, t);
+    const SlotContext& slot = engine.BeginSlot(t);
 
     manager.AddQuery(GenerateRegionMonitoringQuery(next_id++, config.field, t,
                                                    config.num_slots,
@@ -337,7 +347,7 @@ ExperimentResult RunRegionMonitoringExperiment(
     total_utility += outcome.value_gain - schedule.total_cost;
     result.avg_cost += schedule.total_cost;
     result.avg_value += outcome.value_gain;
-    RecordReadings(schedule.selected_sensors, slot, &sensors);
+    engine.RecordSlotReadings(schedule.selected_sensors, t);
     manager.RemoveExpired(t + 1);
   }
   manager.RemoveExpired(config.num_slots + 1000000);
@@ -358,7 +368,9 @@ QueryMixResultSummary RunQueryMixExperiment(const QueryMixExperimentConfig& conf
   Rng query_rng = rng.Fork(2);
   SensorPopulationConfig population = config.sensors;
   population.count = config.trace->NumSensors();
-  std::vector<Sensor> sensors = GenerateSensors(population, sensor_rng);
+  AcquisitionEngine engine(
+      GenerateSensors(population, sensor_rng),
+      MakeEngineConfig(config.working_region, config.dmax, config.index_policy));
 
   LocationMonitoringManager::Config lm_config;
   lm_config.alpha = config.alpha;
@@ -376,9 +388,8 @@ QueryMixResultSummary RunQueryMixExperiment(const QueryMixExperimentConfig& conf
   int next_lm_id = 0;
   const int slots = std::min(config.num_slots, config.trace->NumSlots());
   for (int t = 0; t < slots; ++t) {
-    ApplyTraceSlot(*config.trace, t, &sensors);
-    const SlotContext slot = BuildSlotContext(sensors, config.working_region, t,
-                                              config.dmax, config.index_policy);
+    engine.ApplyTrace(*config.trace, t);
+    const SlotContext& slot = engine.BeginSlot(t);
 
     const std::vector<PointQuery> points = GeneratePointQueries(
         config.point_queries_per_slot, config.working_region,
@@ -410,7 +421,7 @@ QueryMixResultSummary RunQueryMixExperiment(const QueryMixExperimentConfig& conf
     point_quality_sum += slot_result.point.quality_sum;
     aggregate_answered += slot_result.aggregate.answered;
     aggregate_quality_sum += slot_result.aggregate.quality_sum;
-    RecordReadings(slot_result.selected_sensors, slot, &sensors);
+    engine.RecordSlotReadings(slot_result.selected_sensors, t);
     lm_manager.RemoveExpired(t + 1);
   }
   lm_manager.RemoveExpired(slots + 1000000);

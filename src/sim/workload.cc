@@ -105,11 +105,10 @@ int DrawCluster(const std::vector<double>& cdf, Rng& rng) {
   return std::min(k, static_cast<int>(cdf.size()) - 1);
 }
 
-/// A location with the scenario's clustered spatial law: uniform with the
-/// background probability, otherwise a Gaussian offset from a
-/// weight-sampled cluster center, clamped into the field.
-Point DrawClusteredLocation(const ScaleScenario& scenario,
-                            const ClusteredPopulationConfig& config, Rng& rng) {
+}  // namespace
+
+Point DrawScenarioLocation(const ScaleScenario& scenario,
+                           const ClusteredPopulationConfig& config, Rng& rng) {
   if (scenario.cluster_centers.empty() ||
       rng.UniformDouble() < config.background_fraction) {
     return Point{rng.Uniform(scenario.field.x_min, scenario.field.x_max),
@@ -120,8 +119,6 @@ Point DrawClusteredLocation(const ScaleScenario& scenario,
   return scenario.field.Clamp(Point{rng.Normal(c.x, config.cluster_sigma),
                                     rng.Normal(c.y, config.cluster_sigma)});
 }
-
-}  // namespace
 
 ScaleScenario GenerateClusteredSensors(const ClusteredPopulationConfig& config,
                                        const Rect& field, Rng& rng) {
@@ -150,7 +147,7 @@ ScaleScenario GenerateClusteredSensors(const ClusteredPopulationConfig& config,
   profile.count = config.count;
   scenario.sensors = GenerateSensors(profile, rng);
   for (Sensor& s : scenario.sensors) {
-    s.SetPosition(DrawClusteredLocation(scenario, config, rng), true);
+    s.SetPosition(DrawScenarioLocation(scenario, config, rng), true);
   }
   return scenario;
 }
@@ -164,12 +161,95 @@ std::vector<PointQuery> GenerateClusteredPointQueries(
   for (int i = 0; i < count; ++i) {
     PointQuery q;
     q.id = id_base + i;
-    q.location = DrawClusteredLocation(scenario, config, rng);
+    q.location = DrawScenarioLocation(scenario, config, rng);
     q.budget = budget.Draw(rng);
     q.theta_min = theta_min;
     queries.push_back(q);
   }
   return queries;
+}
+
+ChurnStream::ChurnStream(const ChurnConfig& config,
+                         const std::vector<Sensor>& registry, const Rect& field)
+    : config_(config), field_(field) {
+  base_price_.reserve(registry.size());
+  for (const Sensor& s : registry) {
+    base_price_.push_back(s.profile().base_price);
+    if (s.present()) {
+      live_.push_back(s.id());
+    } else {
+      parked_.push_back(s.id());
+    }
+  }
+}
+
+void ChurnStream::SetClusteredPlacement(
+    const ScaleScenario* scenario,
+    const ClusteredPopulationConfig* cluster_config) {
+  scenario_ = scenario;
+  cluster_config_ = cluster_config;
+}
+
+Point ChurnStream::DrawLocation(Rng& rng) {
+  if (scenario_ != nullptr && cluster_config_ != nullptr) {
+    return DrawScenarioLocation(*scenario_, *cluster_config_, rng);
+  }
+  return Point{rng.Uniform(field_.x_min, field_.x_max),
+               rng.Uniform(field_.y_min, field_.y_max)};
+}
+
+void ChurnStream::Transfer(int count, std::vector<int>* from,
+                           std::vector<int>* to, std::vector<int>* out,
+                           Rng& rng) {
+  count = std::min<int>(count, static_cast<int>(from->size()));
+  for (int i = 0; i < count; ++i) {
+    const size_t j = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(from->size()) - 1));
+    const int id = (*from)[j];
+    (*from)[j] = from->back();
+    from->pop_back();
+    to->push_back(id);
+    out->push_back(id);
+  }
+}
+
+SensorDelta ChurnStream::Next(Rng& rng) {
+  SensorDelta delta;
+  // Arrivals first: a slot's departures can include sensors that arrived
+  // this very slot (flash participants), matching a real announce stream.
+  std::vector<int> arrived;
+  Transfer(static_cast<int>(rng.Poisson(config_.arrival_rate)), &parked_,
+           &live_, &arrived, rng);
+  delta.arrivals.reserve(arrived.size());
+  for (int id : arrived) {
+    delta.arrivals.push_back(SensorDelta::Placement{id, DrawLocation(rng)});
+  }
+  Transfer(static_cast<int>(rng.Poisson(config_.departure_rate)), &live_,
+           &parked_, &delta.departures, rng);
+
+  // Moves and price jitter sample live sensors with replacement —
+  // duplicates are legal in a delta (the last announcement wins).
+  const int live = static_cast<int>(live_.size());
+  if (live > 0) {
+    const int moves =
+        static_cast<int>(std::llround(config_.move_fraction * live));
+    for (int i = 0; i < moves; ++i) {
+      const int id =
+          live_[static_cast<size_t>(rng.UniformInt(0, live - 1))];
+      delta.moves.push_back(SensorDelta::Placement{id, DrawLocation(rng)});
+    }
+    const int jitters =
+        static_cast<int>(std::llround(config_.price_jitter_fraction * live));
+    for (int i = 0; i < jitters; ++i) {
+      const int id =
+          live_[static_cast<size_t>(rng.UniformInt(0, live - 1))];
+      const double factor = rng.Uniform(1.0 - config_.price_jitter,
+                                        1.0 + config_.price_jitter);
+      delta.price_changes.push_back(
+          SensorDelta::PriceChange{id, base_price_[id] * factor});
+    }
+  }
+  return delta;
 }
 
 LocationMonitoringQuery GenerateLocationMonitoringQuery(

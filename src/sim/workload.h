@@ -10,6 +10,7 @@
 #include "core/point_query.h"
 #include "core/region_monitoring.h"
 #include "core/sensor.h"
+#include "engine/acquisition_engine.h"
 
 namespace psens {
 
@@ -98,7 +99,6 @@ struct ScaleScenario {
   /// Sensors with positions set and marked present (no mobility trace —
   /// the scale sweep studies single-slot scheduling throughput).
   std::vector<Sensor> sensors;
-  Point cluster_center(int k) const { return cluster_centers[k]; }
   std::vector<Point> cluster_centers;
   /// Cumulative cluster weights, for sampling query locations with the
   /// same spatial skew as the population.
@@ -116,6 +116,76 @@ std::vector<PointQuery> GenerateClusteredPointQueries(
     int count, const ScaleScenario& scenario,
     const ClusteredPopulationConfig& config, const BudgetScheme& budget,
     double theta_min, int id_base, Rng& rng);
+
+/// A location drawn with the scenario's clustered spatial law (uniform in
+/// the field with the background probability, else a Gaussian offset from
+/// a weight-sampled cluster center). Exposed so churn streams place
+/// arriving and relocating sensors with the same density as the initial
+/// population.
+Point DrawScenarioLocation(const ScaleScenario& scenario,
+                           const ClusteredPopulationConfig& config, Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Streaming sensor churn (fig12_streaming, AcquisitionEngine workloads)
+// ---------------------------------------------------------------------------
+
+/// Per-slot population turbulence for a long-running aggregator: sensors
+/// arrive and depart as Poisson streams, a fraction of the live fleet
+/// relocates, and a fraction re-announces a jittered price. Rates are
+/// absolute per slot, so "1% churn at 100k sensors" is
+/// arrival_rate = departure_rate = 1000.
+struct ChurnConfig {
+  /// Expected arrivals per slot (Poisson; capped by the parked pool).
+  double arrival_rate = 0.0;
+  /// Expected departures per slot (Poisson; capped by the live pool).
+  double departure_rate = 0.0;
+  /// Fraction of live sensors re-announcing a new location each slot.
+  double move_fraction = 0.0;
+  /// Fraction of live sensors re-announcing a jittered price each slot.
+  double price_jitter_fraction = 0.0;
+  /// Relative price jitter: new C_s = original C_s * U(1 - j, 1 + j).
+  double price_jitter = 0.2;
+};
+
+/// Deterministic generator of SensorDelta streams over a registry: tracks
+/// which sensors are live vs parked so arrivals only resurrect absent
+/// sensors and departures only remove live ones. Placement of arrivals
+/// and moves follows the clustered scenario law when one is supplied
+/// (SetClusteredPlacement), else uniform in `field`.
+class ChurnStream {
+ public:
+  ChurnStream(const ChurnConfig& config, const std::vector<Sensor>& registry,
+              const Rect& field);
+
+  /// Draw arrival/move locations with the scenario's clustered density.
+  /// Both pointers must outlive the stream.
+  void SetClusteredPlacement(const ScaleScenario* scenario,
+                             const ClusteredPopulationConfig* cluster_config);
+
+  /// The next slot's delta. Consumes `rng` deterministically, so two
+  /// streams constructed identically and fed the same Rng produce the
+  /// same delta sequence.
+  SensorDelta Next(Rng& rng);
+
+  int num_live() const { return static_cast<int>(live_.size()); }
+
+ private:
+  Point DrawLocation(Rng& rng);
+  /// Moves `count` uniformly-sampled ids from `from` to `to`, appending
+  /// them to `out`.
+  void Transfer(int count, std::vector<int>* from, std::vector<int>* to,
+                std::vector<int>* out, Rng& rng);
+
+  ChurnConfig config_;
+  Rect field_;
+  const ScaleScenario* scenario_ = nullptr;
+  const ClusteredPopulationConfig* cluster_config_ = nullptr;
+  std::vector<int> live_;
+  std::vector<int> parked_;
+  /// Original C_s per sensor id: jitter is relative to the sensor's
+  /// initial announcement, not compounded across slots.
+  std::vector<double> base_price_;
+};
 
 /// New location-monitoring query (Section 4.5): random location in
 /// `working`, duration uniform in [5, 20] (clipped to `horizon`), desired

@@ -10,11 +10,14 @@
 
 #include <cmath>
 #include <limits>
+#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "core/slot.h"
+#include "index/dynamic_index.h"
 #include "index/kd_tree.h"
 #include "index/uniform_grid.h"
 
@@ -217,6 +220,198 @@ TEST(SpatialIndexTest, AutoFactoryPicksKdTreeForHeavilyClusteredPopulations) {
   std::vector<int> got;
   index->RangeQuery(Point{0, 0}, 3.0, &got);
   EXPECT_EQ(got, BruteRange(points, Point{0, 0}, 3.0));
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic indexes (src/index/dynamic_index.h): Insert/Remove/Move must keep
+// every probe exactly equal to a brute-force scan of the live set — and to
+// a freshly built static index — through arbitrary churn histories.
+// ---------------------------------------------------------------------------
+
+/// Mirror of a dynamic index's live set, with brute-force probes.
+class LiveSet {
+ public:
+  void Insert(int id, const Point& p) { points_[id] = p; }
+  void Remove(int id) { points_.erase(id); }
+
+  std::vector<int> Range(const Point& center, double radius) const {
+    std::vector<int> out;
+    for (const auto& [id, p] : points_) {
+      if (Distance(p, center) <= radius) out.push_back(id);
+    }
+    return out;
+  }
+  std::vector<int> InRect(const Rect& rect) const {
+    std::vector<int> out;
+    for (const auto& [id, p] : points_) {
+      if (rect.Contains(p)) out.push_back(id);
+    }
+    return out;
+  }
+  int Nearest(const Point& q) const {
+    int best = -1;
+    double best_d2 = std::numeric_limits<double>::infinity();
+    for (const auto& [id, p] : points_) {
+      const double dx = p.x - q.x;
+      const double dy = p.y - q.y;
+      const double d2 = dx * dx + dy * dy;
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = id;
+      }
+    }
+    return best;
+  }
+  int size() const { return static_cast<int>(points_.size()); }
+  const std::map<int, Point>& points() const { return points_; }
+
+ private:
+  std::map<int, Point> points_;  // ordered: brute results ascend by id
+};
+
+void CheckDynamicAgainstLiveSet(const SpatialIndex& index, const LiveSet& live,
+                                uint64_t seed) {
+  ASSERT_EQ(index.size(), live.size());
+  Rng rng(seed);
+  std::vector<int> got;
+  for (int probe = 0; probe < 10; ++probe) {
+    const Point center{rng.Uniform(-5.0, 55.0), rng.Uniform(-5.0, 55.0)};
+    for (double radius : {0.0, 2.0, 9.0, 100.0}) {
+      index.RangeQuery(center, radius, &got);
+      EXPECT_EQ(got, live.Range(center, radius)) << "r=" << radius;
+    }
+    const double x0 = rng.Uniform(-5.0, 55.0), x1 = rng.Uniform(-5.0, 55.0);
+    const double y0 = rng.Uniform(-5.0, 55.0), y1 = rng.Uniform(-5.0, 55.0);
+    const Rect rect{std::min(x0, x1), std::min(y0, y1), std::max(x0, x1),
+                    std::max(y0, y1)};
+    index.RectQuery(rect, &got);
+    EXPECT_EQ(got, live.InRect(rect)) << "rect probe " << probe;
+    EXPECT_EQ(index.Nearest(center), live.Nearest(center)) << "probe " << probe;
+  }
+}
+
+/// Random interleaving of inserts, removes, and moves over a sparse id
+/// space, verified against the live set after every batch.
+void ChurnAndVerify(SpatialIndex* index, uint64_t seed) {
+  Rng rng(seed);
+  LiveSet live;
+  std::vector<int> ids;
+  for (int batch = 0; batch < 12; ++batch) {
+    for (int op = 0; op < 40; ++op) {
+      const int roll = static_cast<int>(rng.UniformInt(0, 99));
+      if (roll < 45 || ids.empty()) {
+        const int id = static_cast<int>(rng.UniformInt(0, 999));
+        const Point p{rng.Uniform(0.0, 50.0), rng.Uniform(0.0, 50.0)};
+        if (live.points().count(id) == 0) {
+          ids.push_back(id);
+          EXPECT_TRUE(index->Insert(id, p));
+          live.Insert(id, p);
+        }
+      } else if (roll < 70) {
+        const size_t k = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(ids.size()) - 1));
+        const int id = ids[k];
+        ids[k] = ids.back();
+        ids.pop_back();
+        EXPECT_TRUE(index->Remove(id));
+        live.Remove(id);
+      } else {
+        const size_t k = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(ids.size()) - 1));
+        const Point p{rng.Uniform(0.0, 50.0), rng.Uniform(0.0, 50.0)};
+        EXPECT_TRUE(index->Move(ids[k], p));
+        live.Insert(ids[k], p);  // overwrite position
+      }
+    }
+    CheckDynamicAgainstLiveSet(*index, live, seed + batch);
+  }
+}
+
+TEST(DynamicIndexTest, GridMatchesBruteForceUnderChurn) {
+  DynamicGridIndex grid(Rect{0, 0, 50, 50}, 400);
+  ChurnAndVerify(&grid, 101);
+}
+
+TEST(DynamicIndexTest, BufferedKdTreeMatchesBruteForceUnderChurn) {
+  // The churn equilibrium stays under RebuildThreshold(), so this
+  // exercises the tombstone/buffer delta paths; the snapshot-rebuild
+  // crossing is pinned by BufferedKdTreeRebuildPreservesResults below.
+  BufferedKdTreeIndex tree;
+  ChurnAndVerify(&tree, 202);
+}
+
+TEST(DynamicIndexTest, AutoPolicyMatchesBruteForceUnderChurn) {
+  DynamicSpatialIndex index(Rect{0, 0, 50, 50}, SlotIndexPolicy::kAuto, 400);
+  ChurnAndVerify(&index, 303);
+}
+
+TEST(DynamicIndexTest, BufferedKdTreeRebuildPreservesResults) {
+  // Deterministic crossing of the rebuild threshold: results before and
+  // after the snapshot fold must be identical for the same probes.
+  std::vector<std::pair<int, Point>> initial;
+  Rng rng(17);
+  LiveSet live;
+  for (int id = 0; id < 300; ++id) {
+    const Point p{rng.Uniform(0.0, 50.0), rng.Uniform(0.0, 50.0)};
+    initial.emplace_back(id, p);
+    live.Insert(id, p);
+  }
+  BufferedKdTreeIndex tree(initial);
+  const int64_t rebuilds_at_start = tree.rebuilds();
+  // Delete and insert until the delta crosses RebuildThreshold().
+  for (int id = 0; id < 200; ++id) {
+    tree.Remove(id);
+    live.Remove(id);
+    const int fresh = 1000 + id;
+    const Point p{rng.Uniform(0.0, 50.0), rng.Uniform(0.0, 50.0)};
+    tree.Insert(fresh, p);
+    live.Insert(fresh, p);
+  }
+  EXPECT_GT(tree.rebuilds(), rebuilds_at_start);
+  CheckDynamicAgainstLiveSet(tree, live, 404);
+}
+
+TEST(DynamicIndexTest, AutoPolicyRechoosesBackendWhenDensityDrifts) {
+  // Dense uniform load → grid. Collapse to three tight clusters in a huge
+  // empty box → after enough churn the auto policy must migrate to the
+  // buffered k-d tree, preserving exact results throughout.
+  const Rect bounds{0, 0, 1000, 1000};
+  DynamicSpatialIndex index(bounds, SlotIndexPolicy::kAuto, 2000);
+  Rng rng(23);
+  LiveSet live;
+  for (int id = 0; id < 2000; ++id) {
+    const Point p{rng.Uniform(0.0, 1000.0), rng.Uniform(0.0, 1000.0)};
+    index.Insert(id, p);
+    live.Insert(id, p);
+  }
+  EXPECT_STREQ(index.Name(), "dynamic-grid");
+
+  for (int id = 0; id < 2000; ++id) {
+    index.Remove(id);
+    live.Remove(id);
+  }
+  const Point centers[] = {{1, 1}, {999, 999}, {1, 999}};
+  for (int id = 3000; id < 3600; ++id) {
+    const Point& c = centers[id % 3];
+    const Point p = bounds.Clamp(
+        Point{rng.Normal(c.x, 0.5), rng.Normal(c.y, 0.5)});
+    index.Insert(id, p);
+    live.Insert(id, p);
+  }
+  EXPECT_STREQ(index.Name(), "kd-buffered");
+  CheckDynamicAgainstLiveSet(index, live, 505);
+}
+
+TEST(DynamicIndexTest, StaticIndexesRejectDynamicOps) {
+  const std::vector<Point> points{{1, 1}, {2, 2}};
+  UniformGridIndex grid(points);
+  KdTreeIndex tree(points);
+  EXPECT_FALSE(grid.Insert(5, Point{3, 3}));
+  EXPECT_FALSE(grid.Remove(0));
+  EXPECT_FALSE(grid.Move(0, Point{4, 4}));
+  EXPECT_FALSE(tree.Insert(5, Point{3, 3}));
+  EXPECT_FALSE(tree.Remove(0));
+  EXPECT_FALSE(tree.Move(0, Point{4, 4}));
 }
 
 TEST(SpatialIndexTest, AttachSlotIndexHonorsPolicy) {

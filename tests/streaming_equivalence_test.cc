@@ -1,0 +1,298 @@
+// The streaming engine's contract (docs/ARCHITECTURE.md, "Engine layer"):
+// an AcquisitionEngine repairing its slot context and dynamic index from
+// deltas is *bit-identical* — same SlotContext, same selections, payments
+// and ValuationCalls — to one that rebuilds everything from the registry
+// every slot, across schedulers, under zero churn (mobility trace only)
+// and under full churn streams, including feedback populations whose
+// announced costs drift with readings (privacy decay, linear energy,
+// wear-out).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/aggregate_query.h"
+#include "core/greedy.h"
+#include "core/point_scheduling.h"
+#include "core/slot.h"
+#include "engine/acquisition_engine.h"
+#include "mobility/random_waypoint.h"
+#include "sim/workload.h"
+
+namespace psens {
+namespace {
+
+/// Field-exact SlotContext equality (announcements, order, index
+/// presence). The index *structures* may differ internally — exactness of
+/// their result sets is pinned by spatial_index_test — but indexed-ness
+/// must agree so schedulers take identical code paths.
+void ExpectSameContext(const SlotContext& a, const SlotContext& b, int slot) {
+  ASSERT_EQ(a.time, b.time) << "slot " << slot;
+  ASSERT_EQ(a.dmax, b.dmax) << "slot " << slot;
+  ASSERT_EQ(a.sensors.size(), b.sensors.size()) << "slot " << slot;
+  ASSERT_EQ(a.index == nullptr, b.index == nullptr) << "slot " << slot;
+  for (size_t i = 0; i < a.sensors.size(); ++i) {
+    const SlotSensor& x = a.sensors[i];
+    const SlotSensor& y = b.sensors[i];
+    ASSERT_EQ(x.index, y.index) << "slot " << slot << " sensor " << i;
+    ASSERT_EQ(x.sensor_id, y.sensor_id) << "slot " << slot << " sensor " << i;
+    ASSERT_EQ(x.location.x, y.location.x) << "slot " << slot << " sensor " << i;
+    ASSERT_EQ(x.location.y, y.location.y) << "slot " << slot << " sensor " << i;
+    ASSERT_EQ(x.cost, y.cost) << "slot " << slot << " sensor " << i;
+    ASSERT_EQ(x.inaccuracy, y.inaccuracy) << "slot " << slot << " sensor " << i;
+    ASSERT_EQ(x.trust, y.trust) << "slot " << slot << " sensor " << i;
+  }
+}
+
+void ExpectSameSchedule(const PointScheduleResult& a,
+                        const PointScheduleResult& b, int slot) {
+  ASSERT_EQ(a.selected_sensors, b.selected_sensors) << "slot " << slot;
+  ASSERT_EQ(a.total_value, b.total_value) << "slot " << slot;
+  ASSERT_EQ(a.total_cost, b.total_cost) << "slot " << slot;
+  ASSERT_EQ(a.assignments.size(), b.assignments.size()) << "slot " << slot;
+  for (size_t i = 0; i < a.assignments.size(); ++i) {
+    ASSERT_EQ(a.assignments[i].sensor, b.assignments[i].sensor) << "slot " << slot;
+    ASSERT_EQ(a.assignments[i].value, b.assignments[i].value) << "slot " << slot;
+    ASSERT_EQ(a.assignments[i].payment, b.assignments[i].payment)
+        << "slot " << slot;
+  }
+}
+
+EngineConfig MakeConfig(const Rect& region, double dmax, bool incremental) {
+  EngineConfig config;
+  config.working_region = region;
+  config.dmax = dmax;
+  config.incremental = incremental;
+  return config;
+}
+
+/// Sensor populations covering every announced-cost regime: fixed price,
+/// privacy decay, linear energy with short lifetimes (wear-out).
+std::vector<SensorPopulationConfig> Populations(int count) {
+  SensorPopulationConfig fixed;
+  fixed.count = count;
+  SensorPopulationConfig privacy = fixed;
+  privacy.random_privacy = true;
+  SensorPopulationConfig energy = fixed;
+  energy.linear_energy = true;
+  energy.lifetime = 6;  // wears sensors out mid-run
+  return {fixed, privacy, energy};
+}
+
+TEST(StreamingEquivalenceTest, TraceDrivenSlotsMatchRebuildAcrossSchedulers) {
+  const Rect region{0, 0, 40, 40};
+  RandomWaypointConfig mobility;
+  mobility.num_sensors = 120;
+  mobility.num_slots = 10;
+  mobility.region_size = 40;
+  mobility.region_height = 40;
+  mobility.seed = 11;
+  const Trace trace = GenerateRandomWaypoint(mobility);
+
+  const PointScheduler schedulers[] = {
+      PointScheduler::kLocalSearch, PointScheduler::kBaseline,
+      PointScheduler::kRandomizedLocalSearch, PointScheduler::kOptimal};
+  for (const SensorPopulationConfig& population : Populations(120)) {
+    Rng rng(7);
+    const std::vector<Sensor> sensors = GenerateSensors(population, rng);
+    AcquisitionEngine incremental(sensors, MakeConfig(region, 5.0, true));
+    AcquisitionEngine rebuild(sensors, MakeConfig(region, 5.0, false));
+    Rng query_rng(99);
+    for (int t = 0; t < trace.NumSlots(); ++t) {
+      incremental.ApplyTrace(trace, t);
+      rebuild.ApplyTrace(trace, t);
+      const SlotContext& inc_slot = incremental.BeginSlot(t);
+      const SlotContext& reb_slot = rebuild.BeginSlot(t);
+      ExpectSameContext(inc_slot, reb_slot, t);
+
+      const std::vector<PointQuery> queries = GeneratePointQueries(
+          30, region, BudgetScheme{15.0, false, 0.0}, 0.2, t * 30, query_rng);
+      PointSchedulingOptions options;
+      options.scheduler = schedulers[t % 4];
+      options.seed = 1234 + static_cast<uint64_t>(t);
+      const PointScheduleResult inc_result =
+          SchedulePointQueries(queries, inc_slot, options);
+      const PointScheduleResult reb_result =
+          SchedulePointQueries(queries, reb_slot, options);
+      ExpectSameSchedule(inc_result, reb_result, t);
+
+      // Feed identical readings back so cost/wear state stays aligned.
+      incremental.RecordSlotReadings(inc_result.selected_sensors, t);
+      rebuild.RecordSlotReadings(reb_result.selected_sensors, t);
+    }
+  }
+}
+
+TEST(StreamingEquivalenceTest, ChurnStreamsMatchRebuild) {
+  const int count = 1500;
+  const Rect field{0, 0, 80, 80};
+  ClusteredPopulationConfig cluster;
+  cluster.count = count;
+  cluster.num_clusters = 8;
+  cluster.cluster_sigma = 6.0;
+  for (SensorPopulationConfig population : Populations(count)) {
+    ClusteredPopulationConfig config = cluster;
+    config.profile = population;
+    Rng rng(21);
+    const ScaleScenario scenario = GenerateClusteredSensors(config, field, rng);
+
+    ChurnConfig churn;
+    churn.arrival_rate = 30;
+    churn.departure_rate = 30;
+    churn.move_fraction = 0.02;
+    churn.price_jitter_fraction = 0.01;
+    AcquisitionEngine incremental(scenario.sensors, MakeConfig(field, 5.0, true));
+    AcquisitionEngine rebuild(scenario.sensors, MakeConfig(field, 5.0, false));
+    // Identical delta sequences via two identically-seeded streams.
+    ChurnStream inc_stream(churn, scenario.sensors, field);
+    ChurnStream reb_stream(churn, scenario.sensors, field);
+    inc_stream.SetClusteredPlacement(&scenario, &config);
+    reb_stream.SetClusteredPlacement(&scenario, &config);
+    Rng inc_rng(5);
+    Rng reb_rng(5);
+    Rng query_rng(77);
+    for (int t = 0; t < 15; ++t) {
+      incremental.ApplyDelta(inc_stream.Next(inc_rng));
+      rebuild.ApplyDelta(reb_stream.Next(reb_rng));
+      const SlotContext& inc_slot = incremental.BeginSlot(t);
+      const SlotContext& reb_slot = rebuild.BeginSlot(t);
+      ExpectSameContext(inc_slot, reb_slot, t);
+
+      const std::vector<PointQuery> queries = GeneratePointQueries(
+          40, field, BudgetScheme{15.0, false, 0.0}, 0.2, t * 40, query_rng);
+      PointSchedulingOptions options;
+      options.scheduler =
+          t % 2 == 0 ? PointScheduler::kLocalSearch : PointScheduler::kBaseline;
+      options.seed = 4321 + static_cast<uint64_t>(t);
+      const PointScheduleResult inc_result =
+          SchedulePointQueries(queries, inc_slot, options);
+      const PointScheduleResult reb_result =
+          SchedulePointQueries(queries, reb_slot, options);
+      ExpectSameSchedule(inc_result, reb_result, t);
+      incremental.RecordSlotReadings(inc_result.selected_sensors, t);
+      rebuild.RecordSlotReadings(reb_result.selected_sensors, t);
+    }
+  }
+}
+
+TEST(StreamingEquivalenceTest, GreedyEnginesMatchIncludingValuationCalls) {
+  const int count = 600;
+  const Rect field{0, 0, 60, 60};
+  ClusteredPopulationConfig config;
+  config.count = count;
+  config.num_clusters = 5;
+  config.cluster_sigma = 5.0;
+  Rng rng(31);
+  const ScaleScenario scenario = GenerateClusteredSensors(config, field, rng);
+
+  ChurnConfig churn;
+  churn.arrival_rate = 20;
+  churn.departure_rate = 20;
+  churn.move_fraction = 0.05;
+  AcquisitionEngine incremental(scenario.sensors, MakeConfig(field, 8.0, true));
+  AcquisitionEngine rebuild(scenario.sensors, MakeConfig(field, 8.0, false));
+  ChurnStream inc_stream(churn, scenario.sensors, field);
+  ChurnStream reb_stream(churn, scenario.sensors, field);
+  Rng inc_rng(9);
+  Rng reb_rng(9);
+  Rng query_rng(55);
+  for (int t = 0; t < 8; ++t) {
+    incremental.ApplyDelta(inc_stream.Next(inc_rng));
+    rebuild.ApplyDelta(reb_stream.Next(reb_rng));
+    const SlotContext& inc_slot = incremental.BeginSlot(t);
+    const SlotContext& reb_slot = rebuild.BeginSlot(t);
+    ExpectSameContext(inc_slot, reb_slot, t);
+
+    Rng reb_query_rng = query_rng;  // aggregate params drawn twice, identically
+    const std::vector<AggregateQuery::Params> inc_params =
+        GenerateAggregateQueries(8, field, 8.0, 15.0, t * 100, query_rng);
+    const std::vector<AggregateQuery::Params> reb_params =
+        GenerateAggregateQueries(8, field, 8.0, 15.0, t * 100, reb_query_rng);
+    for (GreedyEngine engine : {GreedyEngine::kLazy, GreedyEngine::kEager}) {
+      std::vector<std::unique_ptr<AggregateQuery>> inc_queries;
+      std::vector<std::unique_ptr<AggregateQuery>> reb_queries;
+      std::vector<MultiQuery*> inc_ptrs;
+      std::vector<MultiQuery*> reb_ptrs;
+      for (const AggregateQuery::Params& p : inc_params) {
+        inc_queries.push_back(std::make_unique<AggregateQuery>(p, inc_slot));
+        inc_ptrs.push_back(inc_queries.back().get());
+      }
+      for (const AggregateQuery::Params& p : reb_params) {
+        reb_queries.push_back(std::make_unique<AggregateQuery>(p, reb_slot));
+        reb_ptrs.push_back(reb_queries.back().get());
+      }
+      const SelectionResult inc_sel =
+          GreedySensorSelection(inc_ptrs, inc_slot, nullptr, engine);
+      const SelectionResult reb_sel =
+          GreedySensorSelection(reb_ptrs, reb_slot, nullptr, engine);
+      ASSERT_EQ(inc_sel.selected_sensors, reb_sel.selected_sensors) << t;
+      ASSERT_EQ(inc_sel.total_value, reb_sel.total_value) << t;
+      ASSERT_EQ(inc_sel.total_cost, reb_sel.total_cost) << t;
+      ASSERT_EQ(inc_sel.valuation_calls, reb_sel.valuation_calls) << t;
+      for (size_t q = 0; q < inc_queries.size(); ++q) {
+        ASSERT_EQ(inc_queries[q]->TotalPayment(), reb_queries[q]->TotalPayment())
+            << t;
+      }
+    }
+  }
+}
+
+TEST(StreamingEquivalenceTest, RebuildModeMatchesBuildSlotContext) {
+  SensorPopulationConfig population;
+  population.count = 80;
+  Rng rng(3);
+  std::vector<Sensor> sensors = GenerateSensors(population, rng);
+  for (Sensor& s : sensors) {
+    s.SetPosition(Point{rng.Uniform(0.0, 20.0), rng.Uniform(0.0, 20.0)}, true);
+  }
+  const Rect region{0, 0, 20, 20};
+  AcquisitionEngine engine(sensors, MakeConfig(region, 5.0, false));
+  const SlotContext& from_engine = engine.BeginSlot(4);
+  const SlotContext direct = BuildSlotContext(sensors, region, 4, 5.0);
+  ExpectSameContext(from_engine, direct, 4);
+}
+
+TEST(StreamingEquivalenceTest, DepartedSensorsLeaveTheSlot) {
+  SensorPopulationConfig population;
+  population.count = 50;
+  Rng rng(13);
+  std::vector<Sensor> sensors = GenerateSensors(population, rng);
+  for (Sensor& s : sensors) {
+    s.SetPosition(Point{rng.Uniform(0.0, 20.0), rng.Uniform(0.0, 20.0)}, true);
+  }
+  AcquisitionEngine engine(sensors, MakeConfig(Rect{0, 0, 20, 20}, 5.0, true));
+  ASSERT_EQ(engine.BeginSlot(0).sensors.size(), 50u);
+
+  SensorDelta delta;
+  delta.departures = {7, 30, 49};
+  engine.ApplyDelta(delta);
+  const SlotContext& after = engine.BeginSlot(1);
+  EXPECT_EQ(after.sensors.size(), 47u);
+  for (const SlotSensor& s : after.sensors) {
+    EXPECT_NE(s.sensor_id, 7);
+    EXPECT_NE(s.sensor_id, 30);
+    EXPECT_NE(s.sensor_id, 49);
+    EXPECT_EQ(after.sensors[static_cast<size_t>(s.index)].sensor_id, s.sensor_id);
+  }
+
+  // Re-arrival restores membership at the announced location.
+  SensorDelta back;
+  back.arrivals.push_back(SensorDelta::Placement{30, Point{3.0, 4.0}});
+  engine.ApplyDelta(back);
+  const SlotContext& restored = engine.BeginSlot(2);
+  EXPECT_EQ(restored.sensors.size(), 48u);
+  bool found = false;
+  for (const SlotSensor& s : restored.sensors) {
+    if (s.sensor_id == 30) {
+      found = true;
+      EXPECT_EQ(s.location.x, 3.0);
+      EXPECT_EQ(s.location.y, 4.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace psens

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace psens {
 namespace {
 
@@ -132,6 +134,76 @@ TEST(GenerateRegionMonitoringQueryTest, BudgetScalesWithAreaAndDuration) {
     EXPECT_LE(q.region.x_max, 20.0);
     EXPECT_LE(q.region.y_max, 15.0);
   }
+}
+
+TEST(ChurnStreamTest, TracksMembershipAndStaysDeterministic) {
+  SensorPopulationConfig population;
+  population.count = 200;
+  Rng rng(4);
+  std::vector<Sensor> sensors = GenerateSensors(population, rng);
+  const Rect field{0, 0, 30, 30};
+  for (Sensor& s : sensors) {
+    s.SetPosition(Point{rng.Uniform(0.0, 30.0), rng.Uniform(0.0, 30.0)}, true);
+  }
+
+  ChurnConfig config;
+  config.arrival_rate = 10;
+  config.departure_rate = 10;
+  config.move_fraction = 0.05;
+  config.price_jitter_fraction = 0.05;
+  ChurnStream a(config, sensors, field);
+  ChurnStream b(config, sensors, field);
+  Rng rng_a(77);
+  Rng rng_b(77);
+  std::vector<char> live(sensors.size(), 1);
+  for (int t = 0; t < 20; ++t) {
+    const SensorDelta da = a.Next(rng_a);
+    const SensorDelta db = b.Next(rng_b);
+    // Identically constructed streams fed identical Rngs emit identical
+    // deltas — every field of every event (the property the fig12
+    // two-pass methodology rests on).
+    ASSERT_EQ(da.departures, db.departures);
+    ASSERT_EQ(da.arrivals.size(), db.arrivals.size());
+    for (size_t i = 0; i < da.arrivals.size(); ++i) {
+      ASSERT_EQ(da.arrivals[i].sensor_id, db.arrivals[i].sensor_id);
+      ASSERT_EQ(da.arrivals[i].position.x, db.arrivals[i].position.x);
+      ASSERT_EQ(da.arrivals[i].position.y, db.arrivals[i].position.y);
+    }
+    ASSERT_EQ(da.moves.size(), db.moves.size());
+    for (size_t i = 0; i < da.moves.size(); ++i) {
+      ASSERT_EQ(da.moves[i].sensor_id, db.moves[i].sensor_id);
+      ASSERT_EQ(da.moves[i].position.x, db.moves[i].position.x);
+      ASSERT_EQ(da.moves[i].position.y, db.moves[i].position.y);
+    }
+    ASSERT_EQ(da.price_changes.size(), db.price_changes.size());
+    for (size_t i = 0; i < da.price_changes.size(); ++i) {
+      ASSERT_EQ(da.price_changes[i].sensor_id, db.price_changes[i].sensor_id);
+      ASSERT_EQ(da.price_changes[i].base_price, db.price_changes[i].base_price);
+    }
+    // Arrivals resurrect only parked sensors; departures only live ones
+    // (a sensor arriving this slot may depart the same slot). Locations
+    // stay inside the field.
+    for (const SensorDelta::Placement& p : da.arrivals) {
+      EXPECT_FALSE(live[p.sensor_id]) << "slot " << t;
+      live[p.sensor_id] = 1;
+      EXPECT_TRUE(field.Contains(p.position));
+    }
+    for (int id : da.departures) {
+      EXPECT_TRUE(live[id]) << "slot " << t;
+      live[id] = 0;
+    }
+    for (const SensorDelta::Placement& p : da.moves) {
+      EXPECT_TRUE(live[p.sensor_id]) << "slot " << t;
+      EXPECT_TRUE(field.Contains(p.position));
+    }
+    for (const SensorDelta::PriceChange& pc : da.price_changes) {
+      EXPECT_TRUE(live[pc.sensor_id]) << "slot " << t;
+      EXPECT_GT(pc.base_price, 0.0);
+    }
+  }
+  const int expected_live = static_cast<int>(
+      std::count(live.begin(), live.end(), static_cast<char>(1)));
+  EXPECT_EQ(a.num_live(), expected_live);
 }
 
 TEST(GeneratorsTest, DeterministicForSameSeed) {
