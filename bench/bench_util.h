@@ -38,9 +38,10 @@ inline bool SameSchedule(const PointScheduleResult& a,
 ///   --slots N        simulate N time slots (default 50, the paper's setting)
 ///   --seed S         base RNG seed
 ///   --quick          shorthand for a fast smoke run (--slots 10)
-///   --threads N      worker threads for independent sweep points / slots
-///                    (default 0 = hardware concurrency; results are
-///                    bit-identical for any value)
+///   --threads N      worker threads for independent sweep points / slots,
+///                    and for fig12's intra-slot parallel selection row
+///                    (EngineConfig::threads; default 0 = hardware
+///                    concurrency; results are bit-identical for any value)
 ///   --json PATH      also write machine-readable results to PATH (only
 ///                    binaries that support it; fig11/fig12 do)
 ///   --max-sensors N  cap the population sweep (fig11/fig12)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <span>
 
 #include "index/spatial_index.h"
 
@@ -27,6 +28,28 @@ void OrInto(std::vector<uint64_t>& acc, const std::vector<uint64_t>& mask) {
 
 /// Location-independent sensor quality used by the aggregate valuation.
 double SensorTheta(const SlotSensor& s) { return (1.0 - s.inaccuracy) * s.trust; }
+
+/// Shared batched-sweep kernel of the two coverage valuations (Eq. 5 over
+/// region cells / trajectory-corridor cells): out[i] = marginal of probing
+/// sensors[i] against the accumulated coverage state. `value_from` is the
+/// owner's ValueFrom (they differ only in captured params).
+template <typename ValueFrom>
+void CoverageMarginals(std::span<const int> sensors, std::span<double> out,
+                       const std::vector<std::vector<uint64_t>>& cover_mask,
+                       const std::vector<double>& theta,
+                       const std::vector<uint64_t>& acc_mask, double theta_sum,
+                       int count, double current_value,
+                       const ValueFrom& value_from) {
+  for (size_t i = 0; i < sensors.size(); ++i) {
+    const int s = sensors[i];
+    if (cover_mask[s].empty()) {
+      out[i] = 0.0;
+      continue;
+    }
+    const int new_covered = PopCountOr(acc_mask, cover_mask[s]);
+    out[i] = value_from(new_covered, theta_sum + theta[s], count) - current_value;
+  }
+}
 
 }  // namespace
 
@@ -98,6 +121,15 @@ double AggregateQuery::MarginalValue(int sensor) const {
       ValueFrom(new_covered, theta_sum_ + theta_[sensor],
                 static_cast<int>(selected_.size()) + 1);
   return new_value - current_value_;
+}
+
+void AggregateQuery::MarginalValuesUncounted(std::span<const int> sensors,
+                                             std::span<double> out) const {
+  CoverageMarginals(sensors, out, cover_mask_, theta_, acc_mask_, theta_sum_,
+                    static_cast<int>(selected_.size()) + 1, current_value_,
+                    [this](int covered, double ts, int count) {
+                      return ValueFrom(covered, ts, count);
+                    });
 }
 
 void AggregateQuery::Commit(int sensor, double payment) {
@@ -243,6 +275,15 @@ double TrajectoryQuery::MarginalValue(int sensor) const {
       ValueFrom(new_covered, theta_sum_ + theta_[sensor],
                 static_cast<int>(selected_.size()) + 1);
   return new_value - current_value_;
+}
+
+void TrajectoryQuery::MarginalValuesUncounted(std::span<const int> sensors,
+                                              std::span<double> out) const {
+  CoverageMarginals(sensors, out, cover_mask_, theta_, acc_mask_, theta_sum_,
+                    static_cast<int>(selected_.size()) + 1, current_value_,
+                    [this](int covered, double ts, int count) {
+                      return ValueFrom(covered, ts, count);
+                    });
 }
 
 void TrajectoryQuery::Commit(int sensor, double payment) {

@@ -42,6 +42,11 @@ class AggregateQuery : public MultiQueryBase {
   AggregateQuery(const Params& params, const SlotContext& slot);
 
   double MarginalValue(int sensor) const override;
+  /// Tight sweep over the probed sensors' precomputed coverage bitsets —
+  /// one virtual call per batch instead of per sensor.
+  void MarginalValuesUncounted(std::span<const int> sensors,
+                               std::span<double> out) const override;
+  bool ThreadSafeBatchValuation() const override { return true; }
   void Commit(int sensor, double payment) override;
   double MaxValue() const override { return params_.budget; }
 
@@ -98,6 +103,9 @@ class TrajectoryQuery : public MultiQueryBase {
   TrajectoryQuery(const Params& params, const SlotContext& slot);
 
   double MarginalValue(int sensor) const override;
+  void MarginalValuesUncounted(std::span<const int> sensors,
+                               std::span<double> out) const override;
+  bool ThreadSafeBatchValuation() const override { return true; }
   void Commit(int sensor, double payment) override;
   double MaxValue() const override { return params_.budget; }
   const std::vector<int>* CandidateSensors() const override;

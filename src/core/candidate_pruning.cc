@@ -19,24 +19,51 @@ CandidatePlan BuildCandidatePlan(const std::vector<MultiQuery*>& queries,
     std::iota(plan.all_sensors.begin(), plan.all_sensors.end(), 0);
     plan.all_queries.resize(queries.size());
     std::iota(plan.all_queries.begin(), plan.all_queries.end(), 0);
+    // Default-constructed refs resolve to the dense fallback.
+    plan.query_candidates.assign(queries.size(), CandidatePlan::QueryCandidateRef{});
     return plan;
   }
 
   plan.queries_of_sensor.resize(static_cast<size_t>(num_sensors));
+  plan.query_candidates.assign(queries.size(), CandidatePlan::QueryCandidateRef{});
+  bool any_dense = false;
   // Ascending qi loop keeps every per-sensor query list ascending, which
   // preserves the dense scan's marginal accumulation order exactly.
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     const std::vector<int>* candidates = queries[qi]->CandidateSensors();
     if (candidates == nullptr) {
+      any_dense = true;
       for (auto& list : plan.queries_of_sensor) list.push_back(static_cast<int>(qi));
     } else {
+      bool in_range = true;
       for (int s : *candidates) {
         if (s >= 0 && s < num_sensors) {
           plan.queries_of_sensor[static_cast<size_t>(s)].push_back(
               static_cast<int>(qi));
+        } else {
+          in_range = false;
+        }
+      }
+      if (in_range) {
+        plan.query_candidates[qi].external = candidates;
+      } else {
+        // Rare defensive path: mirror the in-range filter above so the
+        // query-major view scans exactly the pairs the inverted index
+        // indexes.
+        plan.query_candidates[qi].sanitized_index =
+            static_cast<int>(plan.sanitized.size());
+        plan.sanitized.emplace_back();
+        std::vector<int>& copy = plan.sanitized.back();
+        for (int s : *candidates) {
+          if (s >= 0 && s < num_sensors) copy.push_back(s);
         }
       }
     }
+  }
+  if (any_dense) {
+    // Dense queries resolve SensorsOf through the all-sensors fallback.
+    plan.all_sensors.resize(static_cast<size_t>(num_sensors));
+    std::iota(plan.all_sensors.begin(), plan.all_sensors.end(), 0);
   }
   for (int s = 0; s < num_sensors; ++s) {
     if (!plan.queries_of_sensor[static_cast<size_t>(s)].empty()) {

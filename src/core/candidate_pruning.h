@@ -33,6 +33,21 @@ struct CandidatePlan {
   std::vector<int> all_sensors;
   std::vector<int> all_queries;
 
+  /// Per query: where its candidate sensor list (ascending) lives — the
+  /// query-major mirror of queries_of_sensor, used by the batched round
+  /// evaluator (core/batch_eval.h) to sweep each query's sensors in one
+  /// MarginalValues call. `external` points into the query object's own
+  /// CandidateSensors() storage (stable during a selection run and across
+  /// plan moves); `sanitized_index` selects a plan-owned copy when a hook
+  /// returned out-of-range ids; neither set means the dense fallback.
+  struct QueryCandidateRef {
+    const std::vector<int>* external = nullptr;
+    int sanitized_index = -1;
+  };
+  std::vector<QueryCandidateRef> query_candidates;
+  /// Backing storage for sanitized query_candidates entries.
+  std::vector<std::vector<int>> sanitized;
+
   /// Sensors an engine must scan, resolving the dense fallback.
   const std::vector<int>& ScanSensors() const {
     return active ? sensors : all_sensors;
@@ -40,6 +55,19 @@ struct CandidatePlan {
   /// Queries that may value `sensor`, resolving the dense fallback.
   const std::vector<int>& QueriesOf(int sensor) const {
     return active ? queries_of_sensor[static_cast<size_t>(sensor)] : all_queries;
+  }
+  /// Sensors query `query` may value (ascending), resolving the dense
+  /// fallback. Scanning these per query and summing into per-sensor
+  /// accumulators in ascending query order visits exactly the (sensor,
+  /// query) pairs of the sensor-major reference loops, with the identical
+  /// per-sensor accumulation order.
+  const std::vector<int>& SensorsOf(int query) const {
+    const QueryCandidateRef& ref = query_candidates[static_cast<size_t>(query)];
+    if (ref.external != nullptr) return *ref.external;
+    if (ref.sanitized_index >= 0) {
+      return sanitized[static_cast<size_t>(ref.sanitized_index)];
+    }
+    return all_sensors;
   }
 };
 

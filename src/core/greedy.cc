@@ -4,6 +4,7 @@
 #include <numeric>
 #include <utility>
 
+#include "core/batch_eval.h"
 #include "core/candidate_pruning.h"
 #include "core/lazy_greedy.h"
 
@@ -21,7 +22,12 @@ int64_t TotalValuationCalls(const std::vector<MultiQuery*>& queries) {
 /// expose candidate lists (indexed slots), the rescan covers only sensors
 /// some query can value, and each sensor's net sums only over its
 /// interested queries — selections and payments are bit-identical to the
-/// dense scan (see core/candidate_pruning.h).
+/// dense scan (see core/candidate_pruning.h). The rescan itself runs
+/// through the batched round evaluator (core/batch_eval.h): per-query
+/// MarginalValues sweeps instead of per-sensor virtual probes, sharded
+/// over `slot.pool` when one is attached — with nets, tie-breaks, and
+/// valuation-call totals bit-identical to this loop's historical
+/// sensor-major scalar form for any thread count.
 SelectionResult EagerGreedySensorSelection(const std::vector<MultiQuery*>& queries,
                                            const SlotContext& slot,
                                            const std::vector<double>* cost_scale) {
@@ -31,25 +37,25 @@ SelectionResult EagerGreedySensorSelection(const std::vector<MultiQuery*>& queri
   std::vector<char> remaining(n, 1);
 
   const CandidatePlan plan = BuildCandidatePlan(queries, n);
+  NetEvaluator evaluator(queries, plan, slot, cost_scale, slot.pool);
 
+  std::vector<int> scan;  // remaining scan sensors, ascending, per round
+  std::vector<double> net;
   std::vector<std::pair<int, double>> marginals;  // (query, delta) of the winner
   while (true) {
+    scan.clear();
+    for (int s : plan.ScanSensors()) {
+      if (remaining[s]) scan.push_back(s);
+    }
+    evaluator.EvaluateNets(scan, &net);
     int best_sensor = -1;
     double best_net = 0.0;
-    for (int s : plan.ScanSensors()) {
-      if (!remaining[s]) continue;
-      double scale = 1.0;
-      if (cost_scale != nullptr) scale = (*cost_scale)[s];
-      const double cost = slot.sensors[s].cost * scale;
-      double positive_sum = 0.0;
-      for (int qi : plan.QueriesOf(s)) {
-        const double delta = queries[qi]->MarginalValue(s);
-        if (delta > 0.0) positive_sum += delta;
-      }
-      const double net = positive_sum - cost;
-      if (net > best_net) {
-        best_net = net;
-        best_sensor = s;
+    // Ascending stable argmax with strict >: the first maximum wins, the
+    // same (gain, sensor-id) tie-break as the reference ascending rescan.
+    for (size_t k = 0; k < scan.size(); ++k) {
+      if (net[k] > best_net) {
+        best_net = net[k];
+        best_sensor = scan[k];
       }
     }
     if (best_sensor < 0) break;  // line 12: no sensor with positive net gain

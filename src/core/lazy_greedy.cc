@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/batch_eval.h"
 #include "core/candidate_pruning.h"
 
 namespace psens {
@@ -45,24 +46,21 @@ SelectionResult LazyGreedySensorSelection(const std::vector<MultiQuery*>& querie
   // over its interested queries. Identical selections and payments, fewer
   // valuation calls (core/candidate_pruning.h).
   const CandidatePlan plan = BuildCandidatePlan(queries, n);
+  NetEvaluator evaluator(queries, plan, slot, cost_scale, slot.pool);
 
-  // Net gain of adding `sensor` to the current joint selection, at the
-  // (possibly scaled) announced cost.
-  const auto EvaluateNet = [&](int sensor) {
-    double scale = 1.0;
-    if (cost_scale != nullptr) scale = (*cost_scale)[sensor];
-    const double cost = slot.sensors[sensor].cost * scale;
-    double positive_sum = 0.0;
-    for (int qi : plan.QueriesOf(sensor)) {
-      const double delta = queries[qi]->MarginalValue(sensor);
-      if (delta > 0.0) positive_sum += delta;
-    }
-    return positive_sum - cost;
-  };
-
+  // Initial fill — the dominant cost of a CELF run — as one batched (and,
+  // with slot.pool, parallel) sweep: nets for every scan sensor, then heap
+  // pushes in the same ascending order the serial loop used, so the heap
+  // state, every cached value, and the valuation-call totals are
+  // bit-identical to evaluating one sensor at a time.
   std::priority_queue<Candidate, std::vector<Candidate>, CandidateLess> heap;
-  for (int s : plan.ScanSensors()) {
-    heap.push(Candidate{EvaluateNet(s), 0, s});
+  {
+    std::vector<double> net;
+    evaluator.EvaluateNets(plan.ScanSensors(), &net);
+    const std::vector<int>& scan = plan.ScanSensors();
+    for (size_t k = 0; k < scan.size(); ++k) {
+      heap.push(Candidate{net[k], 0, scan[k]});
+    }
   }
 
   std::vector<std::pair<int, double>> marginals;  // (query, delta) of the winner
@@ -72,8 +70,10 @@ SelectionResult LazyGreedySensorSelection(const std::vector<MultiQuery*>& querie
     heap.pop();
     if (top.round != round) {
       // Stale cache: re-evaluate against the current selection and
-      // reinsert; only the heap front ever pays this cost.
-      top.net = EvaluateNet(top.sensor);
+      // reinsert; only the heap front ever pays this cost. The evaluator
+      // shards the per-query delta batch over the pool when the sensor
+      // interests enough queries (bit-identical either way).
+      top.net = evaluator.EvaluateNet(top.sensor);
       top.round = round;
       heap.push(top);
       continue;

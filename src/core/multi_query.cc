@@ -6,10 +6,31 @@
 
 namespace psens {
 
+void MultiQuery::MarginalValuesUncounted(std::span<const int> sensors,
+                                         std::span<double> out) const {
+  // Reference fallback: per-sensor scalar probes. MarginalValue performs
+  // its own accounting, which this entry point must not — cancel it so the
+  // fallback and the tight overrides are observationally identical.
+  for (size_t i = 0; i < sensors.size(); ++i) {
+    out[i] = MarginalValue(sensors[i]);
+  }
+  AddValuationCalls(-static_cast<int64_t>(sensors.size()));
+}
+
 double PointMultiQuery::MarginalValue(int sensor) const {
   ++valuation_calls_;
   const double v = PointQueryValue(query_, slot_->sensors[sensor], slot_->dmax);
   return v - current_value_;  // current_value_ is the best committed value
+}
+
+void PointMultiQuery::MarginalValuesUncounted(std::span<const int> sensors,
+                                              std::span<double> out) const {
+  const std::vector<SlotSensor>& announced = slot_->sensors;
+  const double dmax = slot_->dmax;
+  const double current = current_value_;
+  for (size_t i = 0; i < sensors.size(); ++i) {
+    out[i] = PointQueryValue(query_, announced[sensors[i]], dmax) - current;
+  }
 }
 
 void PointMultiQuery::Commit(int sensor, double payment) {
@@ -41,6 +62,17 @@ double CallbackMultiQuery::MarginalValue(int sensor) const {
   std::vector<int> with = selected_;
   with.push_back(sensor);
   return valuation_(with) - current_value_;
+}
+
+void CallbackMultiQuery::MarginalValuesUncounted(std::span<const int> sensors,
+                                                 std::span<double> out) const {
+  if (sensors.empty()) return;
+  batch_with_ = selected_;
+  batch_with_.push_back(0);
+  for (size_t i = 0; i < sensors.size(); ++i) {
+    batch_with_.back() = sensors[i];
+    out[i] = valuation_(batch_with_) - current_value_;
+  }
 }
 
 void CallbackMultiQuery::Commit(int sensor, double payment) {

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/point_query.h"
@@ -25,6 +26,44 @@ class MultiQuery {
   /// sensor `sensor` to the current selection. May be negative (valuations
   /// need not be monotone, e.g. Eq. 5).
   virtual double MarginalValue(int sensor) const = 0;
+
+  /// Batched valuation: out[i] = exactly the value MarginalValue(sensors[i])
+  /// would return against the current selection, with the same
+  /// valuation-call accounting folded into one AddValuationCalls merge.
+  /// Values and ValuationCalls() totals are bit-identical to the scalar
+  /// loop (tests/batched_valuation_test.cc pins this per query type).
+  void MarginalValues(std::span<const int> sensors, std::span<double> out) const {
+    MarginalValuesUncounted(sensors, out);
+    AddValuationCalls(static_cast<int64_t>(sensors.size()));
+  }
+
+  /// Computation core of MarginalValues, *without* the accounting. The
+  /// batched/parallel engines (core/batch_eval.h) call this from worker
+  /// threads and merge per-thread call counts at batch end through
+  /// AddValuationCalls, so ValuationCalls() is never mutated from workers.
+  ///
+  /// Contract for overrides: no mutation of query state other than
+  /// per-object scratch. Engines shard work *by query* — two threads may
+  /// probe different queries concurrently, but one query is only ever
+  /// probed by one thread at a time, so per-object scratch needs no
+  /// locking. ThreadSafeBatchValuation() advertises conformance.
+  ///
+  /// The default falls back to per-sensor MarginalValue probes (which
+  /// count) and cancels their accounting — correct and exactly equivalent,
+  /// but neither batched nor safe off the owning thread.
+  virtual void MarginalValuesUncounted(std::span<const int> sensors,
+                                       std::span<double> out) const;
+
+  /// Merges externally tracked valuation-call counts into ValuationCalls().
+  /// Engines use it to keep per-thread counters out of worker threads; the
+  /// default is a no-op for implementations that do not track calls.
+  virtual void AddValuationCalls(int64_t count) const { (void)count; }
+
+  /// True when MarginalValuesUncounted honours the no-shared-mutation
+  /// contract above, so the parallel selection path may probe this query
+  /// from worker threads. Engines fall back to the bit-identical serial
+  /// sweep when any participating query says no.
+  virtual bool ThreadSafeBatchValuation() const { return false; }
 
   /// Adds `sensor` to the selection, charging `payment` to the query.
   virtual void Commit(int sensor, double payment) = 0;
@@ -68,6 +107,13 @@ class MultiQueryBase : public MultiQuery {
   const std::vector<int>& SelectedSensors() const override { return selected_; }
   int64_t ValuationCalls() const override { return valuation_calls_; }
 
+  /// Single merge point for deferred (per-thread) call accounting. Only
+  /// ever invoked from the coordinating thread at batch end, so the plain
+  /// `mutable` field needs no synchronization.
+  void AddValuationCalls(int64_t count) const override {
+    valuation_calls_ += count;
+  }
+
   void ResetSelection() override {
     selected_.clear();
     current_value_ = 0.0;
@@ -93,6 +139,11 @@ class PointMultiQuery : public MultiQueryBase {
   const PointQuery& query() const { return query_; }
 
   double MarginalValue(int sensor) const override;
+  /// Tight sweep: one fused pass over the probed sensors' slot
+  /// announcements, no per-sensor virtual dispatch.
+  void MarginalValuesUncounted(std::span<const int> sensors,
+                               std::span<double> out) const override;
+  bool ThreadSafeBatchValuation() const override { return true; }
   void Commit(int sensor, double payment) override;
   double MaxValue() const override { return query_.budget; }
 
@@ -130,12 +181,18 @@ class CallbackMultiQuery : public MultiQueryBase {
       : MultiQueryBase(id), valuation_(std::move(valuation)), max_value_(max_value) {}
 
   double MarginalValue(int sensor) const override;
+  /// Batched probe reusing one selection+candidate scratch vector instead
+  /// of copying the selection per sensor. ThreadSafeBatchValuation stays
+  /// false: the user-supplied callback's thread safety is unknown.
+  void MarginalValuesUncounted(std::span<const int> sensors,
+                               std::span<double> out) const override;
   void Commit(int sensor, double payment) override;
   double MaxValue() const override { return max_value_; }
 
  private:
   SetValuation valuation_;
   double max_value_;
+  mutable std::vector<int> batch_with_;
 };
 
 }  // namespace psens

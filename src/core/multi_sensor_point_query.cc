@@ -40,6 +40,47 @@ double MultiSensorPointQuery::MarginalValue(int sensor) const {
   return ValueFromQualities(std::move(with)) - current_value_;
 }
 
+void MultiSensorPointQuery::MarginalValuesUncounted(
+    std::span<const int> sensors, std::span<double> out) const {
+  if (sensors.empty()) return;
+  if (params_.redundancy <= 0) {
+    // ValueFromQualities is identically zero; mirror the scalar branch
+    // structure exactly (theta <= 0 probes return a literal 0).
+    for (size_t i = 0; i < sensors.size(); ++i) {
+      out[i] = Quality(sensors[i]) <= 0.0 ? 0.0 : -current_value_;
+    }
+    return;
+  }
+  batch_sorted_ = qualities_;
+  std::sort(batch_sorted_.begin(), batch_sorted_.end(), std::greater<double>());
+  const size_t k = static_cast<size_t>(params_.redundancy);
+  for (size_t i = 0; i < sensors.size(); ++i) {
+    const double theta = Quality(sensors[i]);
+    if (theta <= 0.0) {
+      out[i] = 0.0;
+      continue;
+    }
+    // Top-k sum of {sorted qualities} + theta, accumulated in descending
+    // order — the exact value sequence (ties included: equal values are
+    // interchangeable) the scalar path sums after its fresh sort.
+    double sum = 0.0;
+    size_t taken = 0;
+    size_t j = 0;
+    bool theta_used = false;
+    while (taken < k && (j < batch_sorted_.size() || !theta_used)) {
+      if (!theta_used && (j >= batch_sorted_.size() || theta >= batch_sorted_[j])) {
+        sum += theta;
+        theta_used = true;
+      } else {
+        sum += batch_sorted_[j++];
+      }
+      ++taken;
+    }
+    out[i] = params_.budget * sum / static_cast<double>(params_.redundancy) -
+             current_value_;
+  }
+}
+
 void MultiSensorPointQuery::Commit(int sensor, double payment) {
   const double theta = Quality(sensor);
   if (theta > 0.0) {

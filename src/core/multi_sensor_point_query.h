@@ -33,6 +33,13 @@ class MultiSensorPointQuery : public MultiQueryBase {
       : MultiQueryBase(params.id), params_(params), slot_(slot) {}
 
   double MarginalValue(int sensor) const override;
+  /// Batched probe: the committed qualities are sorted once per batch, and
+  /// each sensor's top-k value comes from an O(k) merge of its quality
+  /// into that shared order — the same non-increasing value sequence (and
+  /// so the same floating-point sum) the scalar copy+sort produces.
+  void MarginalValuesUncounted(std::span<const int> sensors,
+                               std::span<double> out) const override;
+  bool ThreadSafeBatchValuation() const override { return true; }
   void Commit(int sensor, double payment) override;
   double MaxValue() const override { return params_.budget; }
 
@@ -64,6 +71,10 @@ class MultiSensorPointQuery : public MultiQueryBase {
   std::vector<double> qualities_;
   mutable std::vector<int> candidates_;
   mutable bool candidates_ready_ = false;
+  /// Per-batch scratch: qualities_ sorted descending (see
+  /// MarginalValuesUncounted). Per-object, so the by-query sharding of the
+  /// parallel engines needs no locking.
+  mutable std::vector<double> batch_sorted_;
 };
 
 }  // namespace psens

@@ -146,11 +146,46 @@ std::vector<int> RegionMonitoringManager::SelectSamplingPoints(
 
   const double denom = static_cast<double>(t2 - query.t1 + 1);
   double cost_so_far = 0.0;
+  // Gain table (selector x candidate position) filled by batched sweeps:
+  // each selector probes all its non-member candidates through one
+  // MarginalGains call — consecutive probes of the *same* selector, so
+  // its Cholesky rows and per-target whitened vectors stay cached, where
+  // the reference (candidate-outer, selector-inner) loop interleaved
+  // selectors per probe — then the argmax below replays the reference
+  // comparison order on the precomputed values: the same gains compared
+  // in the same order means the identical pick, tie-breaks included.
+  // MarginalGain is
+  // a pure function of the selector's conditioning set and only the
+  // winning slot's selector grows per round, so after the first fill only
+  // that selector's row is re-swept — every other row's cached gains are
+  // bit-identical to a recomputation.
+  std::vector<std::vector<double>> gains(selectors.size(),
+                                         std::vector<double>(candidates.size()));
+  std::vector<Point> batch_points;
+  std::vector<double> batch_gains;
+  std::vector<size_t> batch_pos;
+  const auto refresh_row = [&](size_t ti) {
+    batch_points.clear();
+    batch_pos.clear();
+    for (size_t ci = 0; ci < candidates.size(); ++ci) {
+      const int si = candidates[ci];
+      if (member[ti][si]) continue;
+      batch_points.push_back(slot.sensors[si].location);
+      batch_pos.push_back(ci);
+    }
+    batch_gains.resize(batch_points.size());
+    selectors[ti].MarginalGains(batch_points, batch_gains);
+    for (size_t j = 0; j < batch_pos.size(); ++j) {
+      gains[ti][batch_pos[j]] = batch_gains[j];
+    }
+  };
+  for (size_t ti = 0; ti < selectors.size(); ++ti) refresh_row(ti);
   while (cost_so_far < budget) {
     int best_sensor = -1;
     int best_t = -1;
     double best_delta = 0.0;
-    for (int si : candidates) {
+    for (size_t ci = 0; ci < candidates.size(); ++ci) {
+      const int si = candidates[ci];
       const SlotSensor& s = slot.sensors[si];
       const double theta = (1.0 - s.inaccuracy) * s.trust;
       for (size_t ti = 0; ti < selectors.size(); ++ti) {
@@ -161,7 +196,7 @@ std::vector<int> RegionMonitoringManager::SelectSamplingPoints(
         // (t2 - t + 1)/(duration) variant that keeps the same monotone
         // preference for the present.
         const double time_factor = static_cast<double>(t2 - t + 1) / denom;
-        const double delta = selectors[ti].MarginalGain(s.location) * theta * time_factor;
+        const double delta = gains[ti][ci] * theta * time_factor;
         if (delta > best_delta) {
           best_delta = delta;
           best_sensor = si;
@@ -174,6 +209,9 @@ std::vector<int> RegionMonitoringManager::SelectSamplingPoints(
     member[static_cast<size_t>(best_t)][best_sensor] = 1;
     cost_so_far += slot.sensors[best_sensor].cost * cost_scale[best_sensor];
     if (best_t == 0) chosen.push_back(best_sensor);
+    // Re-sweep the one row whose conditioning set grew — unless the
+    // budget is spent and no further round will read it.
+    if (cost_so_far < budget) refresh_row(static_cast<size_t>(best_t));
   }
   return chosen;
 }

@@ -10,6 +10,7 @@
 namespace psens {
 
 class SpatialIndex;
+class ThreadPool;
 
 /// How (and whether) a slot's sensor locations are spatially indexed.
 /// The index only ever *prunes* candidate scans — every valuation is
@@ -59,6 +60,13 @@ struct SlotContext {
   /// index i), or null when the policy/population says brute force.
   /// Schedulers treat null as "scan everything".
   std::shared_ptr<const SpatialIndex> index;
+  /// Worker pool for intra-slot parallel selection (non-owning; typically
+  /// the AcquisitionEngine's, attached by BeginSlot per
+  /// EngineConfig::threads). Null means serial. Schedulers that use it —
+  /// the greedy engines via core/batch_eval.h — produce bit-identical
+  /// selections, payments, and ValuationCalls() for any pool size,
+  /// including none.
+  ThreadPool* pool = nullptr;
 };
 
 /// (Re)builds `slot.index` from `slot.sensors` per `slot.index_policy`.

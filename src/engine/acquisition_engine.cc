@@ -48,6 +48,9 @@ AcquisitionEngine::AcquisitionEngine(std::vector<Sensor> sensors,
   ctx_.dmax = config_.dmax;
   ctx_.index_policy = config_.index_policy;
   ctx_.index_auto_threshold = config_.index_auto_threshold;
+  if (config_.threads != 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.threads);
+  }
   slot_pos_.assign(static_cast<size_t>(n), -1);
   if (!config_.incremental) return;
   changed_flag_.assign(static_cast<size_t>(n), 0);
@@ -239,9 +242,11 @@ const SlotContext& AcquisitionEngine::BeginSlot(int time) {
   if (!config_.incremental) {
     ctx_ = BuildSlotContext(sensors_, config_.working_region, time, config_.dmax,
                             config_.index_policy, config_.index_auto_threshold);
+    ctx_.pool = pool_.get();
     return ctx_;
   }
   ctx_.time = time;
+  ctx_.pool = pool_.get();
   // Privacy-decay set: announced cost drifts with wall-clock time even
   // without any event; membership never changes from it. Sensors also in
   // changed_ get the full refresh below instead. Once every history

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/geometry.h"
+#include "common/thread_pool.h"
 #include "core/sensor.h"
 #include "core/slot.h"
 #include "index/dynamic_index.h"
@@ -54,6 +55,14 @@ struct EngineConfig {
   /// produce bit-identical slot contexts, selections, and payments
   /// (tests/streaming_equivalence_test.cc).
   bool incremental = true;
+  /// Worker threads for *intra-slot* parallel selection: BeginSlot attaches
+  /// an engine-owned ThreadPool to SlotContext::pool, which the greedy
+  /// engines use to shard each round's valuation batch
+  /// (core/batch_eval.h). 1 (default) = serial, no pool; 0 = hardware
+  /// concurrency; N > 1 = that many workers. Selections, payments, and
+  /// ValuationCalls() are bit-identical for every value — the knob only
+  /// buys wall-clock (bench/fig12_streaming --threads).
+  int threads = 1;
 };
 
 /// Long-running acquisition service state: owns the sensor registry, the
@@ -154,6 +163,9 @@ class AcquisitionEngine {
   std::vector<SlotSensor> merge_scratch_;
   std::unique_ptr<DynamicSpatialIndex> index_;
   std::shared_ptr<SlotIndexView> view_;
+  /// Intra-slot selection pool (EngineConfig::threads), handed to
+  /// schedulers through SlotContext::pool. Null when threads == 1.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace psens

@@ -41,6 +41,13 @@ double IncrementalGpSelector::MarginalGain(const Point& s) const {
   return gain;
 }
 
+void IncrementalGpSelector::MarginalGains(std::span<const Point> candidates,
+                                          std::span<double> gains) const {
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    gains[i] = MarginalGain(candidates[i]);
+  }
+}
+
 void IncrementalGpSelector::Add(const Point& s) {
   std::vector<double>& z = whiten_scratch_;
   double var = 0.0;

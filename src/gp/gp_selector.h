@@ -2,6 +2,7 @@
 #define PSENS_GP_GP_SELECTOR_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/geometry.h"
@@ -22,6 +23,17 @@ class IncrementalGpSelector {
   /// F(A + s) - F(A): additional expected variance reduction at the
   /// targets from also observing at `s`. Always >= 0.
   double MarginalGain(const Point& s) const;
+
+  /// Batched probe: gains[i] = MarginalGain(candidates[i]) bit for bit.
+  /// The whiten scratch is per-object, so the whole batch reuses one
+  /// buffer with no per-probe allocation; the locality win comes from the
+  /// call sites — sweeping one selector's full candidate batch back to
+  /// back keeps *this* selector's Cholesky rows and per-target whitened
+  /// vectors in cache, where the reference loops interleaved probes
+  /// across selectors. Region monitoring's Algorithm 4 loop batches all
+  /// candidates of one selector per refresh through this.
+  void MarginalGains(std::span<const Point> candidates,
+                     std::span<double> gains) const;
 
   /// Adds an observation at `s` to A.
   void Add(const Point& s);

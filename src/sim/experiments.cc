@@ -52,11 +52,13 @@ struct SlotOutcome {
 
 /// Engine configuration shared by all slots of one experiment run.
 EngineConfig MakeEngineConfig(const Rect& working_region, double dmax,
-                              SlotIndexPolicy index_policy) {
+                              SlotIndexPolicy index_policy,
+                              int intra_slot_threads = 1) {
   EngineConfig config;
   config.working_region = working_region;
   config.dmax = dmax;
   config.index_policy = index_policy;
+  config.threads = intra_slot_threads;
   return config;
 }
 
@@ -229,7 +231,7 @@ ExperimentResult RunAggregateExperiment(const AggregateExperimentConfig& config)
   return ReduceOutcomes(RunSlots(
       *config.trace, slots, sensors, population,
       MakeEngineConfig(config.working_region, config.sensing_range,
-                       config.index_policy),
+                       config.index_policy, config.intra_slot_threads),
       config.parallelism, body));
 }
 
@@ -370,7 +372,8 @@ QueryMixResultSummary RunQueryMixExperiment(const QueryMixExperimentConfig& conf
   population.count = config.trace->NumSensors();
   AcquisitionEngine engine(
       GenerateSensors(population, sensor_rng),
-      MakeEngineConfig(config.working_region, config.dmax, config.index_policy));
+      MakeEngineConfig(config.working_region, config.dmax, config.index_policy,
+                       config.intra_slot_threads));
 
   LocationMonitoringManager::Config lm_config;
   lm_config.alpha = config.alpha;

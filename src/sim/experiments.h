@@ -83,6 +83,13 @@ struct AggregateExperimentConfig {
   uint64_t seed = 123;
   /// Same contract as PointExperimentConfig::parallelism.
   int parallelism = 0;
+  /// Workers for *intra-slot* parallel selection (EngineConfig::threads):
+  /// each greedy round's valuation batch is sharded inside the slot, the
+  /// parallelism a serving system can actually use for the current slot.
+  /// 1 (default) = serial; results are bit-identical for any value.
+  /// Composes with `parallelism` (slot sharding) — prefer one axis, not
+  /// both, to avoid oversubscription.
+  int intra_slot_threads = 1;
 };
 
 ExperimentResult RunAggregateExperiment(const AggregateExperimentConfig& config);
@@ -170,6 +177,8 @@ struct QueryMixExperimentConfig {
   /// Same contract as PointExperimentConfig::index_policy.
   SlotIndexPolicy index_policy = SlotIndexPolicy::kAuto;
   uint64_t seed = 123;
+  /// Same contract as AggregateExperimentConfig::intra_slot_threads.
+  int intra_slot_threads = 1;
 };
 
 struct QueryMixResultSummary {

@@ -1,0 +1,267 @@
+// The batched valuation contract (core/multi_query.h): for every concrete
+// MultiQuery type, MarginalValues(sensors, out) must produce bit-identical
+// values to per-sensor MarginalValue probes — including negative-marginal
+// and pruned/zero-candidate sensors — and must account exactly the same
+// number of valuation calls. Also pins the deferred-accounting split
+// (MarginalValuesUncounted + AddValuationCalls) the parallel engines rely
+// on.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/aggregate_query.h"
+#include "core/multi_query.h"
+#include "core/multi_sensor_point_query.h"
+#include "core/slot.h"
+#include "sim/workload.h"
+
+namespace psens {
+namespace {
+
+SlotContext MakeSlot(int num_sensors, uint64_t seed, bool indexed,
+                     double region_side = 40.0) {
+  Rng rng(seed);
+  SlotContext slot;
+  slot.time = 0;
+  slot.dmax = 8.0;
+  slot.index_policy = indexed ? SlotIndexPolicy::kGrid : SlotIndexPolicy::kNone;
+  for (int i = 0; i < num_sensors; ++i) {
+    SlotSensor s;
+    s.index = i;
+    s.sensor_id = i;
+    s.location = Point{rng.Uniform(0.0, region_side), rng.Uniform(0.0, region_side)};
+    s.cost = rng.Uniform(5.0, 15.0);
+    s.inaccuracy = rng.Uniform(0.0, 0.3);
+    s.trust = rng.Uniform(0.6, 1.0);
+    slot.sensors.push_back(s);
+  }
+  AttachSlotIndex(slot);
+  return slot;
+}
+
+std::vector<int> AllSensors(const SlotContext& slot) {
+  std::vector<int> all;
+  for (int s = 0; s < static_cast<int>(slot.sensors.size()); ++s) all.push_back(s);
+  return all;
+}
+
+/// The contract check: batched == scalar, bit for bit, with identical
+/// valuation-call accounting, against the query's *current* selection
+/// state.
+void ExpectBatchedMatchesScalar(const MultiQuery& query,
+                                const std::vector<int>& sensors,
+                                const char* label) {
+  std::vector<double> scalar(sensors.size());
+  const int64_t calls_before_scalar = query.ValuationCalls();
+  for (size_t i = 0; i < sensors.size(); ++i) {
+    scalar[i] = query.MarginalValue(sensors[i]);
+  }
+  const int64_t scalar_calls = query.ValuationCalls() - calls_before_scalar;
+
+  std::vector<double> batched(sensors.size());
+  const int64_t calls_before_batch = query.ValuationCalls();
+  query.MarginalValues(std::span<const int>(sensors.data(), sensors.size()),
+                       std::span<double>(batched.data(), batched.size()));
+  const int64_t batch_calls = query.ValuationCalls() - calls_before_batch;
+
+  ASSERT_EQ(scalar_calls, static_cast<int64_t>(sensors.size())) << label;
+  EXPECT_EQ(batch_calls, scalar_calls) << label;
+  for (size_t i = 0; i < sensors.size(); ++i) {
+    // EXPECT_EQ, not NEAR: the batch API promises bit equality.
+    EXPECT_EQ(batched[i], scalar[i]) << label << " sensor " << sensors[i];
+  }
+}
+
+TEST(BatchedValuationTest, PointMultiQueryMatchesScalar) {
+  for (bool indexed : {false, true}) {
+    const SlotContext slot = MakeSlot(120, 11, indexed, 30.0);
+    PointQuery spec;
+    spec.id = 1;
+    // Anchor the query on a real sensor so in-range candidates exist.
+    spec.location = slot.sensors[40].location;
+    spec.budget = 15.0;
+    spec.theta_min = 0.2;
+    PointMultiQuery query(spec, &slot);
+    const std::vector<int> all = AllSensors(slot);
+    // Empty selection: marginals are raw values (out-of-range sensors 0).
+    ExpectBatchedMatchesScalar(query, all, "point/empty");
+    // Commit the best in-range sensor so later probes include *negative*
+    // marginals (a worse sensor's value minus the committed best).
+    int best = -1;
+    double best_value = 0.0;
+    for (int s : all) {
+      const double v = PointQueryValue(spec, slot.sensors[s], slot.dmax);
+      if (v > best_value) {
+        best_value = v;
+        best = s;
+      }
+    }
+    ASSERT_GE(best, 0);
+    query.Commit(best, 1.0);
+    bool saw_negative = false;
+    for (int s : all) {
+      if (query.MarginalValue(s) < 0.0) saw_negative = true;
+    }
+    EXPECT_TRUE(saw_negative) << "test instance should exercise negative marginals";
+    ExpectBatchedMatchesScalar(query, all, "point/committed");
+    // Pruned-candidate case: the indexed slot's candidate list excludes
+    // far sensors, whose marginal must evaluate to a non-positive value
+    // through both entry points.
+    if (indexed) {
+      ASSERT_NE(query.CandidateSensors(), nullptr);
+    }
+  }
+}
+
+TEST(BatchedValuationTest, MultiSensorPointQueryMatchesScalar) {
+  for (bool indexed : {false, true}) {
+    const SlotContext slot = MakeSlot(150, 13, indexed, 30.0);
+    MultiSensorPointQuery::Params params;
+    params.id = 2;
+    params.location = slot.sensors[50].location;
+    params.budget = 20.0;
+    params.theta_min = 0.1;
+    params.redundancy = 3;
+    MultiSensorPointQuery query(params, &slot);
+    const std::vector<int> all = AllSensors(slot);
+    ExpectBatchedMatchesScalar(query, all, "topk/empty");
+    // Fill the redundancy quota one commit at a time, re-checking the
+    // batch against the scalar at every selection depth (the top-k merge
+    // is where the batched fast path could diverge).
+    const std::vector<int>* candidates = query.CandidateSensors();
+    const std::vector<int>& commit_from = candidates != nullptr ? *candidates : all;
+    int committed = 0;
+    for (int s : commit_from) {
+      if (committed >= params.redundancy + 1) break;
+      query.Commit(s, 0.5);
+      ++committed;
+      ExpectBatchedMatchesScalar(query, all, "topk/committed");
+    }
+    ASSERT_GT(committed, params.redundancy) << "quota should overflow top-k";
+  }
+}
+
+TEST(BatchedValuationTest, MultiSensorPointQueryZeroRedundancy) {
+  const SlotContext slot = MakeSlot(20, 17, false);
+  MultiSensorPointQuery::Params params;
+  params.id = 3;
+  params.location = Point{10.0, 10.0};
+  params.budget = 20.0;
+  params.redundancy = 0;  // degenerate: valuation identically zero
+  MultiSensorPointQuery query(params, &slot);
+  ExpectBatchedMatchesScalar(query, AllSensors(slot), "topk/zero-redundancy");
+}
+
+TEST(BatchedValuationTest, AggregateQueryMatchesScalarIncludingNegative) {
+  for (bool indexed : {false, true}) {
+    const SlotContext slot = MakeSlot(80, 19, indexed);
+    AggregateQuery::Params params;
+    params.id = 4;
+    params.region = Rect{10.0, 10.0, 30.0, 30.0};
+    params.budget = 50.0;
+    params.sensing_range = 10.0;
+    params.cell_size = 2.0;
+    AggregateQuery query(params, slot);
+    const std::vector<int> all = AllSensors(slot);
+    ExpectBatchedMatchesScalar(query, all, "aggregate/empty");
+    // Commit the highest-theta covering sensor; Eq. 5's mean-quality
+    // factor then makes low-theta additions *negative* marginals, and
+    // non-covering sensors stay exactly 0 (the pruned-candidate case).
+    int best = -1;
+    double best_theta = -1.0;
+    for (int s : all) {
+      const double theta = (1.0 - slot.sensors[s].inaccuracy) * slot.sensors[s].trust;
+      if (query.MarginalValue(s) > 0.0 && theta > best_theta) {
+        best_theta = theta;
+        best = s;
+      }
+    }
+    ASSERT_GE(best, 0);
+    query.Commit(best, 1.0);
+    bool saw_negative = false;
+    bool saw_zero = false;
+    for (int s : all) {
+      const double delta = query.MarginalValue(s);
+      if (delta < 0.0) saw_negative = true;
+      if (delta == 0.0) saw_zero = true;
+    }
+    EXPECT_TRUE(saw_negative) << "Eq. 5 non-monotonicity should appear";
+    EXPECT_TRUE(saw_zero) << "non-covering sensors should stay exactly zero";
+    ExpectBatchedMatchesScalar(query, all, "aggregate/committed");
+  }
+}
+
+TEST(BatchedValuationTest, TrajectoryQueryMatchesScalar) {
+  for (bool indexed : {false, true}) {
+    const SlotContext slot = MakeSlot(80, 23, indexed);
+    TrajectoryQuery::Params params;
+    params.id = 5;
+    params.trajectory.waypoints = {Point{5.0, 5.0}, Point{20.0, 25.0},
+                                   Point{35.0, 30.0}};
+    params.budget = 40.0;
+    params.sensing_range = 8.0;
+    params.cell_size = 2.0;
+    params.corridor = 3.0;
+    TrajectoryQuery query(params, slot);
+    const std::vector<int> all = AllSensors(slot);
+    ExpectBatchedMatchesScalar(query, all, "trajectory/empty");
+    for (int s : all) {
+      if (query.MarginalValue(s) > 0.0) {
+        query.Commit(s, 1.0);
+        break;
+      }
+    }
+    ExpectBatchedMatchesScalar(query, all, "trajectory/committed");
+  }
+}
+
+TEST(BatchedValuationTest, CallbackMultiQueryMatchesScalar) {
+  const SlotContext slot = MakeSlot(12, 29, false);
+  // Deliberately non-submodular, non-monotone set valuation.
+  const auto valuation = [](const std::vector<int>& set) {
+    double v = 0.0;
+    for (int s : set) v += (s % 3 == 0) ? -2.0 : 5.0 + 0.25 * s;
+    if (set.size() >= 2) v += 3.0;  // complementarity
+    return v;
+  };
+  CallbackMultiQuery query(6, valuation, 100.0);
+  const std::vector<int> all = AllSensors(slot);
+  ExpectBatchedMatchesScalar(query, all, "callback/empty");
+  query.Commit(4, 1.0);
+  query.Commit(7, 1.0);
+  ExpectBatchedMatchesScalar(query, all, "callback/committed");
+}
+
+TEST(BatchedValuationTest, DeferredAccountingMergesExactly) {
+  // The parallel engines call MarginalValuesUncounted from workers and
+  // merge counts via AddValuationCalls at batch end; the sum must equal
+  // the counted entry point exactly.
+  const SlotContext slot = MakeSlot(30, 31, true);
+  PointQuery spec;
+  spec.id = 7;
+  spec.location = Point{15.0, 15.0};
+  spec.budget = 15.0;
+  PointMultiQuery query(spec, &slot);
+  const std::vector<int> all = AllSensors(slot);
+  std::vector<double> out(all.size());
+
+  const int64_t before = query.ValuationCalls();
+  query.MarginalValuesUncounted(std::span<const int>(all.data(), all.size()),
+                                std::span<double>(out.data(), out.size()));
+  EXPECT_EQ(query.ValuationCalls(), before) << "uncounted probe must not count";
+  query.AddValuationCalls(static_cast<int64_t>(all.size()));
+  EXPECT_EQ(query.ValuationCalls(),
+            before + static_cast<int64_t>(all.size()));
+
+  // Empty batches are no-ops on values and accounting.
+  const int64_t before_empty = query.ValuationCalls();
+  query.MarginalValues(std::span<const int>(), std::span<double>());
+  EXPECT_EQ(query.ValuationCalls(), before_empty);
+}
+
+}  // namespace
+}  // namespace psens
