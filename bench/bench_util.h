@@ -1,14 +1,19 @@
 #ifndef PSENS_BENCH_BENCH_UTIL_H_
 #define PSENS_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "common/rng.h"
 #include "core/point_scheduling.h"
 #include "core/slot.h"
+#include "sim/workload.h"
 
 namespace psens::bench {
 
@@ -51,6 +56,8 @@ inline bool SameSchedule(const PointScheduleResult& a,
 ///   --index-threshold N
 ///                    minimum population for which kAuto builds an index
 ///                    (default kSlotIndexAutoThreshold = 32)
+///   --epsilon E      quality knob of the approximate schedulers
+///                    (fig13_approx_quality; default 0.1)
 struct BenchArgs {
   int slots = 50;
   uint64_t seed = 123;
@@ -61,6 +68,7 @@ struct BenchArgs {
   int max_sensors = 0;
   SlotIndexPolicy index_policy = SlotIndexPolicy::kAuto;
   int index_threshold = kSlotIndexAutoThreshold;
+  double epsilon = 0.1;
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
@@ -84,6 +92,8 @@ struct BenchArgs {
         args.index_policy = ParseIndexPolicy(argv[++i]);
       } else if (std::strcmp(argv[i], "--index-threshold") == 0 && i + 1 < argc) {
         args.index_threshold = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--epsilon") == 0 && i + 1 < argc) {
+        args.epsilon = std::atof(argv[++i]);
       }
     }
     return args;
@@ -104,6 +114,53 @@ struct BenchArgs {
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Median of a set of per-slot latency samples.
+inline double MedianMs(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples.empty() ? 0.0 : samples[samples.size() / 2];
+}
+
+/// The city-scale churn scenario shared by the fig12 and fig13 gate rows:
+/// constant-density clustered population over a field whose side grows
+/// with n, Poisson arrival/departure churn at `churn_fraction` of the
+/// population per slot (plus relocation and price-jitter streams when
+/// `with_mobility`), and the canonical RNG layout — scenario generation
+/// consumes the base seed, then forks 7 (churn deltas) and 8 (per-slot
+/// queries) are taken from copies of `rng_after_generation`. One
+/// constructor for both figures keeps their gates measuring the same
+/// workload by construction.
+struct ChurnScenarioSetup {
+  double side = 0.0;
+  double dmax = 5.0;
+  Rect field;
+  ClusteredPopulationConfig config;
+  ScaleScenario scenario;
+  ChurnConfig churn;
+  Rng rng_after_generation{0};
+};
+
+inline ChurnScenarioSetup MakeChurnScenario(int n, double churn_fraction,
+                                            uint64_t seed,
+                                            bool with_mobility) {
+  ChurnScenarioSetup s;
+  s.side = 2.0 * std::sqrt(static_cast<double>(n));
+  s.field = Rect{0, 0, s.side, s.side};
+  s.config.count = n;
+  s.config.num_clusters = 32;
+  s.config.cluster_sigma = s.side / 12.0;
+  s.config.density_skew = 1.0;
+  s.config.background_fraction = 0.1;
+  Rng rng(seed);
+  s.scenario = GenerateClusteredSensors(s.config, s.field, rng);
+  s.churn.arrival_rate = churn_fraction * n;
+  s.churn.departure_rate = churn_fraction * n;
+  s.churn.move_fraction = with_mobility ? churn_fraction / 4.0 : 0.0;
+  s.churn.price_jitter_fraction = with_mobility ? churn_fraction / 2.0 : 0.0;
+  s.churn.price_jitter = 0.2;
+  s.rng_after_generation = rng;
+  return s;
 }
 
 /// Wall-clock of one call of `fn`, in milliseconds.

@@ -18,28 +18,43 @@ BENCH_pr.json artifact and diffs it against the committed baseline
      hosts of different speeds. Time checks require --strict-time; without
      it they only warn, because shared CI runners jitter more than 20%
      while checks 1-3 stay exact;
-  5. when --fig12 is given: any fig12 slot where the incremental engine's
+  5. when --fig13 is given: the approximation gate — the stochastic-greedy
+     row at the gate population (100k sensors) must show a median
+     slot-selection speedup of at least --min-fig13-speedup (default 5x)
+     over the exact engine AND a realized utility ratio of at least
+     --min-fig13-utility (default 0.95); utility ratios are deterministic
+     for a fixed seed, so a drop is a real quality regression, not noise.
+     The sieve row only warns below its single-pass sanity floor (0.4);
+     valuation-call counts diff against the baseline like other
+     deterministic work metrics;
+  6. when --fig12 is given: any fig12 slot where the incremental engine's
      schedule diverged from the per-slot rebuild (`identical: false`) —
      zero tolerance — and a median slot-turnover speedup below
-     --min-fig12-speedup (default 5x) on the gate scenario (the "churn"
-     workload at 100k sensors, 1% churn);
-  6. when --fig12 is given and it carries `parallel_results` rows
+     --min-fig12-speedup (default 4x; see the flag's help for why the
+     floor sits below the typically observed 5-6x) on the gate scenario
+     (the "churn" workload at 100k sensors, 1% churn);
+  7. when --fig12 is given and it carries `parallel_results` rows
      (intra-slot parallel selection, `fig12_streaming --threads N`): any
      row where the parallel selection diverged from the serial one —
      zero tolerance, on every host — and a median slot-serve speedup
      below --min-parallel-speedup (default 2x) at 100k sensors, enforced
      only when the row requested at least --parallel-gate-threads
      (default 8) workers AND the host has that many hardware threads.
-     Low-core hosts (or low --threads runs, where both passes are close
-     to serial) cannot exhibit the speedup by construction, so there the
-     speedup check only warns (bit-equality still gates).
+     Hosts without enough hardware threads (or low --threads runs, where
+     both passes are close to serial) cannot exhibit the speedup by
+     construction, so there the speedup check is *skipped* with a visible
+     warning (bit-equality still gates), and --update refuses to record
+     such a row into the baseline — it would freeze a misleading ~1x
+     speedup measured on hardware that cannot show the win — preserving
+     the previously committed row instead.
 
 Usage:
   check_bench_regression.py --fig11 fig11.json [--fig12 fig12.json]
-      [--schedulers sched.json]
+      [--fig13 fig13.json] [--schedulers sched.json]
       --baseline bench/BENCH_baseline.json --out BENCH_pr.json
-      [--min-speedup 10] [--min-fig12-speedup 5] [--tolerance 0.2]
-      [--strict-time] [--update]
+      [--min-speedup 10] [--min-fig12-speedup 4]
+      [--min-fig13-speedup 5] [--min-fig13-utility 0.95]
+      [--tolerance 0.2] [--strict-time] [--update]
 
 --update rewrites the baseline from the current run instead of checking.
 """
@@ -72,11 +87,19 @@ def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--fig11", required=True, help="fig11_scale_sweep --json output")
     ap.add_argument("--fig12", help="fig12_streaming --json output")
+    ap.add_argument("--fig13", help="fig13_approx_quality --json output")
     ap.add_argument("--schedulers", help="bench_schedulers --benchmark_out JSON")
     ap.add_argument("--baseline", required=True)
     ap.add_argument("--out", default="BENCH_pr.json")
     ap.add_argument("--min-speedup", type=float, default=10.0)
-    ap.add_argument("--min-fig12-speedup", type=float, default=5.0)
+    # 4x, not the 5-6x typically observed: the incremental/rebuild
+    # turnover *ratio* swings with the host's allocator and page-cache
+    # behaviour (the rebuild side varies ~2x between otherwise identical
+    # runs of the same binary), so the floor is set at what any capable
+    # host clears rather than at a lucky measurement.
+    ap.add_argument("--min-fig12-speedup", type=float, default=4.0)
+    ap.add_argument("--min-fig13-speedup", type=float, default=5.0)
+    ap.add_argument("--min-fig13-utility", type=float, default=0.95)
     ap.add_argument("--min-parallel-speedup", type=float, default=2.0)
     ap.add_argument("--parallel-gate-threads", type=int, default=8,
                     help="minimum requested thread count (and hardware "
@@ -90,6 +113,7 @@ def main():
 
     fig11 = load(args.fig11)
     fig12 = load(args.fig12) if args.fig12 else None
+    fig13 = load(args.fig13) if args.fig13 else None
     schedulers = load(args.schedulers) if args.schedulers else None
 
     pr = {
@@ -97,6 +121,7 @@ def main():
         "fig11": fig11.get("results", []),
         "fig12": (fig12 or {}).get("results", []),
         "fig12_parallel": (fig12 or {}).get("parallel_results", []),
+        "fig13": (fig13 or {}).get("results", []),
         "scheduler_times_ms": google_benchmark_times(schedulers),
     }
     with open(args.out, "w") as f:
@@ -117,8 +142,38 @@ def main():
             updated["fig12"] = old["fig12"]
         if fig12 is None and old.get("fig12_parallel"):
             updated["fig12_parallel"] = old["fig12_parallel"]
+        if fig13 is None and old.get("fig13"):
+            updated["fig13"] = old["fig13"]
         if schedulers is None and old.get("scheduler_times_ms"):
             updated["scheduler_times_ms"] = old["scheduler_times_ms"]
+        if fig12 is not None:
+            # A parallel row measured on a host without the hardware to
+            # exhibit the speedup (hardware_threads < requested threads,
+            # e.g. a 1-core container) records a meaningless ~1x ratio;
+            # freezing it into the baseline would mislead every later
+            # diff. Keep the previously committed row for that population
+            # instead, and say so.
+            old_parallel = {r["sensors"]: r
+                            for r in (old.get("fig12_parallel") or [])}
+            kept = []
+            for r in pr["fig12_parallel"]:
+                hardware = r.get("hardware_threads", 0)
+                threads = r.get("threads", 1)
+                if hardware >= threads and threads > 1:
+                    kept.append(r)
+                    continue
+                prev = old_parallel.get(r["sensors"])
+                if prev is not None and not (
+                        prev.get("hardware_threads", 0)
+                        >= prev.get("threads", 1) > 1):
+                    prev = None  # the committed row is itself misleading
+                print(f"warning: fig12 parallel n={r['sensors']}: host has "
+                      f"{hardware} hardware threads for a {threads}-thread "
+                      "row; NOT recording its speedup into the baseline"
+                      + (" (keeping previous row)" if prev else ""))
+                if prev is not None:
+                    kept.append(prev)
+            updated["fig12_parallel"] = kept
         with open(args.baseline, "w") as f:
             json.dump(updated, f, indent=2)
         print(f"baseline updated: {args.baseline}")
@@ -149,7 +204,7 @@ def main():
     else:
         failures.append("fig11 produced no results")
 
-    # 5. fig12 streaming-engine gate (only when the run provided it).
+    # 6. fig12 streaming-engine gate (only when the run provided it).
     if fig12 is not None:
         gate_rows = 0
         for r in pr["fig12"]:
@@ -171,7 +226,7 @@ def main():
         if gate_rows == 0:
             failures.append("fig12 produced no gate row (churn @ 100k sensors)")
 
-        # 6. intra-slot parallel selection gate. Bit-equality is enforced
+        # 7. intra-slot parallel selection gate. Bit-equality is enforced
         # on every host; the speedup bar is the ISSUE's literal "2x at 8
         # threads", so it arms only when the run actually requested at
         # least --parallel-gate-threads workers AND the host has that many
@@ -191,20 +246,22 @@ def main():
             hardware = r.get("hardware_threads", 0)
             eligible = (threads >= args.parallel_gate_threads
                         and hardware >= threads)
-            if r["serve_speedup"] < args.min_parallel_speedup:
-                msg = (f"fig12 parallel n={r['sensors']}: serve speedup "
-                       f"{r['serve_speedup']:.2f}x < required "
-                       f"{args.min_parallel_speedup:.1f}x at "
-                       f"{threads} threads")
-                if eligible:
-                    failures.append(msg)
-                else:
-                    warnings.append(
-                        msg + f" (gate needs a >= {args.parallel_gate_threads}"
-                        f"-thread run on >= {args.parallel_gate_threads} "
-                        f"hardware threads; this row ran {threads} threads "
-                        f"on {hardware}; speedup gate skipped, bit-equality "
-                        "still enforced)")
+            if not eligible:
+                # Hardware-gated check: a host without enough threads (a
+                # 1-core runner, or a low --threads run) cannot exhibit
+                # the speedup by construction — skip loudly rather than
+                # report a meaningless ~1x ratio as a near-failure.
+                warnings.append(
+                    f"fig12 parallel n={r['sensors']}: speedup check "
+                    f"SKIPPED — ran {threads} thread(s) on {hardware} "
+                    f"hardware thread(s), gate needs >= "
+                    f"{args.parallel_gate_threads} of each "
+                    "(bit-equality still enforced)")
+            elif r["serve_speedup"] < args.min_parallel_speedup:
+                failures.append(
+                    f"fig12 parallel n={r['sensors']}: serve speedup "
+                    f"{r['serve_speedup']:.2f}x < required "
+                    f"{args.min_parallel_speedup:.1f}x at {threads} threads")
             else:
                 print(f"ok: fig12 parallel n={r['sensors']} serve speedup "
                       f"{r['serve_speedup']:.2f}x "
@@ -213,6 +270,45 @@ def main():
             failures.append(
                 "fig12 produced no parallel gate row (parallel @ 100k "
                 "sensors) — was the population capped?")
+
+    # 5. fig13 approximation gate (only when the run provided it). The
+    # utility ratio is deterministic for a fixed seed — below-bar quality
+    # is a real regression in the scheduler, not measurement noise.
+    if fig13 is not None:
+        fig13_gate_rows = 0
+        for r in pr["fig13"]:
+            # Gate only the canonical scenario (100k sensors, 1% churn);
+            # full runs add churn-rate sweep rows that are informational.
+            if r["sensors"] != 100_000 or r.get("churn", 0.01) != 0.01:
+                continue
+            if r.get("engine") == "stochastic":
+                fig13_gate_rows += 1
+                if r["speedup_vs_exact"] < args.min_fig13_speedup:
+                    failures.append(
+                        f"fig13 stochastic n={r['sensors']}: speedup "
+                        f"{r['speedup_vs_exact']:.1f}x vs exact < required "
+                        f"{args.min_fig13_speedup:.1f}x")
+                else:
+                    print(f"ok: fig13 stochastic n={r['sensors']} speedup "
+                          f"{r['speedup_vs_exact']:.1f}x vs exact "
+                          f"(>= {args.min_fig13_speedup:.1f}x)")
+                if r["utility_ratio"] < args.min_fig13_utility:
+                    failures.append(
+                        f"fig13 stochastic n={r['sensors']}: utility ratio "
+                        f"{r['utility_ratio']:.4f} < required "
+                        f"{args.min_fig13_utility:.2f}")
+                else:
+                    print(f"ok: fig13 stochastic n={r['sensors']} utility "
+                          f"ratio {r['utility_ratio']:.4f} "
+                          f"(>= {args.min_fig13_utility:.2f})")
+            if r.get("engine") == "sieve" and r["utility_ratio"] < 0.4:
+                warnings.append(
+                    f"fig13 sieve n={r['sensors']}: utility ratio "
+                    f"{r['utility_ratio']:.4f} below the single-pass sanity "
+                    "floor 0.40")
+        if fig13_gate_rows == 0:
+            failures.append(
+                "fig13 produced no gate row (stochastic @ 100k sensors)")
 
     try:
         base = load(args.baseline)
@@ -245,10 +341,16 @@ def main():
                            f"{norm_base:.3f}")
                     (failures if args.strict_time else warnings).append(msg)
 
-        base_fig12 = {(r.get("workload"), r["sensors"]): r
-                      for r in base.get("fig12", [])}
+        # Like fig13 below, the key carries the workload shape: a nightly
+        # full run (256 queries/slot) must not be time-diffed against the
+        # committed --quick rows (128 queries/slot).
+        def fig12_key(r):
+            return (r.get("workload"), r["sensors"], r.get("slots", 0),
+                    r.get("queries", 0))
+
+        base_fig12 = {fig12_key(r): r for r in base.get("fig12", [])}
         for r in pr["fig12"]:
-            b = base_fig12.get((r.get("workload"), r["sensors"]))
+            b = base_fig12.get(fig12_key(r))
             if b is None:
                 warnings.append(f"fig12 {r.get('workload', '?')} "
                                 f"n={r['sensors']}: not in baseline")
@@ -261,6 +363,40 @@ def main():
                     msg = (f"fig12 {r.get('workload', '?')} n={r['sensors']}: "
                            f"normalized incremental turnover {norm_pr:.4f} > "
                            f"{limit:.2f}x baseline {norm_base:.4f}")
+                    (failures if args.strict_time else warnings).append(msg)
+
+        # Keyed by the full workload shape: valuation_calls are summed over
+        # slots, so a nightly full run (50 slots, 256 queries) must not be
+        # diffed against the committed --quick rows (10 slots, 128
+        # queries) at the same population — it falls through to the
+        # "not in baseline" warning instead.
+        def fig13_key(r):
+            return (r.get("engine"), r["sensors"], r.get("churn", 0.01),
+                    r.get("slots", 0), r.get("queries", 0),
+                    r.get("epsilon", 0.1))
+
+        base_fig13 = {fig13_key(r): r for r in base.get("fig13", [])}
+        for r in pr["fig13"]:
+            b = base_fig13.get(fig13_key(r))
+            if b is None:
+                warnings.append(f"fig13 {r.get('engine', '?')} "
+                                f"n={r['sensors']}: not in baseline")
+                continue
+            # Deterministic work metric — fatal, like fig11 pruned_pairs.
+            if (b.get("valuation_calls", 0) > 0
+                    and r["valuation_calls"] > b["valuation_calls"] * limit):
+                failures.append(
+                    f"fig13 {r['engine']} n={r['sensors']}: valuation_calls "
+                    f"{r['valuation_calls']} > {limit:.2f}x baseline "
+                    f"{b['valuation_calls']}")
+            if pr["cal_ms"] > 0 and base.get("cal_ms", 0) > 0 \
+                    and b.get("median_ms", 0) > 0:
+                norm_pr = r["median_ms"] / pr["cal_ms"]
+                norm_base = b["median_ms"] / base["cal_ms"]
+                if norm_base > 0 and norm_pr > norm_base * limit:
+                    msg = (f"fig13 {r['engine']} n={r['sensors']}: normalized "
+                           f"median time {norm_pr:.4f} > {limit:.2f}x "
+                           f"baseline {norm_base:.4f}")
                     (failures if args.strict_time else warnings).append(msg)
 
         base_times = base.get("scheduler_times_ms", {})

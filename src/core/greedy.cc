@@ -7,15 +7,41 @@
 #include "core/batch_eval.h"
 #include "core/candidate_pruning.h"
 #include "core/lazy_greedy.h"
+#include "core/sieve_streaming.h"
+#include "core/stochastic_greedy.h"
 
 namespace psens {
-namespace {
 
 int64_t TotalValuationCalls(const std::vector<MultiQuery*>& queries) {
   int64_t total = 0;
   for (const MultiQuery* q : queries) total += q->ValuationCalls();
   return total;
 }
+
+double CommitWithProportionalPayments(const std::vector<MultiQuery*>& queries,
+                                      const CandidatePlan& plan,
+                                      const SlotContext& slot, int sensor) {
+  // (query, delta) scratch reused across commits. Commits only ever run
+  // on the thread coordinating a selection; concurrent selection runs
+  // (slot sharding) each see their own thread_local copy.
+  thread_local std::vector<std::pair<int, double>> marginals;
+  const double true_cost = slot.sensors[sensor].cost;
+  marginals.clear();
+  double positive_sum = 0.0;
+  for (int qi : plan.QueriesOf(sensor)) {
+    const double delta = queries[qi]->MarginalValue(sensor);
+    marginals.emplace_back(qi, delta);
+    if (delta > 0.0) positive_sum += delta;
+  }
+  for (const auto& [qi, delta] : marginals) {
+    if (delta > 0.0) {
+      queries[qi]->Commit(sensor, delta * true_cost / positive_sum);
+    }
+  }
+  return true_cost;
+}
+
+namespace {
 
 /// The literal Algorithm 1: full rescan of every remaining sensor each
 /// round. Reference implementation for GreedyEngine::kEager. When queries
@@ -41,7 +67,6 @@ SelectionResult EagerGreedySensorSelection(const std::vector<MultiQuery*>& queri
 
   std::vector<int> scan;  // remaining scan sensors, ascending, per round
   std::vector<double> net;
-  std::vector<std::pair<int, double>> marginals;  // (query, delta) of the winner
   while (true) {
     scan.clear();
     for (int s : plan.ScanSensors()) {
@@ -60,26 +85,10 @@ SelectionResult EagerGreedySensorSelection(const std::vector<MultiQuery*>& queri
     }
     if (best_sensor < 0) break;  // line 12: no sensor with positive net gain
     CheckPrunedMarginals(queries, plan, best_sensor);
-
-    // Recompute the winning sensor's per-query marginals and commit with
-    // proportionate payments (line 10). The *true* cost is charged.
-    const double true_cost = slot.sensors[best_sensor].cost;
-    marginals.clear();
-    double positive_sum = 0.0;
-    for (int qi : plan.QueriesOf(best_sensor)) {
-      const double delta = queries[qi]->MarginalValue(best_sensor);
-      marginals.emplace_back(qi, delta);
-      if (delta > 0.0) positive_sum += delta;
-    }
-    for (const auto& [qi, delta] : marginals) {
-      if (delta > 0.0) {
-        const double payment = delta * true_cost / positive_sum;
-        queries[qi]->Commit(best_sensor, payment);
-      }
-    }
+    result.total_cost +=
+        CommitWithProportionalPayments(queries, plan, slot, best_sensor);
     remaining[best_sensor] = 0;
     result.selected_sensors.push_back(best_sensor);
-    result.total_cost += true_cost;
   }
 
   for (const MultiQuery* q : queries) result.total_value += q->CurrentValue();
@@ -93,8 +102,15 @@ SelectionResult GreedySensorSelection(const std::vector<MultiQuery*>& queries,
                                       const SlotContext& slot,
                                       const std::vector<double>* cost_scale,
                                       GreedyEngine engine) {
-  if (engine == GreedyEngine::kEager) {
-    return EagerGreedySensorSelection(queries, slot, cost_scale);
+  switch (engine) {
+    case GreedyEngine::kEager:
+      return EagerGreedySensorSelection(queries, slot, cost_scale);
+    case GreedyEngine::kStochastic:
+      return StochasticGreedySensorSelection(queries, slot, cost_scale);
+    case GreedyEngine::kSieve:
+      return SieveStreamingSensorSelection(queries, slot, cost_scale);
+    case GreedyEngine::kLazy:
+      break;
   }
   return LazyGreedySensorSelection(queries, slot, cost_scale);
 }

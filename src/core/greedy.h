@@ -34,6 +34,19 @@ enum class GreedyEngine {
   /// round. Kept as the reference implementation for tests and for the
   /// valuation-call comparisons in bench_scheduler_quality.
   kEager,
+  /// Stochastic greedy (src/core/stochastic_greedy.h): each round evaluates
+  /// only a seeded random sample of the remaining candidates instead of all
+  /// of them, trading the exact engines' bit-identical selections for a
+  /// (1 - 1/e - epsilon) expected-utility guarantee on monotone submodular
+  /// instances and per-slot cost independent of how many candidates each
+  /// round *could* probe. Reproducible: the sample stream derives from
+  /// SlotContext::approx (seed, time), not from global state.
+  kStochastic,
+  /// Sieve streaming (src/core/sieve_streaming.h): threshold-bucketed
+  /// single-pass selection. Deterministic; the bucket state can also be
+  /// carried across slots by SieveStreamingScheduler so churn deltas are
+  /// absorbed without re-streaming the whole population.
+  kSieve,
 };
 
 /// Algorithm 1 ("Greedy Sensor Selection"): iteratively pick the sensor a
@@ -52,6 +65,23 @@ SelectionResult GreedySensorSelection(const std::vector<MultiQuery*>& queries,
                                       const SlotContext& slot,
                                       const std::vector<double>* cost_scale = nullptr,
                                       GreedyEngine engine = GreedyEngine::kLazy);
+
+struct CandidatePlan;
+
+/// Sum of ValuationCalls() across `queries` — the engines' shared
+/// before/after bookkeeping for SelectionResult::valuation_calls.
+int64_t TotalValuationCalls(const std::vector<MultiQuery*>& queries);
+
+/// Algorithm 1 line 10: commits `sensor` to every benefiting query,
+/// splitting its *true* announced cost proportionally to the positive
+/// marginal values (pi_{q,a} = delta_v * c_a / sum delta_v). Returns the
+/// cost charged. Every engine — eager, lazy, stochastic, sieve — funnels
+/// its commits through this one implementation, so the Theorem 1 payment
+/// properties and cross-engine payment equivalence rest on a single body
+/// of code.
+double CommitWithProportionalPayments(const std::vector<MultiQuery*>& queries,
+                                      const CandidatePlan& plan,
+                                      const SlotContext& slot, int sensor);
 
 /// The paper's baseline for multi-sensor one-shot queries (Section 4.4):
 /// sequential execution with data buffering. Queries are processed one by

@@ -26,12 +26,6 @@ struct CandidateLess {
   }
 };
 
-int64_t TotalValuationCalls(const std::vector<MultiQuery*>& queries) {
-  int64_t total = 0;
-  for (const MultiQuery* q : queries) total += q->ValuationCalls();
-  return total;
-}
-
 }  // namespace
 
 SelectionResult LazyGreedySensorSelection(const std::vector<MultiQuery*>& queries,
@@ -63,7 +57,6 @@ SelectionResult LazyGreedySensorSelection(const std::vector<MultiQuery*>& querie
     }
   }
 
-  std::vector<std::pair<int, double>> marginals;  // (query, delta) of the winner
   int round = 0;
   while (!heap.empty()) {
     Candidate top = heap.top();
@@ -81,25 +74,10 @@ SelectionResult LazyGreedySensorSelection(const std::vector<MultiQuery*>& querie
     if (top.net <= 0.0) break;  // fresh maximum without positive net gain
     CheckPrunedMarginals(queries, plan, top.sensor);
 
-    // Commit exactly like the eager loop: recompute the winner's
-    // per-query marginals and split its *true* cost proportionally
-    // (Algorithm 1 line 10).
-    const double true_cost = slot.sensors[top.sensor].cost;
-    marginals.clear();
-    double positive_sum = 0.0;
-    for (int qi : plan.QueriesOf(top.sensor)) {
-      const double delta = queries[qi]->MarginalValue(top.sensor);
-      marginals.emplace_back(qi, delta);
-      if (delta > 0.0) positive_sum += delta;
-    }
-    for (const auto& [qi, delta] : marginals) {
-      if (delta > 0.0) {
-        const double payment = delta * true_cost / positive_sum;
-        queries[qi]->Commit(top.sensor, payment);
-      }
-    }
+    // Commit exactly like the eager loop (Algorithm 1 line 10).
+    result.total_cost +=
+        CommitWithProportionalPayments(queries, plan, slot, top.sensor);
     result.selected_sensors.push_back(top.sensor);
-    result.total_cost += true_cost;
     ++round;
   }
 

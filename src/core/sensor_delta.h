@@ -1,0 +1,46 @@
+#ifndef PSENS_CORE_SENSOR_DELTA_H_
+#define PSENS_CORE_SENSOR_DELTA_H_
+
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace psens {
+
+/// One slot's worth of sensor-population change, as produced by the
+/// churn/mobility workload streams (sim/workload.h) or assembled by an
+/// application driving the engine directly. Deltas are applied in field
+/// order: arrivals, departures, moves, price changes; a later entry for
+/// the same sensor wins.
+///
+/// Lives in core (not engine): both the serving engine
+/// (engine/acquisition_engine.h) and delta-absorbing schedulers
+/// (core/sieve_streaming.h) consume it, and plain churn data has no
+/// business pulling the engine layer into the scheduler core.
+struct SensorDelta {
+  struct Placement {
+    int sensor_id = 0;
+    Point position;
+  };
+  struct PriceChange {
+    int sensor_id = 0;
+    double base_price = 0.0;
+  };
+  /// Sensors announcing themselves present at a location.
+  std::vector<Placement> arrivals;
+  /// Sensors leaving the system (presence off; profile state retained).
+  std::vector<int> departures;
+  /// Present sensors re-announcing a new location.
+  std::vector<Placement> moves;
+  /// Sensors re-announcing a new fixed price component C_s.
+  std::vector<PriceChange> price_changes;
+
+  bool empty() const {
+    return arrivals.empty() && departures.empty() && moves.empty() &&
+           price_changes.empty();
+  }
+};
+
+}  // namespace psens
+
+#endif  // PSENS_CORE_SENSOR_DELTA_H_

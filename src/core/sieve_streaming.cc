@@ -1,0 +1,233 @@
+#include "core/sieve_streaming.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/batch_eval.h"
+#include "core/candidate_pruning.h"
+#include "core/sensor_delta.h"
+
+namespace psens {
+namespace {
+
+/// Slot index of a global sensor id, or -1 when the sensor is not a slot
+/// member. Slot sensors ascend by sensor_id (BuildSlotContext walks the
+/// id-dense registry in order; the engine maintains a sorted member
+/// array), so a binary search suffices.
+int SlotIndexOf(const SlotContext& slot, int sensor_id) {
+  const auto it = std::lower_bound(
+      slot.sensors.begin(), slot.sensors.end(), sensor_id,
+      [](const SlotSensor& s, int id) { return s.sensor_id < id; });
+  if (it == slot.sensors.end() || it->sensor_id != sensor_id) return -1;
+  return it->index;
+}
+
+double ClampEpsilon(double epsilon) {
+  // The lower clamp bounds the threshold-grid size: the graded bucket
+  // count is ~ln(1/eps)/ln(1+eps), so 1e-3 caps it at ~6.9e3 before the
+  // explicit kMaxGradedBuckets cap below even engages.
+  return std::clamp(epsilon, 1e-3, 0.999);
+}
+
+/// Hard cap on instantiated graded buckets: per-slot cost scales with the
+/// bucket count, and beyond this many thresholds the grid's quality gain
+/// is noise. The cap keeps degenerate epsilon values from turning the
+/// sieve into an accidental hang (the floor bucket is extra).
+constexpr int kMaxGradedBuckets = 64;
+
+}  // namespace
+
+SieveStreamingScheduler::SieveStreamingScheduler(const ApproxParams& params)
+    : epsilon_(ClampEpsilon(params.epsilon)) {}
+
+double SieveStreamingScheduler::Tau(const Bucket& bucket) const {
+  if (bucket.floor) return 0.0;
+  return std::pow(1.0 + epsilon_, bucket.exponent);
+}
+
+void SieveStreamingScheduler::EnsureBuckets(double m) {
+  // The floor bucket (tau = 0, plain accept-any-positive streaming greedy)
+  // always exists and always survives grid moves.
+  if (buckets_.empty() || !buckets_.back().floor) {
+    Bucket floor;
+    floor.floor = true;
+    buckets_.push_back(floor);
+  }
+  if (m <= 0.0) return;
+  const double log_base = std::log(1.0 + epsilon_);
+  const int j_max = static_cast<int>(std::floor(std::log(m) / log_base));
+  const int j_min = std::max(
+      static_cast<int>(std::ceil(std::log(epsilon_ * m) / log_base)),
+      j_max - kMaxGradedBuckets + 1);
+  // Drop graded buckets that fell below the classic epsilon * m window
+  // (their role is covered by lower-threshold survivors and the floor),
+  // then instantiate any missing exponents. Kept sorted descending by
+  // threshold, floor last, so winner tie-breaks are deterministic.
+  std::vector<Bucket> kept;
+  for (Bucket& b : buckets_) {
+    if (b.floor || (b.exponent >= j_min && b.exponent <= j_max)) {
+      kept.push_back(std::move(b));
+    }
+  }
+  buckets_ = std::move(kept);
+  for (int j = j_min; j <= j_max; ++j) {
+    bool present = false;
+    for (const Bucket& b : buckets_) {
+      if (!b.floor && b.exponent == j) present = true;
+    }
+    if (!present) {
+      Bucket bucket;
+      bucket.exponent = j;
+      buckets_.push_back(bucket);
+    }
+  }
+  std::sort(buckets_.begin(), buckets_.end(),
+            [](const Bucket& a, const Bucket& b) {
+              if (a.floor != b.floor) return b.floor;  // floor last
+              return a.exponent > b.exponent;
+            });
+}
+
+SelectionResult SieveStreamingScheduler::SelectFull(
+    const std::vector<MultiQuery*>& queries, const SlotContext& slot,
+    const std::vector<double>* cost_scale) {
+  buckets_.clear();
+  max_single_net_ = 0.0;
+  initialized_ = false;
+  return SelectArrivals(queries, slot, {}, cost_scale);
+}
+
+SelectionResult SieveStreamingScheduler::SelectDelta(
+    const std::vector<MultiQuery*>& queries, const SlotContext& slot,
+    const SensorDelta& delta, const std::vector<double>* cost_scale) {
+  if (!initialized_) return SelectFull(queries, slot, cost_scale);
+  std::vector<int> arrival_ids;
+  arrival_ids.reserve(delta.arrivals.size() + delta.moves.size());
+  for (const SensorDelta::Placement& a : delta.arrivals) {
+    arrival_ids.push_back(a.sensor_id);
+  }
+  // A move can carry a sensor into the working region (or into range of a
+  // query), so moved sensors are re-offered like arrivals; moved members
+  // are additionally re-validated by the replay pass.
+  for (const SensorDelta::Placement& m : delta.moves) {
+    arrival_ids.push_back(m.sensor_id);
+  }
+  return SelectArrivals(queries, slot, arrival_ids, cost_scale);
+}
+
+SelectionResult SieveStreamingScheduler::SelectArrivals(
+    const std::vector<MultiQuery*>& queries, const SlotContext& slot,
+    const std::vector<int>& arrival_ids,
+    const std::vector<double>* cost_scale) {
+  SelectionResult result;
+  const int64_t calls_before = TotalValuationCalls(queries);
+  const int n = static_cast<int>(slot.sensors.size());
+  const bool full_stream = !initialized_;
+
+  for (MultiQuery* q : queries) q->ResetSelection();
+  const CandidatePlan plan = BuildCandidatePlan(queries, n);
+  NetEvaluator evaluator(queries, plan, slot, cost_scale, slot.pool);
+
+  // The offered stream, ascending slot indices: the whole candidate set on
+  // (re)initialization, only the delta's arrivals afterwards.
+  std::vector<int> offered;
+  if (full_stream) {
+    offered = plan.ScanSensors();
+  } else {
+    for (int id : arrival_ids) {
+      const int idx = SlotIndexOf(slot, id);
+      if (idx >= 0) offered.push_back(idx);
+    }
+    std::sort(offered.begin(), offered.end());
+    offered.erase(std::unique(offered.begin(), offered.end()), offered.end());
+  }
+
+  // Single-sensor nets of the offered stream against the empty selection:
+  // they seed the threshold grid, and (for submodular valuations) they
+  // upper-bound any later marginal, so a bucket only streams sensors whose
+  // single net reaches its threshold.
+  std::vector<double> net0;
+  evaluator.EvaluateNets(offered, &net0);
+  for (double v : net0) max_single_net_ = std::max(max_single_net_, v);
+  EnsureBuckets(max_single_net_);
+
+  double best_utility = 0.0;
+  int best_bucket = -1;
+  std::vector<std::vector<int>> new_members(buckets_.size());
+  std::vector<int> sorted_members;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    Bucket& bucket = buckets_[b];
+    const double tau = Tau(bucket);
+    for (MultiQuery* q : queries) q->ResetSelection();
+    double cost_sum = 0.0;
+    std::vector<int>& members = new_members[b];
+    // Replay carried members against the new slot: departed sensors have
+    // no slot index and drop out; repriced or moved members whose net is
+    // no longer positive are evicted (hysteresis: retention only needs a
+    // positive net, not the full threshold, so marginal price jitter does
+    // not thrash the bucket).
+    for (int gid : bucket.members) {
+      const int idx = SlotIndexOf(slot, gid);
+      if (idx < 0) continue;
+      if (evaluator.EvaluateNet(idx) <= 0.0) continue;
+      cost_sum += CommitWithProportionalPayments(queries, plan, slot, idx);
+      members.push_back(gid);
+    }
+    sorted_members = members;
+    std::sort(sorted_members.begin(), sorted_members.end());
+    // Offer the stream in announcement (ascending-index) order.
+    for (size_t k = 0; k < offered.size(); ++k) {
+      if (net0[k] <= 0.0 || net0[k] < tau) continue;
+      const int idx = offered[k];
+      const int gid = slot.sensors[static_cast<size_t>(idx)].sensor_id;
+      if (std::binary_search(sorted_members.begin(), sorted_members.end(),
+                             gid)) {
+        continue;
+      }
+      const double net = evaluator.EvaluateNet(idx);
+      if (net <= 0.0 || net < tau) continue;
+      cost_sum += CommitWithProportionalPayments(queries, plan, slot, idx);
+      members.push_back(gid);
+    }
+    double value = 0.0;
+    for (const MultiQuery* q : queries) value += q->CurrentValue();
+    const double utility = value - cost_sum;
+    // Strict >: ties go to the higher-threshold (cheaper) bucket.
+    if (best_bucket < 0 || utility > best_utility) {
+      best_utility = utility;
+      best_bucket = static_cast<int>(b);
+    }
+  }
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    buckets_[b].members = std::move(new_members[b]);
+  }
+
+  // Commit the winning bucket for real: replaying its acceptance sequence
+  // reproduces its selection state and payments exactly.
+  for (MultiQuery* q : queries) q->ResetSelection();
+  winner_members_.clear();
+  if (best_bucket >= 0) {
+    for (int gid : buckets_[static_cast<size_t>(best_bucket)].members) {
+      const int idx = SlotIndexOf(slot, gid);
+      if (idx < 0) continue;
+      result.total_cost +=
+          CommitWithProportionalPayments(queries, plan, slot, idx);
+      result.selected_sensors.push_back(idx);
+      winner_members_.push_back(gid);
+    }
+  }
+  for (const MultiQuery* q : queries) result.total_value += q->CurrentValue();
+  result.valuation_calls = TotalValuationCalls(queries) - calls_before;
+  initialized_ = true;
+  return result;
+}
+
+SelectionResult SieveStreamingSensorSelection(
+    const std::vector<MultiQuery*>& queries, const SlotContext& slot,
+    const std::vector<double>* cost_scale) {
+  SieveStreamingScheduler scheduler(slot.approx);
+  return scheduler.SelectFull(queries, slot, cost_scale);
+}
+
+}  // namespace psens

@@ -30,6 +30,32 @@ enum class SlotIndexPolicy {
 /// Minimum population for which kAuto bothers building an index.
 inline constexpr int kSlotIndexAutoThreshold = 32;
 
+/// Knobs for the approximate schedulers (GreedyEngine::kStochastic and
+/// kSieve, src/core/stochastic_greedy.h / sieve_streaming.h). Carried on
+/// the SlotContext so schedulers see them the same way they see the pool
+/// and the index; the exact engines ignore them entirely.
+struct ApproxParams {
+  /// Quality knob shared by both engines. Stochastic greedy sizes its
+  /// per-round sample as ceil(ln(1/epsilon) * |candidates| / k_hint);
+  /// sieve streaming spaces its threshold grid by factors of
+  /// (1 + epsilon) and keeps buckets down to epsilon * max single net.
+  double epsilon = 0.1;
+  /// Base seed of the stochastic engine's per-slot RNG stream. The
+  /// effective stream is derived from (seed, SlotContext::time) unless
+  /// `slot_seed` pins it, so re-running a slot — on any thread count, and
+  /// through either the incremental or the rebuild engine mode — samples
+  /// identically. Sieve streaming is deterministic and ignores it.
+  uint64_t seed = 0x5EEDC0DE5EEDC0DEULL;
+  /// Pinned per-slot stream; 0 (default) derives it from seed and time.
+  uint64_t slot_seed = 0;
+  /// Floor on the stochastic per-round sample size.
+  int min_sample = 32;
+  /// Expected number of selections k used to size the stochastic sample;
+  /// 0 (default) uses the number of participating queries, a natural
+  /// proxy in this workload where each query wants at least one sensor.
+  int sample_hint = 0;
+};
+
 /// A sensor as announced to the aggregator at the beginning of a time slot
 /// (Section 2.1): its location and its price for providing one measurement
 /// now, plus the static quality attributes the aggregator knows.
@@ -67,6 +93,8 @@ struct SlotContext {
   /// selections, payments, and ValuationCalls() for any pool size,
   /// including none.
   ThreadPool* pool = nullptr;
+  /// Approximate-scheduler knobs (ignored by the exact engines).
+  ApproxParams approx;
 };
 
 /// (Re)builds `slot.index` from `slot.sensors` per `slot.index_policy`.

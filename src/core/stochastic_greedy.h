@@ -1,0 +1,61 @@
+#ifndef PSENS_CORE_STOCHASTIC_GREEDY_H_
+#define PSENS_CORE_STOCHASTIC_GREEDY_H_
+
+#include <vector>
+
+#include "core/greedy.h"
+#include "core/multi_query.h"
+#include "core/slot.h"
+
+namespace psens {
+
+/// Stochastic-greedy ("lazier than lazy greedy", Mirzasoleiman et al.)
+/// variant of Algorithm 1. Where the exact engines consider every
+/// remaining candidate each round — eagerly (greedy.cc) or through cached
+/// upper bounds (lazy_greedy.cc) — this engine draws a uniform random
+/// sample of the remaining candidates, evaluates only the sample through
+/// the same batched NetEvaluator, and commits the sample's best
+/// positive-net sensor with the exact engines' proportional payments
+/// (Algorithm 1 line 10).
+///
+/// Sample size: s = max(min_sample, ceil(ln(1/epsilon) * C / k)) with C
+/// the slot's candidate count and k the expected number of selections
+/// (ApproxParams::sample_hint, defaulting to the query count). For
+/// monotone submodular valuations and a selection of k sensors this is
+/// the classic bound under which the expected utility is at least
+/// (1 - 1/e - epsilon) of exact greedy's; the per-round cost no longer
+/// scales with C, which is what lets slots meet latency deadlines exact
+/// greedy cannot (bench/fig13_approx_quality).
+///
+/// Termination: Algorithm 1 stops when no sensor has positive net gain; a
+/// sampled round can miss positive candidates, so an empty round doubles
+/// the next round's sample (geometric escalation) and the run only stops
+/// once a round that covered *every* remaining candidate found nothing —
+/// exact greedy's own termination condition. A productive round resets
+/// the sample to its base size, so the escalation's amortized cost is one
+/// extra O(C) sweep at the tail of the slot.
+///
+/// Reproducibility: the sampling RNG is seeded from (ApproxParams::seed,
+/// SlotContext::time) — or ApproxParams::slot_seed when pinned — and the
+/// batched evaluator is bit-identical for any SlotContext::pool size, so
+/// a slot re-run on 1, 4, or 8 threads, or through the incremental vs
+/// rebuild engine modes, selects the identical sensors with identical
+/// payments (tests/approx_scheduler_test.cc).
+SelectionResult StochasticGreedySensorSelection(
+    const std::vector<MultiQuery*>& queries, const SlotContext& slot,
+    const std::vector<double>* cost_scale = nullptr);
+
+/// The per-slot sampling stream: ApproxParams::slot_seed when set, else a
+/// splitmix64-style mix of ApproxParams::seed and `time`. Exposed so the
+/// engine layer and tests can reason about (and pin) the stream.
+uint64_t ApproxSlotSeed(const ApproxParams& params, int time);
+
+/// The per-round sample size the stochastic engine uses for a slot with
+/// `num_candidates` candidates and `num_queries` participating queries
+/// (see the class comment for the formula). Exposed for tests and docs.
+int StochasticSampleSize(const ApproxParams& params, int num_candidates,
+                         int num_queries);
+
+}  // namespace psens
+
+#endif  // PSENS_CORE_STOCHASTIC_GREEDY_H_

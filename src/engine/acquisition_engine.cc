@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "core/stochastic_greedy.h"
+
 namespace psens {
 
 /// Presents the engine's id-keyed dynamic index as the slot-indexed
@@ -243,10 +245,17 @@ const SlotContext& AcquisitionEngine::BeginSlot(int time) {
     ctx_ = BuildSlotContext(sensors_, config_.working_region, time, config_.dmax,
                             config_.index_policy, config_.index_auto_threshold);
     ctx_.pool = pool_.get();
+    ctx_.approx = config_.approx;
+    ctx_.approx.slot_seed = ApproxSlotSeed(config_.approx, time);
     return ctx_;
   }
   ctx_.time = time;
   ctx_.pool = pool_.get();
+  // Pin the approximate schedulers' per-slot stream: both engine modes
+  // stamp the identical derived seed, so approximate selections agree
+  // between incremental and rebuild serving bit for bit.
+  ctx_.approx = config_.approx;
+  ctx_.approx.slot_seed = ApproxSlotSeed(config_.approx, time);
   // Privacy-decay set: announced cost drifts with wall-clock time even
   // without any event; membership never changes from it. Sensors also in
   // changed_ get the full refresh below instead. Once every history

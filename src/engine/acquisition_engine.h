@@ -7,40 +7,12 @@
 #include "common/geometry.h"
 #include "common/thread_pool.h"
 #include "core/sensor.h"
+#include "core/sensor_delta.h"
 #include "core/slot.h"
 #include "index/dynamic_index.h"
 #include "mobility/trace.h"
 
 namespace psens {
-
-/// One slot's worth of sensor-population change, as produced by the
-/// churn/mobility workload streams (sim/workload.h) or assembled by an
-/// application driving the engine directly. Deltas are applied in field
-/// order: arrivals, departures, moves, price changes; a later entry for
-/// the same sensor wins.
-struct SensorDelta {
-  struct Placement {
-    int sensor_id = 0;
-    Point position;
-  };
-  struct PriceChange {
-    int sensor_id = 0;
-    double base_price = 0.0;
-  };
-  /// Sensors announcing themselves present at a location.
-  std::vector<Placement> arrivals;
-  /// Sensors leaving the system (presence off; profile state retained).
-  std::vector<int> departures;
-  /// Present sensors re-announcing a new location.
-  std::vector<Placement> moves;
-  /// Sensors re-announcing a new fixed price component C_s.
-  std::vector<PriceChange> price_changes;
-
-  bool empty() const {
-    return arrivals.empty() && departures.empty() && moves.empty() &&
-           price_changes.empty();
-  }
-};
 
 struct EngineConfig {
   /// Working region filtering slot membership (same role as the
@@ -63,6 +35,12 @@ struct EngineConfig {
   /// ValuationCalls() are bit-identical for every value — the knob only
   /// buys wall-clock (bench/fig12_streaming --threads).
   int threads = 1;
+  /// Approximate-scheduler knobs, stamped onto every slot context.
+  /// BeginSlot derives the per-slot RNG stream from (approx.seed, time)
+  /// unless approx.slot_seed pins it, so an approximate selection re-run
+  /// for the same slot — incremental or rebuild mode, any thread count —
+  /// is reproducible (core/stochastic_greedy.h).
+  ApproxParams approx;
 };
 
 /// Long-running acquisition service state: owns the sensor registry, the

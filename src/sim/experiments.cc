@@ -53,12 +53,14 @@ struct SlotOutcome {
 /// Engine configuration shared by all slots of one experiment run.
 EngineConfig MakeEngineConfig(const Rect& working_region, double dmax,
                               SlotIndexPolicy index_policy,
-                              int intra_slot_threads = 1) {
+                              int intra_slot_threads = 1,
+                              const ApproxParams& approx = {}) {
   EngineConfig config;
   config.working_region = working_region;
   config.dmax = dmax;
   config.index_policy = index_policy;
   config.threads = intra_slot_threads;
+  config.approx = approx;
   return config;
 }
 
@@ -231,7 +233,8 @@ ExperimentResult RunAggregateExperiment(const AggregateExperimentConfig& config)
   return ReduceOutcomes(RunSlots(
       *config.trace, slots, sensors, population,
       MakeEngineConfig(config.working_region, config.sensing_range,
-                       config.index_policy, config.intra_slot_threads),
+                       config.index_policy, config.intra_slot_threads,
+                       config.approx),
       config.parallelism, body));
 }
 
@@ -373,7 +376,7 @@ QueryMixResultSummary RunQueryMixExperiment(const QueryMixExperimentConfig& conf
   AcquisitionEngine engine(
       GenerateSensors(population, sensor_rng),
       MakeEngineConfig(config.working_region, config.dmax, config.index_policy,
-                       config.intra_slot_threads));
+                       config.intra_slot_threads, config.approx));
 
   LocationMonitoringManager::Config lm_config;
   lm_config.alpha = config.alpha;
@@ -412,6 +415,7 @@ QueryMixResultSummary RunQueryMixExperiment(const QueryMixExperimentConfig& conf
 
     QueryMixOptions options;
     options.use_greedy = config.use_alg5;
+    options.engine = config.engine;
     options.seed = config.seed + static_cast<uint64_t>(t);
     const QueryMixSlotResult slot_result = RunQueryMixSlot(
         slot, points, aggregates, &lm_manager, /*region_manager=*/nullptr, options);

@@ -76,7 +76,13 @@ struct AggregateExperimentConfig {
   /// True: Algorithm 1. False: sequential baseline (Section 4.4).
   bool greedy = true;
   /// Engine executing the Algorithm 1 selection (ignored by the baseline).
+  /// kStochastic / kSieve run the approximate schedulers, configured by
+  /// `approx` below (core/stochastic_greedy.h, core/sieve_streaming.h).
   GreedyEngine engine = GreedyEngine::kLazy;
+  /// Approximate-scheduler knobs; stamped onto every slot context (the
+  /// per-slot RNG stream derives from (approx.seed, slot time), so runs
+  /// are reproducible for any parallelism). Ignored by the exact engines.
+  ApproxParams approx;
   SensorPopulationConfig sensors;
   /// Same contract as PointExperimentConfig::index_policy.
   SlotIndexPolicy index_policy = SlotIndexPolicy::kAuto;
@@ -170,6 +176,11 @@ struct QueryMixExperimentConfig {
   int max_alive_monitoring = 100;
   /// Algorithm 5 (true) vs the Section 4.7 baseline (false).
   bool use_alg5 = true;
+  /// Engine executing the Algorithm 1 selection inside Algorithm 5.
+  /// Same contract as AggregateExperimentConfig::engine.
+  GreedyEngine engine = GreedyEngine::kLazy;
+  /// Same contract as AggregateExperimentConfig::approx.
+  ApproxParams approx;
   double alpha = 0.5;
   std::vector<double> history_times;
   std::vector<double> history_values;
