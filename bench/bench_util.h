@@ -122,46 +122,12 @@ inline double MedianMs(std::vector<double> samples) {
   return samples.empty() ? 0.0 : samples[samples.size() / 2];
 }
 
-/// The city-scale churn scenario shared by the fig12 and fig13 gate rows:
-/// constant-density clustered population over a field whose side grows
-/// with n, Poisson arrival/departure churn at `churn_fraction` of the
-/// population per slot (plus relocation and price-jitter streams when
-/// `with_mobility`), and the canonical RNG layout — scenario generation
-/// consumes the base seed, then forks 7 (churn deltas) and 8 (per-slot
-/// queries) are taken from copies of `rng_after_generation`. One
-/// constructor for both figures keeps their gates measuring the same
-/// workload by construction.
-struct ChurnScenarioSetup {
-  double side = 0.0;
-  double dmax = 5.0;
-  Rect field;
-  ClusteredPopulationConfig config;
-  ScaleScenario scenario;
-  ChurnConfig churn;
-  Rng rng_after_generation{0};
-};
-
-inline ChurnScenarioSetup MakeChurnScenario(int n, double churn_fraction,
-                                            uint64_t seed,
-                                            bool with_mobility) {
-  ChurnScenarioSetup s;
-  s.side = 2.0 * std::sqrt(static_cast<double>(n));
-  s.field = Rect{0, 0, s.side, s.side};
-  s.config.count = n;
-  s.config.num_clusters = 32;
-  s.config.cluster_sigma = s.side / 12.0;
-  s.config.density_skew = 1.0;
-  s.config.background_fraction = 0.1;
-  Rng rng(seed);
-  s.scenario = GenerateClusteredSensors(s.config, s.field, rng);
-  s.churn.arrival_rate = churn_fraction * n;
-  s.churn.departure_rate = churn_fraction * n;
-  s.churn.move_fraction = with_mobility ? churn_fraction / 4.0 : 0.0;
-  s.churn.price_jitter_fraction = with_mobility ? churn_fraction / 2.0 : 0.0;
-  s.churn.price_jitter = 0.2;
-  s.rng_after_generation = rng;
-  return s;
-}
+/// The canonical city-scale churn scenario now lives in sim/workload.h
+/// (MakeChurnScenario) so the trace record/replay layer, the golden-trace
+/// fixtures, and the figure benches all construct the identical workload;
+/// re-exported here for the benches' existing call sites.
+using psens::ChurnScenarioSetup;
+using psens::MakeChurnScenario;
 
 /// Wall-clock of one call of `fn`, in milliseconds.
 template <typename Fn>

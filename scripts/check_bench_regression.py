@@ -27,6 +27,16 @@ BENCH_pr.json artifact and diffs it against the committed baseline
      The sieve row only warns below its single-pass sanity floor (0.4);
      valuation-call counts diff against the baseline like other
      deterministic work metrics;
+  8. when --fig14 is given: the record/replay gate — any engine row whose
+     trace replay was not bit-identical to the live closed-loop run
+     (`identical: false`) fails, zero tolerance, on every host; and the
+     lazy row at the gate population (100k sensors) must sustain a
+     replay_speedup (replayed slots/sec over live closed-loop slots/sec)
+     of at least --min-fig14-speedup (default 0.9 — the replayer must
+     hold the live slot rate; the floor sits just under 1.0 because the
+     two rates are separate wall-clock measurements of the same work and
+     jitter a few percent on shared runners). Valuation-call totals diff
+     against the baseline like other deterministic work metrics;
   6. when --fig12 is given: any fig12 slot where the incremental engine's
      schedule diverged from the per-slot rebuild (`identical: false`) —
      zero tolerance — and a median slot-turnover speedup below
@@ -50,10 +60,11 @@ BENCH_pr.json artifact and diffs it against the committed baseline
 
 Usage:
   check_bench_regression.py --fig11 fig11.json [--fig12 fig12.json]
-      [--fig13 fig13.json] [--schedulers sched.json]
+      [--fig13 fig13.json] [--fig14 fig14.json] [--schedulers sched.json]
       --baseline bench/BENCH_baseline.json --out BENCH_pr.json
       [--min-speedup 10] [--min-fig12-speedup 4]
       [--min-fig13-speedup 5] [--min-fig13-utility 0.95]
+      [--min-fig14-speedup 0.9]
       [--tolerance 0.2] [--strict-time] [--update]
 
 --update rewrites the baseline from the current run instead of checking.
@@ -88,6 +99,7 @@ def main():
     ap.add_argument("--fig11", required=True, help="fig11_scale_sweep --json output")
     ap.add_argument("--fig12", help="fig12_streaming --json output")
     ap.add_argument("--fig13", help="fig13_approx_quality --json output")
+    ap.add_argument("--fig14", help="fig14_replay --json output")
     ap.add_argument("--schedulers", help="bench_schedulers --benchmark_out JSON")
     ap.add_argument("--baseline", required=True)
     ap.add_argument("--out", default="BENCH_pr.json")
@@ -100,6 +112,11 @@ def main():
     ap.add_argument("--min-fig12-speedup", type=float, default=4.0)
     ap.add_argument("--min-fig13-speedup", type=float, default=5.0)
     ap.add_argument("--min-fig13-utility", type=float, default=0.95)
+    # Just under 1.0: the gate asserts the replayer holds the live
+    # closed-loop slot rate, but live and replay rates are two separate
+    # wall-clock measurements of the same selection work and jitter a few
+    # percent against each other on shared runners.
+    ap.add_argument("--min-fig14-speedup", type=float, default=0.9)
     ap.add_argument("--min-parallel-speedup", type=float, default=2.0)
     ap.add_argument("--parallel-gate-threads", type=int, default=8,
                     help="minimum requested thread count (and hardware "
@@ -114,6 +131,7 @@ def main():
     fig11 = load(args.fig11)
     fig12 = load(args.fig12) if args.fig12 else None
     fig13 = load(args.fig13) if args.fig13 else None
+    fig14 = load(args.fig14) if args.fig14 else None
     schedulers = load(args.schedulers) if args.schedulers else None
 
     pr = {
@@ -122,6 +140,7 @@ def main():
         "fig12": (fig12 or {}).get("results", []),
         "fig12_parallel": (fig12 or {}).get("parallel_results", []),
         "fig13": (fig13 or {}).get("results", []),
+        "fig14": (fig14 or {}).get("results", []),
         "scheduler_times_ms": google_benchmark_times(schedulers),
     }
     with open(args.out, "w") as f:
@@ -144,6 +163,8 @@ def main():
             updated["fig12_parallel"] = old["fig12_parallel"]
         if fig13 is None and old.get("fig13"):
             updated["fig13"] = old["fig13"]
+        if fig14 is None and old.get("fig14"):
+            updated["fig14"] = old["fig14"]
         if schedulers is None and old.get("scheduler_times_ms"):
             updated["scheduler_times_ms"] = old["scheduler_times_ms"]
         if fig12 is not None:
@@ -271,6 +292,30 @@ def main():
                 "fig12 produced no parallel gate row (parallel @ 100k "
                 "sensors) — was the population capped?")
 
+    # 8. fig14 record/replay gate (only when the run provided it).
+    if fig14 is not None:
+        fig14_gate_rows = 0
+        for r in pr["fig14"]:
+            if not r.get("identical", False):
+                failures.append(
+                    f"fig14 {r.get('engine', '?')} n={r['sensors']}: trace "
+                    "replay diverged from the live closed-loop run")
+            if r["sensors"] != 100_000 or r.get("engine") != "lazy":
+                continue
+            fig14_gate_rows += 1
+            if r["replay_speedup"] < args.min_fig14_speedup:
+                failures.append(
+                    f"fig14 lazy n={r['sensors']}: replay sustained only "
+                    f"{r['replay_speedup']:.2f}x the live closed-loop slot "
+                    f"rate < required {args.min_fig14_speedup:.2f}x")
+            else:
+                print(f"ok: fig14 lazy n={r['sensors']} replay rate "
+                      f"{r['replay_speedup']:.2f}x live "
+                      f"(>= {args.min_fig14_speedup:.2f}x)")
+        if fig14_gate_rows == 0:
+            failures.append(
+                "fig14 produced no gate row (lazy @ 100k sensors)")
+
     # 5. fig13 approximation gate (only when the run provided it). The
     # utility ratio is deterministic for a fixed seed — below-bar quality
     # is a real regression in the scheduler, not measurement noise.
@@ -396,6 +441,35 @@ def main():
                 if norm_base > 0 and norm_pr > norm_base * limit:
                     msg = (f"fig13 {r['engine']} n={r['sensors']}: normalized "
                            f"median time {norm_pr:.4f} > {limit:.2f}x "
+                           f"baseline {norm_base:.4f}")
+                    (failures if args.strict_time else warnings).append(msg)
+
+        # fig14: valuation_calls are deterministic per workload shape;
+        # replay wall time diffs normalized like every other time metric.
+        def fig14_key(r):
+            return (r.get("engine"), r["sensors"], r.get("slots", 0),
+                    r.get("queries", 0))
+
+        base_fig14 = {fig14_key(r): r for r in base.get("fig14", [])}
+        for r in pr["fig14"]:
+            b = base_fig14.get(fig14_key(r))
+            if b is None:
+                warnings.append(f"fig14 {r.get('engine', '?')} "
+                                f"n={r['sensors']}: not in baseline")
+                continue
+            if (b.get("valuation_calls", 0) > 0
+                    and r["valuation_calls"] > b["valuation_calls"] * limit):
+                failures.append(
+                    f"fig14 {r['engine']} n={r['sensors']}: valuation_calls "
+                    f"{r['valuation_calls']} > {limit:.2f}x baseline "
+                    f"{b['valuation_calls']}")
+            if pr["cal_ms"] > 0 and base.get("cal_ms", 0) > 0 \
+                    and b.get("replay_wall_ms", 0) > 0:
+                norm_pr = r["replay_wall_ms"] / pr["cal_ms"]
+                norm_base = b["replay_wall_ms"] / base["cal_ms"]
+                if norm_base > 0 and norm_pr > norm_base * limit:
+                    msg = (f"fig14 {r['engine']} n={r['sensors']}: normalized "
+                           f"replay time {norm_pr:.4f} > {limit:.2f}x "
                            f"baseline {norm_base:.4f}")
                     (failures if args.strict_time else warnings).append(msg)
 

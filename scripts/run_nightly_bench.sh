@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Runs the full (non --quick) fig02-fig13 benchmark suite and bundles the
+# Runs the full (non --quick) fig02-fig14 benchmark suite and bundles the
 # machine-readable outputs into one BENCH_nightly.json. Used by the
 # scheduled nightly workflow (.github/workflows/nightly.yml) so the
 # PR-path bench gate can stay on the fast --quick settings; also runnable
@@ -38,10 +38,16 @@ run fig08_location_monitoring
 run fig09_region_monitoring
 run fig10_query_mix
 
-# Scale/streaming/approximation sweeps: full populations, JSON captured.
+# Scale/streaming/approximation/replay sweeps: full populations, JSON
+# captured. fig14 keeps its recorded traces under the log directory so
+# the nightly workflow can upload them as artifacts — a nightly-fresh
+# corpus of real serving traces for offline replay and debugging.
 run fig11_scale_sweep --json "$LOG_DIR/fig11_nightly.json"
 run fig12_streaming --json "$LOG_DIR/fig12_nightly.json"
 run fig13_approx_quality --json "$LOG_DIR/fig13_nightly.json"
+mkdir -p "$LOG_DIR/traces"
+run fig14_replay --json "$LOG_DIR/fig14_nightly.json" \
+  --trace-dir "$LOG_DIR/traces"
 
 python3 - "$OUT" "$LOG_DIR" <<'PY'
 import json, os, sys, time
@@ -59,6 +65,7 @@ def load(name):
 fig11 = load("fig11_nightly.json") or {}
 fig12 = load("fig12_nightly.json") or {}
 fig13 = load("fig13_nightly.json") or {}
+fig14 = load("fig14_nightly.json") or {}
 doc = {
     "suite": "nightly-full",
     "utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -67,6 +74,7 @@ doc = {
     "fig12": fig12.get("results", []),
     "fig12_parallel": fig12.get("parallel_results", []),
     "fig13": fig13.get("results", []),
+    "fig14": fig14.get("results", []),
     "logs": sorted(f for f in os.listdir(log_dir) if f.endswith(".log")),
 }
 with open(out_path, "w") as f:

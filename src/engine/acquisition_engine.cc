@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "core/stochastic_greedy.h"
+#include "trace/trace_writer.h"
 
 namespace psens {
 
@@ -53,6 +54,18 @@ AcquisitionEngine::AcquisitionEngine(std::vector<Sensor> sensors,
   if (config_.threads != 1) {
     pool_ = std::make_unique<ThreadPool>(config_.threads);
   }
+  if (!config_.trace_path.empty()) {
+    TraceHeader header;
+    header.registry_count = static_cast<uint32_t>(n);
+    header.registry_checksum = RegistryChecksum(sensors_);
+    header.dmax = config_.dmax;
+    header.working_region = config_.working_region;
+    header.approx_seed = config_.approx.seed;
+    header.epsilon = config_.approx.epsilon;
+    header.min_sample = config_.approx.min_sample;
+    header.sample_hint = config_.approx.sample_hint;
+    trace_ = TraceWriter::Open(config_.trace_path, header);
+  }
   slot_pos_.assign(static_cast<size_t>(n), -1);
   if (!config_.incremental) return;
   changed_flag_.assign(static_cast<size_t>(n), 0);
@@ -73,6 +86,17 @@ AcquisitionEngine::AcquisitionEngine(std::vector<Sensor> sensors,
   }
 }
 
+AcquisitionEngine::~AcquisitionEngine() = default;
+
+void AcquisitionEngine::PinNextSlotSeed(uint64_t slot_seed) {
+  pinned_slot_seed_ = slot_seed;
+  has_pinned_slot_seed_ = true;
+}
+
+bool AcquisitionEngine::FinishTrace() {
+  return trace_ != nullptr && trace_->Finish();
+}
+
 void AcquisitionEngine::MarkChanged(int id, bool cost_dirty) {
   if (!config_.incremental) return;
   if (cost_dirty) cost_dirty_[id] = 1;
@@ -85,17 +109,32 @@ void AcquisitionEngine::MarkChanged(int id, bool cost_dirty) {
 void AcquisitionEngine::ApplyTrace(const Trace& trace, int slot) {
   const int n = static_cast<int>(sensors_.size());
   const int tn = trace.NumSensors();
+  // When recording, the mobility slot is journaled as the SensorDelta it
+  // is equivalent to, so one replay path serves both churn- and
+  // trace-driven runs.
+  SensorDelta recorded;
   for (int id = 0; id < n; ++id) {
     Sensor& s = sensors_[id];
     const Point p = id < tn ? trace.Position(slot, id) : Point{0, 0};
     const bool present = id < tn && trace.Present(slot, id);
     if (s.present() == present && s.position() == p) continue;
+    if (trace_ != nullptr) {
+      if (!present) {
+        recorded.departures.push_back(id);
+      } else if (!s.present()) {
+        recorded.arrivals.push_back(SensorDelta::Placement{id, p});
+      } else {
+        recorded.moves.push_back(SensorDelta::Placement{id, p});
+      }
+    }
     s.SetPosition(p, present);
     MarkChanged(id, /*cost_dirty=*/false);
   }
+  if (trace_ != nullptr && !recorded.empty()) trace_->StageDelta(recorded);
 }
 
 void AcquisitionEngine::ApplyDelta(const SensorDelta& delta) {
+  if (trace_ != nullptr) trace_->StageDelta(delta);
   for (const SensorDelta::Placement& a : delta.arrivals) {
     sensors_[a.sensor_id].SetPosition(a.position, true);
     MarkChanged(a.sensor_id, /*cost_dirty=*/false);
@@ -247,6 +286,11 @@ const SlotContext& AcquisitionEngine::BeginSlot(int time) {
     ctx_.pool = pool_.get();
     ctx_.approx = config_.approx;
     ctx_.approx.slot_seed = ApproxSlotSeed(config_.approx, time);
+    if (has_pinned_slot_seed_) {
+      ctx_.approx.slot_seed = pinned_slot_seed_;
+      has_pinned_slot_seed_ = false;
+    }
+    if (trace_ != nullptr) trace_->BeginSlot(time, ctx_.approx.slot_seed);
     return ctx_;
   }
   ctx_.time = time;
@@ -256,6 +300,11 @@ const SlotContext& AcquisitionEngine::BeginSlot(int time) {
   // between incremental and rebuild serving bit for bit.
   ctx_.approx = config_.approx;
   ctx_.approx.slot_seed = ApproxSlotSeed(config_.approx, time);
+  if (has_pinned_slot_seed_) {
+    ctx_.approx.slot_seed = pinned_slot_seed_;
+    has_pinned_slot_seed_ = false;
+  }
+  if (trace_ != nullptr) trace_->BeginSlot(time, ctx_.approx.slot_seed);
   // Privacy-decay set: announced cost drifts with wall-clock time even
   // without any event; membership never changes from it. Sensors also in
   // changed_ get the full refresh below instead. Once every history

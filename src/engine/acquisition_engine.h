@@ -1,7 +1,9 @@
 #ifndef PSENS_ENGINE_ACQUISITION_ENGINE_H_
 #define PSENS_ENGINE_ACQUISITION_ENGINE_H_
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/geometry.h"
@@ -13,6 +15,8 @@
 #include "mobility/trace.h"
 
 namespace psens {
+
+class TraceWriter;
 
 struct EngineConfig {
   /// Working region filtering slot membership (same role as the
@@ -41,6 +45,14 @@ struct EngineConfig {
   /// for the same slot — incremental or rebuild mode, any thread count —
   /// is reproducible (core/stochastic_greedy.h).
   ApproxParams approx;
+  /// When non-empty, the engine records its input stream — every
+  /// ApplyDelta/ApplyTrace change and every BeginSlot with its stamped
+  /// per-slot approx seed — to a binary trace at this path
+  /// (src/trace/trace_format.h). Query batches are staged by the serving
+  /// layer through trace_writer(); trace/slot_server.h does it for the
+  /// shared record/replay substrate. Recording never alters scheduling:
+  /// a traced run selects bit-identically to an untraced one.
+  std::string trace_path;
 };
 
 /// Long-running acquisition service state: owns the sensor registry, the
@@ -70,6 +82,7 @@ struct EngineConfig {
 class AcquisitionEngine {
  public:
   AcquisitionEngine(std::vector<Sensor> sensors, const EngineConfig& config);
+  ~AcquisitionEngine();
 
   // Pinned: the slot context's index view holds pointers into this
   // object (slot_pos_, the dynamic index), so a moved-from or copied
@@ -105,6 +118,24 @@ class AcquisitionEngine {
   /// Name of the live dynamic-index backend ("dynamic-grid",
   /// "kd-buffered", "rebuild" in reference mode, "none" when unindexed).
   const char* IndexBackendName() const;
+
+  /// Pins the approx slot seed the *next* BeginSlot stamps, overriding
+  /// the (approx.seed, time) derivation for that one slot. The trace
+  /// replayer uses this to impose each recorded slot's seed, which is
+  /// what lets a replayed stochastic run reproduce the live run's
+  /// selections without knowing the original base seed.
+  void PinNextSlotSeed(uint64_t slot_seed);
+
+  /// The live trace recorder, or null when EngineConfig::trace_path is
+  /// empty (or the file could not be created). The serving layer stages
+  /// each slot's query batch here after BeginSlot.
+  TraceWriter* trace_writer() { return trace_.get(); }
+
+  /// Finalizes the trace (patches the slot count, closes the file).
+  /// Called automatically on destruction; call it explicitly to read the
+  /// trace back while the engine lives. Returns false if recording was
+  /// off or any write failed.
+  bool FinishTrace();
 
  private:
   /// Adapter presenting the engine's id-keyed dynamic index as the
@@ -144,6 +175,11 @@ class AcquisitionEngine {
   /// Intra-slot selection pool (EngineConfig::threads), handed to
   /// schedulers through SlotContext::pool. Null when threads == 1.
   std::unique_ptr<ThreadPool> pool_;
+  /// Live trace recorder (EngineConfig::trace_path); null when off.
+  std::unique_ptr<TraceWriter> trace_;
+  /// One-shot approx-seed override for the next BeginSlot (replay).
+  uint64_t pinned_slot_seed_ = 0;
+  bool has_pinned_slot_seed_ = false;
 };
 
 }  // namespace psens

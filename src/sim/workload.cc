@@ -302,4 +302,33 @@ RegionMonitoringQuery GenerateRegionMonitoringQuery(int id, const Rect& field,
   return q;
 }
 
+ChurnScenarioSetup MakeChurnScenario(int n, double churn_fraction,
+                                     uint64_t seed, bool with_mobility) {
+  return MakeChurnScenario(n, churn_fraction, seed, with_mobility,
+                           SensorPopulationConfig{});
+}
+
+ChurnScenarioSetup MakeChurnScenario(int n, double churn_fraction,
+                                     uint64_t seed, bool with_mobility,
+                                     const SensorPopulationConfig& profile) {
+  ChurnScenarioSetup s;
+  s.side = 2.0 * std::sqrt(static_cast<double>(n));
+  s.field = Rect{0, 0, s.side, s.side};
+  s.config.count = n;
+  s.config.num_clusters = 32;
+  s.config.cluster_sigma = s.side / 12.0;
+  s.config.density_skew = 1.0;
+  s.config.background_fraction = 0.1;
+  s.config.profile = profile;
+  Rng rng(seed);
+  s.scenario = GenerateClusteredSensors(s.config, s.field, rng);
+  s.churn.arrival_rate = churn_fraction * n;
+  s.churn.departure_rate = churn_fraction * n;
+  s.churn.move_fraction = with_mobility ? churn_fraction / 4.0 : 0.0;
+  s.churn.price_jitter_fraction = with_mobility ? churn_fraction / 2.0 : 0.0;
+  s.churn.price_jitter = 0.2;
+  s.rng_after_generation = rng;
+  return s;
+}
+
 }  // namespace psens

@@ -187,6 +187,37 @@ class ChurnStream {
   std::vector<double> base_price_;
 };
 
+/// The city-scale churn scenario shared by the fig12/fig13 gate rows and
+/// the trace record/replay layer: constant-density clustered population
+/// over a field whose side grows with n, Poisson arrival/departure churn
+/// at `churn_fraction` of the population per slot (plus relocation and
+/// price-jitter streams when `with_mobility`), and the canonical RNG
+/// layout — scenario generation consumes the base seed, then forks 7
+/// (churn deltas) and 8 (per-slot queries) are taken from copies of
+/// `rng_after_generation`. One constructor for every consumer keeps the
+/// benches, the golden traces, and the replay differential tests
+/// measuring the same workload by construction.
+struct ChurnScenarioSetup {
+  double side = 0.0;
+  double dmax = 5.0;
+  Rect field;
+  ClusteredPopulationConfig config;
+  ScaleScenario scenario;
+  ChurnConfig churn;
+  Rng rng_after_generation{0};
+};
+
+ChurnScenarioSetup MakeChurnScenario(int n, double churn_fraction,
+                                     uint64_t seed, bool with_mobility);
+
+/// Overload with an explicit sensor profile (energy model, privacy
+/// sensitivity, lifetime) — the closed-loop runs that exercise
+/// RecordSlotReadings feedback use this to give slot outcomes something
+/// to feed back into.
+ChurnScenarioSetup MakeChurnScenario(int n, double churn_fraction,
+                                     uint64_t seed, bool with_mobility,
+                                     const SensorPopulationConfig& profile);
+
 /// New location-monitoring query (Section 4.5): random location in
 /// `working`, duration uniform in [5, 20] (clipped to `horizon`), desired
 /// sampling times = duration/3 slots picked by the OptiMoS-style selector

@@ -1,0 +1,91 @@
+#ifndef PSENS_TRACE_SLOT_SERVER_H_
+#define PSENS_TRACE_SLOT_SERVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/aggregate_query.h"
+#include "core/greedy.h"
+#include "core/point_query.h"
+#include "core/sensor_delta.h"
+#include "core/sieve_streaming.h"
+#include "engine/acquisition_engine.h"
+#include "trace/monitor.h"
+
+namespace psens {
+
+/// One slot's query arrivals. The server binds aggregates first, then
+/// point queries — the binding order is part of the serving contract,
+/// because selection outcomes depend on query order and the replay
+/// differential tests demand bit-equality with the live run.
+struct SlotQueryBatch {
+  std::vector<PointQuery> points;
+  std::vector<AggregateQuery::Params> aggregates;
+};
+
+/// Everything one served slot produced: the selection (slot-sensor
+/// indices, value, cost, valuation calls), the payments actually charged
+/// across the slot's queries, and the stage timings the monitors see.
+struct SlotOutcome {
+  int time = 0;
+  SelectionResult selection;
+  double total_payment = 0.0;
+  double turnover_ms = 0.0;
+  double selection_ms = 0.0;
+  double total_ms = 0.0;
+};
+
+/// Bit-exact equality of the deterministic fields of two slot outcomes
+/// (selections, values, costs, payments, valuation calls) — timings are
+/// measurements, not outcomes, and are ignored. The replay differential
+/// suite and the fig14 gate both rest on this comparator.
+bool SameOutcome(const SlotOutcome& a, const SlotOutcome& b);
+
+/// The serving step shared by every consumer of an AcquisitionEngine —
+/// the live closed loop (trace/closed_loop.h), the trace replayer
+/// (trace/trace_replayer.h), and the fig14 bench: apply the slot's churn
+/// delta, begin the slot, bind the query batch, select with the
+/// configured engine, charge payments, and (closed loop) feed the
+/// purchased readings back into the engine's energy/privacy state.
+///
+/// One body of code serving both record and replay is what makes the
+/// differential tests meaningful: a live run that records and a replay
+/// that re-drives the trace execute the identical statements per slot,
+/// so any schedule drift is a real determinism bug, not a harness skew.
+///
+/// When the engine is recording (EngineConfig::trace_path), the server
+/// stages each slot's query batch onto the open trace record; attaching
+/// monitors or a recorder changes no selection bit.
+class SlotServer {
+ public:
+  struct Options {
+    GreedyEngine engine = GreedyEngine::kLazy;
+    /// Feed purchased readings back via RecordSlotReadings — the closed
+    /// loop's cross-slot energy/privacy feedback. Replay uses the same
+    /// default so the feedback path is replayed too.
+    bool record_readings = true;
+  };
+
+  SlotServer(AcquisitionEngine* engine, const Options& options);
+
+  /// Monitors observing this server's slots (may be null). Not owned.
+  void set_monitors(MonitorSet* monitors) { monitors_ = monitors; }
+
+  /// Serves one slot end to end. `delta` is the slot's churn; `queries`
+  /// the slot's arrivals.
+  SlotOutcome ServeSlot(int time, const SensorDelta& delta,
+                        const SlotQueryBatch& queries);
+
+ private:
+  AcquisitionEngine* engine_;
+  Options options_;
+  MonitorSet* monitors_ = nullptr;
+  /// Cross-slot sieve bucket state (GreedyEngine::kSieve only): the
+  /// sieve absorbs each slot's delta instead of re-streaming the
+  /// population, so its carried state is part of the run's determinism.
+  SieveStreamingScheduler sieve_;
+};
+
+}  // namespace psens
+
+#endif  // PSENS_TRACE_SLOT_SERVER_H_

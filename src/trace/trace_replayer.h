@@ -1,0 +1,77 @@
+#ifndef PSENS_TRACE_TRACE_REPLAYER_H_
+#define PSENS_TRACE_TRACE_REPLAYER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/greedy.h"
+#include "core/sensor.h"
+#include "trace/slot_server.h"
+#include "trace/trace_reader.h"
+
+namespace psens {
+
+struct ReplayConfig {
+  /// Selection engine driving the replayed slots.
+  GreedyEngine engine = GreedyEngine::kLazy;
+  /// Worker threads decoding slot records ahead of the serving loop.
+  /// 1 decodes inline; N > 1 spawns N decoders that claim records by
+  /// atomic counter while the caller's thread serves them strictly in
+  /// recorded order — so schedules, payments, and valuation-call counts
+  /// are bit-identical for every thread count (the decode is pure).
+  int decode_threads = 1;
+  /// Paced replay: serve at most this many slots per second (sleeping
+  /// between slots). 0 replays at maximum speed.
+  double target_slots_per_sec = 0.0;
+  /// Impose each record's slot_seed via PinNextSlotSeed (default). Off,
+  /// the replaying engine derives seeds from its own base seed — the
+  /// knob the seed-persistence regression test flips.
+  bool pin_slot_seeds = true;
+  /// Forwarded to SlotServer (closed-loop readings feedback).
+  bool record_readings = true;
+  /// Engine knobs for the replaying engine. dmax, the working region,
+  /// and the approx parameters come from the trace header; the base
+  /// approx seed may be overridden (see pin_slot_seeds).
+  bool incremental = true;
+  int threads = 1;
+  bool override_approx_seed = false;
+  uint64_t approx_seed = 0;
+};
+
+struct ReplayResult {
+  bool ok = false;
+  std::string error;
+  std::vector<SlotOutcome> outcomes;
+  /// Wall-clock of the serving loop and the achieved slot rate.
+  double wall_ms = 0.0;
+  double slots_per_sec = 0.0;
+};
+
+/// Re-drives a recorded serving run against a fresh engine: loads the
+/// trace, refuses a registry whose checksum differs from the recorded
+/// one, then serves every slot record (delta + query batch, recorded
+/// per-slot approx seed pinned) through the same SlotServer the live
+/// loop used. Monitors attach to replays exactly as to live runs.
+class TraceReplayer {
+ public:
+  explicit TraceReplayer(const ReplayConfig& config);
+
+  /// Replays the trace at `path` over `registry` (the initial sensor
+  /// population the trace was recorded against).
+  ReplayResult Replay(const std::string& path,
+                      const std::vector<Sensor>& registry,
+                      MonitorSet* monitors = nullptr);
+
+  /// Same, over an already-loaded trace file.
+  ReplayResult Replay(const TraceFile& trace,
+                      const std::vector<Sensor>& registry,
+                      MonitorSet* monitors = nullptr);
+
+ private:
+  ReplayConfig config_;
+};
+
+}  // namespace psens
+
+#endif  // PSENS_TRACE_TRACE_REPLAYER_H_

@@ -1,0 +1,237 @@
+// Monitor hook contract: bucket math of the latency histogram, merge
+// semantics, the Start/Pause/Resume/Stop/Reset lifecycle (including
+// pause and reset mid-run), guarded MonitorSet dispatch, a zero-slot
+// trace replayed under monitors, and the substrate's core passivity
+// promise — a monitored replay schedules bit-identically to an
+// unmonitored one.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "sim/workload.h"
+#include "trace/closed_loop.h"
+#include "trace/monitor.h"
+#include "trace/trace_replayer.h"
+#include "trace/trace_writer.h"
+
+namespace psens {
+namespace {
+
+TEST(LatencyHistogramTest, BucketBoundaries) {
+  using M = LatencyHistogramMonitor;
+  // Bucket i spans [2^i, 2^(i+1)) microseconds; sub-microsecond samples
+  // clamp into bucket 0, overflows into the last bucket.
+  EXPECT_EQ(M::BucketIndex(0.0), 0);
+  EXPECT_EQ(M::BucketIndex(0.0005), 0);   // 0.5 us
+  EXPECT_EQ(M::BucketIndex(0.001), 0);    // exactly 1 us
+  EXPECT_EQ(M::BucketIndex(0.0019), 0);   // 1.9 us
+  EXPECT_EQ(M::BucketIndex(0.002), 1);    // exactly 2 us
+  EXPECT_EQ(M::BucketIndex(0.003), 1);
+  EXPECT_EQ(M::BucketIndex(0.004), 2);    // exactly 4 us
+  EXPECT_EQ(M::BucketIndex(1.0), 9);      // 1000 us in [512, 1024)
+  EXPECT_EQ(M::BucketIndex(1.024), 10);   // exactly 1024 us
+  EXPECT_EQ(M::BucketIndex(1e12), M::kNumBuckets - 1);
+
+  EXPECT_DOUBLE_EQ(M::BucketLowMs(0), 0.0);
+  EXPECT_DOUBLE_EQ(M::BucketLowMs(1), 0.002);
+  EXPECT_DOUBLE_EQ(M::BucketLowMs(10), 1.024);
+  // Every sample lands in the bucket whose range contains it.
+  for (int i = 1; i < M::kNumBuckets; ++i) {
+    EXPECT_EQ(M::BucketIndex(M::BucketLowMs(i)), i);
+  }
+}
+
+TEST(LatencyHistogramTest, AccumulateAndMerge) {
+  LatencyHistogramMonitor a;
+  a.Start();
+  a.OnSlotEnd(0, 0.5);
+  a.OnSlotEnd(1, 1.5);
+  a.OnSlotEnd(2, 0.003);
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_DOUBLE_EQ(a.total_ms(), 2.003);
+  EXPECT_DOUBLE_EQ(a.min_ms(), 0.003);
+  EXPECT_DOUBLE_EQ(a.max_ms(), 1.5);
+
+  LatencyHistogramMonitor b;
+  b.Start();
+  b.OnSlotEnd(0, 10.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4);
+  EXPECT_DOUBLE_EQ(a.max_ms(), 10.0);
+  EXPECT_DOUBLE_EQ(a.min_ms(), 0.003);
+  EXPECT_EQ(a.bucket_count(LatencyHistogramMonitor::BucketIndex(10.0)), 1);
+
+  // Merging an empty histogram changes nothing.
+  LatencyHistogramMonitor empty;
+  const int64_t before = a.count();
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), before);
+
+  std::string json;
+  a.AppendJson(&json);
+  EXPECT_NE(json.find("\"count\": 4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"buckets\": ["), std::string::npos) << json;
+}
+
+TEST(MonitorLifecycleTest, PauseAndResetMidRun) {
+  ValuationCounterMonitor m;
+  SelectionResult result;
+  result.valuation_calls = 100;
+  result.selected_sensors = {1, 2, 3};
+
+  // Idle: events must not be delivered through a MonitorSet.
+  MonitorSet set;
+  set.Attach(&m);
+  set.NotifySelection(0, result, 1.0);
+  EXPECT_EQ(m.total_calls(), 0);
+
+  m.Start();
+  set.NotifySelection(1, result, 1.0);
+  set.NotifySlotEnd(1, 2.0);
+  EXPECT_EQ(m.total_calls(), 100);
+  EXPECT_EQ(m.slots(), 1);
+
+  // Paused mid-run: deliveries stop, accumulated data survives.
+  m.Pause();
+  EXPECT_EQ(m.state(), MonitorBase::State::kPaused);
+  set.NotifySelection(2, result, 1.0);
+  EXPECT_EQ(m.total_calls(), 100);
+
+  m.Resume();
+  set.NotifySelection(3, result, 1.0);
+  EXPECT_EQ(m.total_calls(), 200);
+  EXPECT_EQ(m.selected_sensors(), 6);
+
+  // Reset mid-run: data cleared, state (running) kept, counting resumes.
+  m.Reset();
+  EXPECT_EQ(m.total_calls(), 0);
+  EXPECT_TRUE(m.running());
+  set.NotifySelection(4, result, 1.0);
+  EXPECT_EQ(m.total_calls(), 100);
+
+  m.Stop();
+  set.NotifySelection(5, result, 1.0);
+  EXPECT_EQ(m.total_calls(), 100);
+  EXPECT_EQ(m.state(), MonitorBase::State::kStopped);
+
+  // Resume is only legal from paused; a stopped monitor stays stopped.
+  m.Resume();
+  EXPECT_EQ(m.state(), MonitorBase::State::kStopped);
+}
+
+TEST(MonitorLifecycleTest, IndexRepairStats) {
+  IndexRepairMonitor m;
+  m.Start();
+  m.OnTurnover(1, 2.0);
+  m.OnTurnover(2, 4.0);
+  m.OnTurnover(3, 0.5);
+  EXPECT_EQ(m.count(), 3);
+  EXPECT_DOUBLE_EQ(m.min_ms(), 0.5);
+  EXPECT_DOUBLE_EQ(m.max_ms(), 4.0);
+  EXPECT_DOUBLE_EQ(m.mean_ms(), 6.5 / 3.0);
+  m.Reset();
+  EXPECT_EQ(m.count(), 0);
+  EXPECT_DOUBLE_EQ(m.min_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_ms(), 0.0);
+}
+
+TEST(MonitorSetTest, JsonIsKeyedByMonitorName) {
+  LatencyHistogramMonitor latency;
+  ValuationCounterMonitor calls;
+  IndexRepairMonitor repair;
+  MonitorSet set;
+  set.Attach(&latency);
+  set.Attach(&calls);
+  set.Attach(&repair);
+  set.StartAll();
+  set.NotifyTurnover(0, 1.0);
+  set.NotifySlotEnd(0, 3.0);
+  set.StopAll();
+  std::string json;
+  set.AppendJson(&json);
+  EXPECT_NE(json.find("\"latency_histogram\": {"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"valuation_counters\": {"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"index_repair\": {"), std::string::npos) << json;
+}
+
+TEST(MonitorReplayTest, ZeroSlotTraceUnderMonitors) {
+  const std::string path = testing::TempDir() + "/zero_slot.trace";
+  const int n = 16;
+  SensorPopulationConfig profile;
+  profile.count = n;
+  Rng rng(7);
+  const std::vector<Sensor> sensors = GenerateSensors(profile, rng);
+  {
+    TraceHeader header;
+    header.registry_count = n;
+    header.registry_checksum = RegistryChecksum(sensors);
+    header.working_region = Rect{0, 0, 10, 10};
+    auto writer = TraceWriter::Open(path, header);
+    ASSERT_NE(writer, nullptr);
+    ASSERT_TRUE(writer->Finish());
+    EXPECT_EQ(writer->slots_written(), 0);
+  }
+  LatencyHistogramMonitor latency;
+  MonitorSet set;
+  set.Attach(&latency);
+  set.StartAll();
+  const ReplayResult result =
+      TraceReplayer(ReplayConfig{}).Replay(path, sensors, &set);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.outcomes.empty());
+  EXPECT_EQ(latency.count(), 0);
+  std::string json;
+  latency.AppendJson(&json);
+  EXPECT_NE(json.find("\"count\": 0"), std::string::npos) << json;
+  std::remove(path.c_str());
+}
+
+TEST(MonitorReplayTest, MonitoredReplayEqualsUnmonitoredReplay) {
+  const ChurnScenarioSetup setup =
+      MakeChurnScenario(300, 0.05, 42, /*with_mobility=*/true);
+  const std::string path = testing::TempDir() + "/monitored.trace";
+  ClosedLoopConfig config;
+  config.slots = 8;
+  config.queries.queries_per_slot = 16;
+  config.queries.aggregates_per_slot = 2;
+  config.trace_path = path;
+  config.approx_seed = 42;
+  RunChurnClosedLoop(setup, config);
+
+  const ReplayResult bare =
+      TraceReplayer(ReplayConfig{}).Replay(path, setup.scenario.sensors);
+  ASSERT_TRUE(bare.ok) << bare.error;
+
+  LatencyHistogramMonitor latency;
+  ValuationCounterMonitor calls;
+  IndexRepairMonitor repair;
+  MonitorSet set;
+  set.Attach(&latency);
+  set.Attach(&calls);
+  set.Attach(&repair);
+  set.StartAll();
+  const ReplayResult monitored =
+      TraceReplayer(ReplayConfig{}).Replay(path, setup.scenario.sensors, &set);
+  ASSERT_TRUE(monitored.ok) << monitored.error;
+  set.StopAll();
+
+  ASSERT_EQ(bare.outcomes.size(), monitored.outcomes.size());
+  for (size_t i = 0; i < bare.outcomes.size(); ++i) {
+    EXPECT_TRUE(SameOutcome(bare.outcomes[i], monitored.outcomes[i]))
+        << "attaching monitors changed slot " << bare.outcomes[i].time;
+  }
+  // The monitors saw every served slot and the real work totals.
+  EXPECT_EQ(latency.count(), static_cast<int64_t>(monitored.outcomes.size()));
+  EXPECT_EQ(repair.count(), static_cast<int64_t>(monitored.outcomes.size()));
+  int64_t total_calls = 0;
+  for (const SlotOutcome& o : monitored.outcomes) {
+    total_calls += o.selection.valuation_calls;
+  }
+  EXPECT_EQ(calls.total_calls(), total_calls);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace psens
