@@ -45,7 +45,7 @@ inline bool SameSchedule(const PointScheduleResult& a,
 ///   --quick          shorthand for a fast smoke run (--slots 10)
 ///   --threads N      worker threads for independent sweep points / slots,
 ///                    and for fig12's intra-slot parallel selection row
-///                    (EngineConfig::threads; default 0 = hardware
+///                    (ServingConfig::threads; default 0 = hardware
 ///                    concurrency; results are bit-identical for any value)
 ///   --json PATH      also write machine-readable results to PATH (only
 ///                    binaries that support it; fig11/fig12 do)
@@ -121,13 +121,6 @@ inline double MedianMs(std::vector<double> samples) {
   std::sort(samples.begin(), samples.end());
   return samples.empty() ? 0.0 : samples[samples.size() / 2];
 }
-
-/// The canonical city-scale churn scenario now lives in sim/workload.h
-/// (MakeChurnScenario) so the trace record/replay layer, the golden-trace
-/// fixtures, and the figure benches all construct the identical workload;
-/// re-exported here for the benches' existing call sites.
-using psens::ChurnScenarioSetup;
-using psens::MakeChurnScenario;
 
 /// Wall-clock of one call of `fn`, in milliseconds.
 template <typename Fn>

@@ -72,11 +72,11 @@ StreamResult RunOne(const char* workload, int n, int slots,
   r.churn_fraction = churn_fraction;
   // The gate workload is the ISSUE's literal scenario — 1% membership
   // churn per slot over the shared city-scale geometry
-  // (bench::MakeChurnScenario, also fig13's). The "mixed" row layers
+  // (MakeChurnScenario, also fig13's). The "mixed" row layers
   // relocation and price-jitter streams on top for a fuller
   // announce-stream shape (not gated).
-  const bench::ChurnScenarioSetup setup =
-      bench::MakeChurnScenario(n, churn_fraction, args.seed, with_mobility);
+  const ChurnScenarioSetup setup =
+      MakeChurnScenario(n, churn_fraction, args.seed, with_mobility);
   const double dmax = setup.dmax;
   const Rect& field = setup.field;
   const ClusteredPopulationConfig& config = setup.config;
@@ -103,7 +103,7 @@ StreamResult RunOne(const char* workload, int n, int slots,
   const auto run_pass = [&](bool incremental,
                             std::vector<PointScheduleResult>* reference,
                             bool* identical) {
-    EngineConfig ecfg;
+    ServingConfig ecfg;
     ecfg.working_region = field;
     ecfg.dmax = dmax;
     ecfg.index_policy = args.index_policy;
@@ -161,7 +161,7 @@ StreamResult RunOne(const char* workload, int n, int slots,
   const auto run_turnover_passes = [&](PassTotals* inc_totals,
                                        PassTotals* reb_totals) {
     const auto make_engine = [&](bool incremental) {
-      EngineConfig ecfg;
+      ServingConfig ecfg;
       ecfg.working_region = field;
       ecfg.dmax = dmax;
       ecfg.index_policy = args.index_policy;
@@ -235,7 +235,7 @@ StreamResult RunOne(const char* workload, int n, int slots,
 // Intra-slot parallel selection row (--threads): the same incremental
 // engine and churn stream as the gate row, but each slot's work is the
 // paper's joint greedy selection (Algorithm 1, eager engine) over a mixed
-// point + aggregate query set, run twice — EngineConfig::threads = 1 vs
+// point + aggregate query set, run twice — ServingConfig::threads = 1 vs
 // --threads — over identical pregenerated delta and query streams. The
 // measured "serve" latency is ApplyDelta + BeginSlot + joint selection
 // (query-object binding is query-arrival work and excluded; it is
@@ -268,7 +268,7 @@ ParallelResult RunParallelRow(int n, int slots, double churn_fraction,
   r.threads = args.threads >= 1 ? args.threads : ThreadPool::ResolveParallelism(0);
   r.hardware_threads = ThreadPool::ResolveParallelism(0);
 
-  const bench::ChurnScenarioSetup setup = bench::MakeChurnScenario(
+  const ChurnScenarioSetup setup = MakeChurnScenario(
       n, churn_fraction, args.seed, /*with_mobility=*/false);
   const double side = setup.side;
   const double dmax = setup.dmax;
@@ -335,7 +335,7 @@ ParallelResult RunParallelRow(int n, int slots, double churn_fraction,
     std::vector<Schedule> schedules;
   };
   const auto make_engine = [&](int threads) {
-    EngineConfig ecfg;
+    ServingConfig ecfg;
     ecfg.working_region = field;
     ecfg.dmax = dmax;
     ecfg.index_policy = args.index_policy;

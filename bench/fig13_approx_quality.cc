@@ -71,8 +71,8 @@ struct EngineRow {
 std::vector<EngineRow> RunOne(int n, int slots, double churn_fraction,
                               const bench::BenchArgs& args) {
   // Same city-scale geometry and churn shape as fig12's gate row, by
-  // construction: both figures call bench::MakeChurnScenario.
-  const bench::ChurnScenarioSetup setup = bench::MakeChurnScenario(
+  // construction: both figures call MakeChurnScenario (sim/workload.h).
+  const ChurnScenarioSetup setup = MakeChurnScenario(
       n, churn_fraction, args.seed, /*with_mobility=*/false);
   const double side = setup.side;
   const double dmax = setup.dmax;
@@ -87,7 +87,7 @@ std::vector<EngineRow> RunOne(int n, int slots, double churn_fraction,
   const double agg_half = 25.0;  // 50x50 overlapping monitoring regions
   const double agg_range = 10.0;
 
-  EngineConfig ecfg;
+  ServingConfig ecfg;
   ecfg.working_region = field;
   ecfg.dmax = dmax;
   ecfg.index_policy = args.index_policy;

@@ -92,11 +92,11 @@ std::vector<ReplayRow> RunOne(int n, int slots, double churn_fraction,
 
     ClosedLoopConfig lcfg;
     lcfg.slots = slots;
-    lcfg.engine = c.engine;
     lcfg.queries = queries;
-    lcfg.trace_path = path;
-    lcfg.epsilon = args.epsilon;
-    lcfg.approx_seed = args.seed;
+    lcfg.serving.scheduler = c.engine;
+    lcfg.serving.trace_path = path;
+    lcfg.serving.approx.epsilon = args.epsilon;
+    lcfg.serving.approx.seed = args.seed;
     const ClosedLoopResult live = RunChurnClosedLoop(setup, lcfg);
 
     LatencyHistogramMonitor latency;
@@ -108,7 +108,7 @@ std::vector<ReplayRow> RunOne(int n, int slots, double churn_fraction,
     monitors.Attach(&repair);
     monitors.StartAll();
     ReplayConfig rcfg;
-    rcfg.engine = c.engine;
+    rcfg.serving.scheduler = c.engine;
     rcfg.decode_threads = decode_threads;
     const ReplayResult replayed = TraceReplayer(rcfg).Replay(
         path, setup.scenario.sensors, &monitors);

@@ -1,0 +1,257 @@
+// Fig. 15 (beyond the paper): sharded serving front end — aggregate
+// slot throughput vs shard count, with a fatal bit-equality column.
+//
+// The ShardRouter (src/shard/) partitions the sensor registry across N
+// geo-binned AcquisitionEngine shards and fans each slot's turnover
+// (delta bookkeeping, membership repair, cost refresh, dynamic-index
+// maintenance) out over a thread pool, then reconciles a merged global
+// slot context and runs selection once — so every outcome is
+// bit-identical to the unsharded engine by construction. This sweep
+// measures what that buys: sustained closed-loop slots/sec at shard
+// counts {1, 2, 4, 8} (fan-out threads = shard count) over the fig12
+// churn scenario at 100k (and, full mode, 1M) sensors.
+//
+// Every row's outcomes are compared slot-by-slot against the unsharded
+// reference via SameOutcome(); a single diverging field prints
+// identical=NO and fails the run — scripts/check_bench_regression.py
+// treats any non-identical row as fatal regardless of host. The
+// throughput shape (slots/sec monotone from 1 to 4 shards at the top
+// population) is hardware-gated: it is only meaningful when the host
+// actually has cores to fan out to, so the JSON carries
+// hardware_threads and the gate arms itself accordingly.
+//
+// Per-shard observability: each shard engine gets its own MonitorSet
+// (latency histogram + index-repair timer) fed with that shard's own
+// turnover latency each slot; `--json` embeds one monitor record per
+// shard per row (the nightly job uploads them as artifacts).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/thread_pool.h"
+#include "engine/serving_engine.h"
+#include "shard/shard_router.h"
+#include "sim/workload.h"
+#include "trace/closed_loop.h"
+#include "trace/monitor.h"
+#include "trace/slot_server.h"
+
+namespace psens {
+namespace {
+
+struct ShardRow {
+  int sensors = 0;
+  int slots = 0;
+  int queries_per_slot = 0;
+  int aggregates_per_slot = 0;
+  double churn_fraction = 0.0;
+  int shards = 1;
+  int threads = 1;
+  int hardware_threads = 0;
+  double wall_ms = 0.0;
+  double slots_per_sec = 0.0;
+  double speedup_vs_1 = 0.0;
+  bool identical = false;
+  std::string index_kind;
+  std::vector<std::string> shard_monitor_json;  // one record per shard
+};
+
+/// One closed-loop pass at the given shard count. When `reference` is
+/// null this is the reference pass and `out_reference` receives the
+/// outcomes; otherwise every slot is compared against it.
+ShardRow RunOne(const ChurnScenarioSetup& setup, int n, int slots,
+                double churn_fraction, int shards,
+                const ChurnQueryConfig& queries, uint64_t seed,
+                const std::vector<SlotOutcome>* reference,
+                std::vector<SlotOutcome>* out_reference) {
+  ShardRow row;
+  row.sensors = n;
+  row.slots = slots;
+  row.queries_per_slot = queries.queries_per_slot;
+  row.aggregates_per_slot = queries.aggregates_per_slot;
+  row.churn_fraction = churn_fraction;
+  row.shards = shards;
+  row.threads = std::max(1, shards);
+  row.hardware_threads = ThreadPool::ResolveParallelism(0);
+
+  ServingConfig scfg = ServingConfig()
+                           .WithRegion(setup.field)
+                           .WithDmax(setup.dmax)
+                           .WithShards(shards)
+                           .WithThreads(std::max(1, shards))
+                           .WithApproxSeed(seed);
+  std::unique_ptr<ServingEngine> engine =
+      MakeServingEngine(setup.scenario.sensors, scfg);
+
+  // Per-shard monitor sets (router deployments only).
+  auto* router = dynamic_cast<ShardRouter*>(engine.get());
+  std::vector<std::unique_ptr<LatencyHistogramMonitor>> latency;
+  std::vector<std::unique_ptr<IndexRepairMonitor>> repair;
+  std::vector<std::unique_ptr<MonitorSet>> sets;
+  if (router != nullptr) {
+    for (int s = 0; s < router->shard_count(); ++s) {
+      latency.push_back(std::make_unique<LatencyHistogramMonitor>());
+      repair.push_back(std::make_unique<IndexRepairMonitor>());
+      sets.push_back(std::make_unique<MonitorSet>());
+      sets.back()->Attach(latency.back().get());
+      sets.back()->Attach(repair.back().get());
+      sets.back()->StartAll();
+      router->set_shard_monitors(s, sets.back().get());
+    }
+  }
+
+  ChurnWorkload workload(&setup, queries);
+  SlotServer server(engine.get());
+  std::vector<SlotOutcome> outcomes;
+  outcomes.reserve(static_cast<size_t>(slots) + 1);
+  // Slot 0 is the cold build (outcomes[0] is trivial); the timed window
+  // covers the steady-state served slots only, like fig12's passes.
+  outcomes.push_back(server.ServeSlot(0, SensorDelta{}, SlotQueryBatch{}));
+  const double wall_ms = bench::TimeMs([&] {
+    for (int t = 1; t <= slots; ++t) {
+      const SensorDelta delta = workload.NextDelta();
+      const SlotQueryBatch batch = workload.NextQueries(t);
+      outcomes.push_back(server.ServeSlot(t, delta, batch));
+    }
+  });
+  row.wall_ms = wall_ms;
+  row.slots_per_sec = wall_ms > 0.0 ? 1000.0 * slots / wall_ms : 0.0;
+  row.index_kind = engine->IndexBackendName();
+
+  row.identical = true;
+  if (reference != nullptr) {
+    if (outcomes.size() != reference->size()) {
+      row.identical = false;
+    } else {
+      for (size_t i = 0; i < outcomes.size(); ++i) {
+        if (!SameOutcome((*reference)[i], outcomes[i])) {
+          row.identical = false;
+          std::fprintf(stderr,
+                       "fig15 n=%d shards=%d: slot %d diverged from the "
+                       "unsharded reference\n",
+                       n, shards, outcomes[i].time);
+          break;
+        }
+      }
+    }
+  }
+  for (auto& set : sets) {
+    set->StopAll();
+    std::string json;
+    set->AppendJson(&json);
+    row.shard_monitor_json.push_back(std::move(json));
+  }
+  if (out_reference != nullptr) *out_reference = std::move(outcomes);
+  return row;
+}
+
+void WriteJson(const std::string& path, double cal_ms,
+               const std::vector<ShardRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"fig15_shard_sweep\",\n");
+  std::fprintf(f, "  \"cal_ms\": %.6f,\n  \"results\": [\n", cal_ms);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ShardRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"sensors\": %d, \"slots\": %d, \"queries\": %d, "
+                 "\"aggregates\": %d, \"churn\": %.4f, \"shards\": %d, "
+                 "\"threads\": %d, \"hardware_threads\": %d, "
+                 "\"wall_ms\": %.4f, \"slots_per_sec\": %.3f, "
+                 "\"speedup_vs_1\": %.3f, \"identical\": %s, "
+                 "\"index\": \"%s\", \"shard_monitors\": [",
+                 r.sensors, r.slots, r.queries_per_slot,
+                 r.aggregates_per_slot, r.churn_fraction, r.shards, r.threads,
+                 r.hardware_threads, r.wall_ms, r.slots_per_sec,
+                 r.speedup_vs_1, r.identical ? "true" : "false",
+                 r.index_kind.c_str());
+    for (size_t s = 0; s < r.shard_monitor_json.size(); ++s) {
+      std::fprintf(f, "%s%s", r.shard_monitor_json[s].c_str(),
+                   s + 1 < r.shard_monitor_json.size() ? ", " : "");
+    }
+    std::fprintf(f, "]}%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace psens
+
+int main(int argc, char** argv) {
+  using namespace psens;
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  const int slots = std::max(args.slots, 3);
+  const double churn_fraction = 0.01;
+
+  std::vector<int> populations = args.quick
+                                     ? std::vector<int>{100'000}
+                                     : std::vector<int>{100'000, 1'000'000};
+  if (args.max_sensors > 0) {
+    std::vector<int> capped;
+    for (int n : populations) {
+      if (n <= args.max_sensors) capped.push_back(n);
+    }
+    if (capped.empty()) capped.push_back(args.max_sensors);
+    populations = capped;
+  }
+  const std::vector<int> shard_counts{1, 2, 4, 8};
+
+  ChurnQueryConfig queries;
+  queries.queries_per_slot = args.quick ? 32 : 64;
+  queries.aggregates_per_slot = args.quick ? 4 : 8;
+
+  bench::PrintHeader(
+      "fig15: sharded serving front end, slots/sec vs shard count");
+  std::printf("%9s %6s %7s %8s %10s %12s %9s %s\n", "sensors", "slots",
+              "shards", "threads", "wall_ms", "slots/sec", "speedup",
+              "identical");
+
+  const double cal_ms = bench::CalibrationMs();
+  std::vector<ShardRow> rows;
+  bool all_identical = true;
+  for (int n : populations) {
+    const ChurnScenarioSetup setup = MakeChurnScenario(
+        n, churn_fraction, args.seed, /*with_mobility=*/false);
+    std::vector<SlotOutcome> reference;
+    double base_slots_per_sec = 0.0;
+    for (int shards : shard_counts) {
+      ShardRow row =
+          shards == 1
+              ? RunOne(setup, n, slots, churn_fraction, shards, queries,
+                       args.seed, nullptr, &reference)
+              : RunOne(setup, n, slots, churn_fraction, shards, queries,
+                       args.seed, &reference, nullptr);
+      if (shards == 1) base_slots_per_sec = row.slots_per_sec;
+      row.speedup_vs_1 = base_slots_per_sec > 0.0
+                             ? row.slots_per_sec / base_slots_per_sec
+                             : 0.0;
+      all_identical = all_identical && row.identical;
+      std::printf("%9d %6d %7d %8d %10.1f %12.2f %8.2fx %s [%s]\n", row.sensors,
+                  row.slots, row.shards, row.threads, row.wall_ms,
+                  row.slots_per_sec, row.speedup_vs_1,
+                  row.identical ? "yes" : "NO", row.index_kind.c_str());
+      rows.push_back(std::move(row));
+    }
+  }
+
+  std::printf("\ncalibration: %.2f ms (fixed FP loop; regression-gate time "
+              "normalizer)\n", cal_ms);
+  if (!args.json_path.empty()) WriteJson(args.json_path, cal_ms, rows);
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: a sharded run diverged from the unsharded reference "
+                 "(bit-equality is a fatal gate)\n");
+    return 1;
+  }
+  std::printf("all sharded outcomes bit-identical to the unsharded engine\n");
+  return 0;
+}

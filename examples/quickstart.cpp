@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
   }
 
   // 5. The same queries through Algorithm 1's joint greedy selection —
-  //    the serving path EngineConfig::threads parallelizes. With N > 1
+  //    the serving path ServingConfig::threads parallelizes. With N > 1
   //    the slot's valuation rounds shard across a worker pool; the
   //    selection, payments, and ValuationCalls are bit-identical to the
   //    serial run, only the slot turnover time changes.

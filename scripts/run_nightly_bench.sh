@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Runs the full (non --quick) fig02-fig14 benchmark suite and bundles the
+# Runs the full (non --quick) fig02-fig15 benchmark suite and bundles the
 # machine-readable outputs into one BENCH_nightly.json. Used by the
 # scheduled nightly workflow (.github/workflows/nightly.yml) so the
 # PR-path bench gate can stay on the fast --quick settings; also runnable
@@ -48,6 +48,12 @@ run fig13_approx_quality --json "$LOG_DIR/fig13_nightly.json"
 mkdir -p "$LOG_DIR/traces"
 run fig14_replay --json "$LOG_DIR/fig14_nightly.json" \
   --trace-dir "$LOG_DIR/traces"
+# Sharded serving sweep: full populations up to 1M at shard counts
+# {1,2,4,8}. The JSON embeds one monitor record per shard per row; the
+# merge step below splits them out into per-row monitor files so the
+# nightly artifact exposes per-shard turnover latency / index-repair
+# stats without parsing the full sweep JSON.
+run fig15_shard_sweep --json "$LOG_DIR/fig15_nightly.json"
 
 python3 - "$OUT" "$LOG_DIR" <<'PY'
 import json, os, sys, time
@@ -66,6 +72,25 @@ fig11 = load("fig11_nightly.json") or {}
 fig12 = load("fig12_nightly.json") or {}
 fig13 = load("fig13_nightly.json") or {}
 fig14 = load("fig14_nightly.json") or {}
+fig15 = load("fig15_nightly.json") or {}
+
+# Split the per-shard monitor records (turnover-latency histogram +
+# index-repair stats, one JSON object per shard) out of each fig15 row
+# into standalone artifact files; the merged doc keeps the throughput
+# rows themselves monitor-free.
+monitor_dir = os.path.join(log_dir, "shard_monitors")
+os.makedirs(monitor_dir, exist_ok=True)
+fig15_rows = []
+for row in fig15.get("results", []):
+    monitors = row.pop("shard_monitors", [])
+    if monitors:
+        name = f"fig15_n{row.get('sensors', 0)}_s{row.get('shards', 0)}.json"
+        with open(os.path.join(monitor_dir, name), "w") as f:
+            json.dump({"sensors": row.get("sensors"),
+                       "shards": row.get("shards"),
+                       "per_shard": monitors}, f, indent=2)
+    fig15_rows.append(row)
+
 doc = {
     "suite": "nightly-full",
     "utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -75,6 +100,7 @@ doc = {
     "fig12_parallel": fig12.get("parallel_results", []),
     "fig13": fig13.get("results", []),
     "fig14": fig14.get("results", []),
+    "fig15": fig15_rows,
     "logs": sorted(f for f in os.listdir(log_dir) if f.endswith(".log")),
 }
 with open(out_path, "w") as f:

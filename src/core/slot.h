@@ -88,7 +88,7 @@ struct SlotContext {
   std::shared_ptr<const SpatialIndex> index;
   /// Worker pool for intra-slot parallel selection (non-owning; typically
   /// the AcquisitionEngine's, attached by BeginSlot per
-  /// EngineConfig::threads). Null means serial. Schedulers that use it —
+  /// ServingConfig::threads). Null means serial. Schedulers that use it —
   /// the greedy engines via core/batch_eval.h — produce bit-identical
   /// selections, payments, and ValuationCalls() for any pool size,
   /// including none.

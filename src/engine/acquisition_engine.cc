@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cstring>
 
 #include "core/stochastic_greedy.h"
+#include "engine/membership_merge.h"
 #include "trace/trace_writer.h"
 
 namespace psens {
@@ -41,8 +41,25 @@ class AcquisitionEngine::SlotIndexView : public SpatialIndex {
 };
 
 AcquisitionEngine::AcquisitionEngine(std::vector<Sensor> sensors,
-                                     const EngineConfig& config)
-    : config_(config), sensors_(std::move(sensors)) {
+                                     const ServingConfig& config)
+    : AcquisitionEngine(
+          std::make_shared<std::vector<Sensor>>(std::move(sensors)), config,
+          ShardSlice{}) {}
+
+AcquisitionEngine::AcquisitionEngine(
+    std::shared_ptr<std::vector<Sensor>> registry, const ServingConfig& config,
+    const ShardSlice& slice)
+    : config_(config),
+      registry_(std::move(registry)),
+      sensors_(*registry_),
+      slice_(slice),
+      journal_repairs_(slice.sharded()) {
+  assert((!slice_.sharded() || config_.incremental) &&
+         "shard engines require incremental mode");
+  Init();
+}
+
+void AcquisitionEngine::Init() {
   const int n = static_cast<int>(sensors_.size());
   for (int i = 0; i < n; ++i) {
     assert(sensors_[i].id() == i && "registry must be id-dense");
@@ -73,8 +90,12 @@ AcquisitionEngine::AcquisitionEngine(std::vector<Sensor> sensors,
   privacy_flag_.assign(static_cast<size_t>(n), 0);
   changed_.reserve(static_cast<size_t>(n));
   if (config_.index_policy != SlotIndexPolicy::kNone) {
-    index_ = std::make_unique<DynamicSpatialIndex>(config_.working_region,
-                                                   config_.index_policy, n);
+    // A shard engine indexes only its slice, so size the backend for its
+    // expected share of the population.
+    const int expected =
+        slice_.sharded() ? std::max(1, n / slice_.map.shards) : n;
+    index_ = std::make_unique<DynamicSpatialIndex>(
+        config_.working_region, config_.index_policy, expected);
   }
   for (int id = 0; id < n; ++id) {
     MarkChanged(id, /*cost_dirty=*/true);
@@ -155,8 +176,9 @@ void AcquisitionEngine::ApplyDelta(const SensorDelta& delta) {
 
 void AcquisitionEngine::RefreshMember(int id, int time) {
   const Sensor& s = sensors_[id];
-  const bool member =
-      s.available() && config_.working_region.Contains(s.position());
+  const bool member = s.available() &&
+                      config_.working_region.Contains(s.position()) &&
+                      slice_.Owns(s.position());
   const int pos = slot_pos_[id];
   if (member && pos < 0) {
     pending_insert_.push_back(id);
@@ -177,88 +199,37 @@ void AcquisitionEngine::RefreshMember(int id, int time) {
     if (index_ != nullptr) index_->Move(id, s.position());
   }
   if (cost_dirty_[id] || privacy_flag_[id]) ss.cost = s.Cost(time);
-}
-
-size_t AcquisitionEngine::InsertPosition(int id, size_t old_size) const {
-  // Old-array position where a new member with this id slots in: the
-  // position of the next live member above it. Registries are near-fully
-  // live, so a forward scan of slot_pos_ (4 bytes/step, sequential)
-  // almost always hits on the first probe — and unlike a binary search of
-  // the member array, it stays valid mid-merge: entries for ids above the
-  // one being inserted are untouched old positions (the in-place merge
-  // only rewrites entries at or below the current event id), even for
-  // elements currently parked in the displaced FIFO.
-  const int registry = static_cast<int>(slot_pos_.size());
-  for (int j = id + 1; j < registry; ++j) {
-    if (slot_pos_[j] >= 0) return static_cast<size_t>(slot_pos_[j]);
-  }
-  return old_size;
+  if (journal_repairs_) repairs_.patched.push_back(id);
 }
 
 void AcquisitionEngine::RebuildMembership(int time) {
   std::sort(pending_insert_.begin(), pending_insert_.end());
   std::sort(pending_remove_.begin(), pending_remove_.end());
-  // Segment merge into a scratch buffer whose capacity persists across
-  // slots. With k churn events over n members the array has at most k+1
-  // unchanged runs; each run moves with one memcpy (SlotSensor is
-  // trivially copyable) followed by a fused fixup of the shifted .index
-  // fields and slot_pos_ entries while the run is still cache-hot. The
-  // O(n) byte traffic is unavoidable (every element after the first event
-  // shifts), but at streaming bandwidth it undercuts both a per-element
-  // branch-and-push_back loop and an in-place read-modify-write pass.
-  const size_t old_size = ctx_.sensors.size();
-  merge_scratch_.resize(old_size + pending_insert_.size());
-  const SlotSensor* src = ctx_.sensors.data();
-  SlotSensor* dst = merge_scratch_.data();
-  size_t si = 0;  // source cursor (old array)
-  size_t di = 0;  // destination cursor
-  const auto copy_run = [&](size_t src_end) {
-    const size_t len = src_end - si;
-    if (len == 0) return;
-    std::memcpy(dst + di, src + si, len * sizeof(SlotSensor));
-    if (di != si) {
-      const int shift = static_cast<int>(di) - static_cast<int>(si);
-      for (size_t k = di; k < di + len; ++k) {
-        dst[k].index += shift;
-        slot_pos_[dst[k].sensor_id] = static_cast<int>(k);
-      }
-    }
-    si = src_end;
-    di += len;
-  };
-  size_t ii = 0;  // pending_insert_ cursor
-  size_t ri = 0;  // pending_remove_ cursor
-  // Events ascend by sensor id, and the old array is sorted by sensor id,
-  // so event positions ascend too: removals resolve their position through
-  // slot_pos_, insertions land before the first larger id.
-  while (ii < pending_insert_.size() || ri < pending_remove_.size()) {
-    const bool take_insert =
-        ri >= pending_remove_.size() ||
-        (ii < pending_insert_.size() &&
-         pending_insert_[ii] < pending_remove_[ri]);
-    if (take_insert) {
-      const int id = pending_insert_[ii++];
-      copy_run(InsertPosition(id, old_size));
-      const Sensor& s = sensors_[id];
-      SlotSensor& ss = dst[di];
-      ss.index = static_cast<int>(di);
-      ss.sensor_id = id;
-      ss.location = s.position();
-      ss.cost = s.Cost(time);
-      ss.inaccuracy = s.profile().inaccuracy;
-      ss.trust = s.profile().trust;
-      slot_pos_[id] = static_cast<int>(di);
-      ++di;
-    } else {
-      const int id = pending_remove_[ri++];
-      copy_run(static_cast<size_t>(slot_pos_[id]));
-      slot_pos_[id] = -1;
-      ++si;  // skip the removed element
-    }
+  if (journal_repairs_) {
+    repairs_.inserted = pending_insert_;
+    repairs_.removed = pending_remove_;
   }
-  copy_run(old_size);
-  merge_scratch_.resize(di);
-  std::swap(ctx_.sensors, merge_scratch_);
+  MergeSortedMembership(
+      &ctx_.sensors, &merge_scratch_, &slot_pos_, pending_insert_,
+      pending_remove_, [&](SlotSensor& ss, int id) {
+        const Sensor& s = sensors_[id];
+        ss.location = s.position();
+        ss.cost = s.Cost(time);
+        ss.inaccuracy = s.profile().inaccuracy;
+        ss.trust = s.profile().trust;
+        // A freshly inserted member with decaying privacy history must be
+        // on the refresh list, or its announced cost would freeze at this
+        // slot's value. Matters for cross-shard migrations (the departing
+        // shard's refresh state doesn't travel); behavior-neutral for a
+        // standalone engine, where such a sensor is either still enrolled
+        // or its cost has already aged to the post-window constant.
+        if (!privacy_flag_[id] &&
+            PrivacyLevelValue(s.profile().privacy) > 0.0 &&
+            !s.report_history().empty()) {
+          privacy_flag_[id] = 1;
+          privacy_refresh_.push_back(id);
+        }
+      });
   pending_insert_.clear();
   pending_remove_.clear();
 }
@@ -293,6 +264,11 @@ const SlotContext& AcquisitionEngine::BeginSlot(int time) {
     if (trace_ != nullptr) trace_->BeginSlot(time, ctx_.approx.slot_seed);
     return ctx_;
   }
+  if (journal_repairs_) {
+    repairs_.inserted.clear();
+    repairs_.removed.clear();
+    repairs_.patched.clear();
+  }
   ctx_.time = time;
   ctx_.pool = pool_.get();
   // Pin the approximate schedulers' per-slot stream: both engine modes
@@ -323,6 +299,7 @@ const SlotContext& AcquisitionEngine::BeginSlot(int time) {
     const int pos = slot_pos_[id];
     if (pos >= 0) {
       ctx_.sensors[static_cast<size_t>(pos)].cost = s.Cost(time);
+      if (journal_repairs_) repairs_.patched.push_back(id);
     }
     const bool decaying =
         !s.report_history().empty() &&

@@ -11,49 +11,15 @@
 #include "core/sensor.h"
 #include "core/sensor_delta.h"
 #include "core/slot.h"
+#include "engine/serving_config.h"
+#include "engine/serving_engine.h"
 #include "index/dynamic_index.h"
 #include "mobility/trace.h"
+#include "shard/shard_map.h"
 
 namespace psens {
 
 class TraceWriter;
-
-struct EngineConfig {
-  /// Working region filtering slot membership (same role as the
-  /// `working_region` argument of BuildSlotContext).
-  Rect working_region;
-  double dmax = 5.0;
-  SlotIndexPolicy index_policy = SlotIndexPolicy::kAuto;
-  int index_auto_threshold = kSlotIndexAutoThreshold;
-  /// true: repair the slot context and spatial index from deltas (O(churn)
-  /// per slot). false: reference mode — BeginSlot rebuilds both from the
-  /// full registry exactly like the pre-engine batch loops. Both modes
-  /// produce bit-identical slot contexts, selections, and payments
-  /// (tests/streaming_equivalence_test.cc).
-  bool incremental = true;
-  /// Worker threads for *intra-slot* parallel selection: BeginSlot attaches
-  /// an engine-owned ThreadPool to SlotContext::pool, which the greedy
-  /// engines use to shard each round's valuation batch
-  /// (core/batch_eval.h). 1 (default) = serial, no pool; 0 = hardware
-  /// concurrency; N > 1 = that many workers. Selections, payments, and
-  /// ValuationCalls() are bit-identical for every value — the knob only
-  /// buys wall-clock (bench/fig12_streaming --threads).
-  int threads = 1;
-  /// Approximate-scheduler knobs, stamped onto every slot context.
-  /// BeginSlot derives the per-slot RNG stream from (approx.seed, time)
-  /// unless approx.slot_seed pins it, so an approximate selection re-run
-  /// for the same slot — incremental or rebuild mode, any thread count —
-  /// is reproducible (core/stochastic_greedy.h).
-  ApproxParams approx;
-  /// When non-empty, the engine records its input stream — every
-  /// ApplyDelta/ApplyTrace change and every BeginSlot with its stamped
-  /// per-slot approx seed — to a binary trace at this path
-  /// (src/trace/trace_format.h). Query batches are staged by the serving
-  /// layer through trace_writer(); trace/slot_server.h does it for the
-  /// shared record/replay substrate. Recording never alters scheduling:
-  /// a traced run selects bit-identically to an untraced one.
-  std::string trace_path;
-};
 
 /// Long-running acquisition service state: owns the sensor registry, the
 /// current slot context, and a *dynamic* spatial index, carrying all three
@@ -77,12 +43,25 @@ struct EngineConfig {
 /// set — see below). The resulting context is bit-identical to a from-
 /// scratch BuildSlotContext over the same registry.
 ///
+/// As a shard (the ShardSlice constructor, used by shard/shard_router.h):
+/// the registry is shared across all shard engines, slot membership is
+/// additionally filtered by shard ownership (ShardSlice::Owns), and the
+/// engine journals its per-slot context repairs (last_repairs) so the
+/// router can patch its merged global context in O(churn). Shard engines
+/// never mutate the shared registry — the router applies deltas and
+/// notifies owners through NoteChange.
+///
 /// The registry must be id-dense: sensors_[i].id() == i (what
 /// GenerateSensors produces). Asserted at construction.
-class AcquisitionEngine {
+class AcquisitionEngine : public ServingEngine {
  public:
-  AcquisitionEngine(std::vector<Sensor> sensors, const EngineConfig& config);
-  ~AcquisitionEngine();
+  AcquisitionEngine(std::vector<Sensor> sensors, const ServingConfig& config);
+  /// Shard-engine constructor: a shared registry plus this engine's slice
+  /// of the shard map. Requires config.incremental when the slice is
+  /// actually sharded. Repair journaling (last_repairs) is enabled.
+  AcquisitionEngine(std::shared_ptr<std::vector<Sensor>> registry,
+                    const ServingConfig& config, const ShardSlice& slice);
+  ~AcquisitionEngine() override;
 
   // Pinned: the slot context's index view holds pointers into this
   // object (slot_pos_, the dynamic index), so a moved-from or copied
@@ -95,47 +74,79 @@ class AcquisitionEngine {
   /// Streams one mobility-trace slot in as a delta: only sensors whose
   /// position or presence actually changed are touched. Sensors beyond the
   /// trace width are marked absent (same convention as ApplyTraceSlot).
-  void ApplyTrace(const Trace& trace, int slot);
+  void ApplyTrace(const Trace& trace, int slot) override;
 
   /// Applies a churn delta (arrivals/departures/moves/price changes).
-  void ApplyDelta(const SensorDelta& delta);
+  void ApplyDelta(const SensorDelta& delta) override;
 
   /// Finalizes announcements for slot `time` and returns the context.
   /// Valid until the next BeginSlot call or engine destruction.
-  const SlotContext& BeginSlot(int time);
+  const SlotContext& BeginSlot(int time) override;
 
   /// Charges one reading each to the given *global sensor ids* at slot
   /// `time` (energy + privacy history), flagging their announcements for
   /// refresh at the next BeginSlot.
-  void RecordReadings(const std::vector<int>& sensor_ids, int time);
+  void RecordReadings(const std::vector<int>& sensor_ids, int time) override;
 
   /// Same, addressed by the current context's slot-sensor indices (the
   /// form scheduler results use).
-  void RecordSlotReadings(const std::vector<int>& slot_indices, int time);
+  void RecordSlotReadings(const std::vector<int>& slot_indices,
+                          int time) override;
 
-  const std::vector<Sensor>& sensors() const { return sensors_; }
-  const EngineConfig& config() const { return config_; }
+  const std::vector<Sensor>& sensors() const override { return sensors_; }
+  const ServingConfig& config() const override { return config_; }
   /// Name of the live dynamic-index backend ("dynamic-grid",
   /// "kd-buffered", "rebuild" in reference mode, "none" when unindexed).
-  const char* IndexBackendName() const;
+  const char* IndexBackendName() const override;
 
   /// Pins the approx slot seed the *next* BeginSlot stamps, overriding
   /// the (approx.seed, time) derivation for that one slot. The trace
   /// replayer uses this to impose each recorded slot's seed, which is
   /// what lets a replayed stochastic run reproduce the live run's
   /// selections without knowing the original base seed.
-  void PinNextSlotSeed(uint64_t slot_seed);
+  void PinNextSlotSeed(uint64_t slot_seed) override;
 
-  /// The live trace recorder, or null when EngineConfig::trace_path is
+  /// The live trace recorder, or null when ServingConfig::trace_path is
   /// empty (or the file could not be created). The serving layer stages
   /// each slot's query batch here after BeginSlot.
-  TraceWriter* trace_writer() { return trace_.get(); }
+  TraceWriter* trace_writer() override { return trace_.get(); }
 
   /// Finalizes the trace (patches the slot count, closes the file).
   /// Called automatically on destruction; call it explicitly to read the
   /// trace back while the engine lives. Returns false if recording was
   /// off or any write failed.
-  bool FinishTrace();
+  bool FinishTrace() override;
+
+  // --- Shard-engine surface (shard/shard_router.h) -----------------------
+
+  /// The per-slot context repairs the last BeginSlot performed, journaled
+  /// only for shard engines (the ShardSlice constructor): the membership
+  /// inserts/removes (sorted ascending by id) and the continuing members
+  /// whose announcement payload was rewritten in place.
+  struct SlotRepairs {
+    std::vector<int> inserted;
+    std::vector<int> removed;
+    std::vector<int> patched;
+  };
+  const SlotRepairs& last_repairs() const { return repairs_; }
+
+  /// Router-side registry mutation hook: the router applies deltas to the
+  /// shared registry itself (once, in recorded order) and notifies the
+  /// owning engine(s) here so the next BeginSlot re-evaluates the sensor.
+  void NoteChange(int id, bool cost_dirty) { MarkChanged(id, cost_dirty); }
+
+  /// The raw id-keyed dynamic index (null when unindexed or in rebuild
+  /// mode) — the router's sharded index view fans queries out to these.
+  const SpatialIndex* raw_dynamic_index() const { return index_.get(); }
+
+  /// This engine's current slot entry for global sensor `id`, or null
+  /// when the sensor is not a member here. Valid until the next
+  /// BeginSlot. The router copies announcement payloads from here when
+  /// reconciling its merged context.
+  const SlotSensor* MemberEntry(int id) const {
+    const int pos = slot_pos_[id];
+    return pos < 0 ? nullptr : &ctx_.sensors[static_cast<size_t>(pos)];
+  }
 
  private:
   /// Adapter presenting the engine's id-keyed dynamic index as the
@@ -143,15 +154,25 @@ class AcquisitionEngine {
   /// slot indices, so translated results stay ascending.
   class SlotIndexView;
 
+  void Init();
   void MarkChanged(int id, bool cost_dirty);
   void NoteReading(int id, int time);
-  size_t InsertPosition(int id, size_t old_size) const;
   void RefreshMember(int id, int time);
   void RebuildMembership(int time);
   void AttachIndex();
 
-  EngineConfig config_;
-  std::vector<Sensor> sensors_;
+  ServingConfig config_;
+  /// The sensor registry. Exclusively owned by a standalone engine;
+  /// shared across all shard engines of one router (each mutating it only
+  /// through the router's single-writer delta application).
+  std::shared_ptr<std::vector<Sensor>> registry_;
+  /// Alias of *registry_ (the engine is pinned, so the reference is safe).
+  std::vector<Sensor>& sensors_;
+  /// This engine's slice of the shard map; default slice owns everything.
+  ShardSlice slice_;
+  /// Journal context repairs into repairs_ (shard engines only).
+  bool journal_repairs_ = false;
+  SlotRepairs repairs_;
   SlotContext ctx_;
   /// id -> position in ctx_.sensors, or -1 when not a member.
   std::vector<int> slot_pos_;
@@ -172,10 +193,10 @@ class AcquisitionEngine {
   std::vector<SlotSensor> merge_scratch_;
   std::unique_ptr<DynamicSpatialIndex> index_;
   std::shared_ptr<SlotIndexView> view_;
-  /// Intra-slot selection pool (EngineConfig::threads), handed to
+  /// Intra-slot selection pool (ServingConfig::threads), handed to
   /// schedulers through SlotContext::pool. Null when threads == 1.
   std::unique_ptr<ThreadPool> pool_;
-  /// Live trace recorder (EngineConfig::trace_path); null when off.
+  /// Live trace recorder (ServingConfig::trace_path); null when off.
   std::unique_ptr<TraceWriter> trace_;
   /// One-shot approx-seed override for the next BeginSlot (replay).
   uint64_t pinned_slot_seed_ = 0;

@@ -1,0 +1,142 @@
+#ifndef PSENS_ENGINE_SERVING_CONFIG_H_
+#define PSENS_ENGINE_SERVING_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/geometry.h"
+#include "core/greedy.h"
+#include "core/slot.h"
+
+namespace psens {
+
+/// The one configuration record for the serving stack — the knobs that
+/// used to be scattered over `EngineConfig`, `SlotServer::Options`,
+/// `ClosedLoopConfig`, and ad-hoc bench fields now live here, so a
+/// serving run (live closed loop, trace replay, or bench) is described
+/// by exactly one validated value. `AcquisitionEngine`, `ShardRouter`,
+/// and the `MakeServingEngine` factory all consume it; `shards` is what
+/// turns the config into a sharded deployment without a new call site.
+///
+/// Every knob preserves the bit-identical-results discipline: for a
+/// fixed input stream, `threads`, `index_policy`/`index_auto_threshold`,
+/// `incremental`, and `shards` change wall-clock only — selections,
+/// payments, and valuation-call counts are bitwise invariant
+/// (tests/streaming_equivalence_test.cc, tests/shard_invariance_test.cc).
+struct ServingConfig {
+  /// Working region filtering slot membership (same role as the
+  /// `working_region` argument of BuildSlotContext).
+  Rect working_region;
+  double dmax = 5.0;
+  /// Selection engine the serving loop runs each slot (SlotServer /
+  /// ServingEngine::Select). kSieve carries cross-slot bucket state.
+  GreedyEngine scheduler = GreedyEngine::kLazy;
+  SlotIndexPolicy index_policy = SlotIndexPolicy::kAuto;
+  int index_auto_threshold = kSlotIndexAutoThreshold;
+  /// true: repair the slot context and spatial index from deltas (O(churn)
+  /// per slot). false: reference mode — BeginSlot rebuilds both from the
+  /// full registry exactly like the pre-engine batch loops. Both modes
+  /// produce bit-identical slot contexts, selections, and payments
+  /// (tests/streaming_equivalence_test.cc). Sharded serving (shards > 1)
+  /// requires incremental mode — Validate() rejects the combination.
+  bool incremental = true;
+  /// Worker threads. Unsharded: intra-slot parallel selection workers
+  /// (BeginSlot attaches an engine-owned ThreadPool to SlotContext::pool,
+  /// which the greedy engines use to shard each round's valuation batch).
+  /// Sharded: the same pool additionally fans per-shard slot turnover out
+  /// across the shard engines. 1 (default) = serial, no pool; 0 =
+  /// hardware concurrency; N > 1 = that many workers. Selections,
+  /// payments, and ValuationCalls() are bit-identical for every value —
+  /// the knob only buys wall-clock (bench/fig12_streaming --threads,
+  /// bench/fig15_shard_sweep --shards).
+  int threads = 1;
+  /// Number of geo-partitioned AcquisitionEngine shards behind the
+  /// serving API. 1 (default) serves from a single engine; N > 1 makes
+  /// MakeServingEngine build a ShardRouter that partitions the registry
+  /// across N shard engines (src/shard/shard_router.h) with bit-identical
+  /// outcomes for any value.
+  int shards = 1;
+  /// Approximate-scheduler knobs, stamped onto every slot context.
+  /// BeginSlot derives the per-slot RNG stream from (approx.seed, time)
+  /// unless approx.slot_seed pins it, so an approximate selection re-run
+  /// for the same slot — incremental or rebuild mode, any thread or shard
+  /// count — is reproducible (core/stochastic_greedy.h).
+  ApproxParams approx;
+  /// When non-empty, the serving engine records its input stream — every
+  /// ApplyDelta/ApplyTrace change and every BeginSlot with its stamped
+  /// per-slot approx seed — to a binary trace at this path
+  /// (src/trace/trace_format.h). A ShardRouter records at the router
+  /// (pre-split) level, so a trace recorded sharded replays under any
+  /// shard count. Recording never alters scheduling.
+  std::string trace_path;
+  /// Feed purchased readings back via RecordSlotReadings — the closed
+  /// loop's cross-slot energy/privacy feedback. Replay uses the same
+  /// default so the feedback path is replayed too.
+  bool record_readings = true;
+
+  // Builder-style setters, so call sites can assemble a config in one
+  // expression (`ServingConfig().WithRegion(field).WithShards(4)`).
+  ServingConfig& WithRegion(const Rect& region) {
+    working_region = region;
+    return *this;
+  }
+  ServingConfig& WithDmax(double d) {
+    dmax = d;
+    return *this;
+  }
+  ServingConfig& WithScheduler(GreedyEngine engine) {
+    scheduler = engine;
+    return *this;
+  }
+  ServingConfig& WithIndexPolicy(SlotIndexPolicy policy) {
+    index_policy = policy;
+    return *this;
+  }
+  ServingConfig& WithIndexAutoThreshold(int threshold) {
+    index_auto_threshold = threshold;
+    return *this;
+  }
+  ServingConfig& WithIncremental(bool on) {
+    incremental = on;
+    return *this;
+  }
+  ServingConfig& WithThreads(int n) {
+    threads = n;
+    return *this;
+  }
+  ServingConfig& WithShards(int n) {
+    shards = n;
+    return *this;
+  }
+  ServingConfig& WithApprox(const ApproxParams& params) {
+    approx = params;
+    return *this;
+  }
+  ServingConfig& WithEpsilon(double epsilon) {
+    approx.epsilon = epsilon;
+    return *this;
+  }
+  ServingConfig& WithApproxSeed(uint64_t seed) {
+    approx.seed = seed;
+    return *this;
+  }
+  ServingConfig& WithTracePath(std::string path) {
+    trace_path = std::move(path);
+    return *this;
+  }
+  ServingConfig& WithRecordReadings(bool on) {
+    record_readings = on;
+    return *this;
+  }
+
+  /// Empty string when the config is serviceable; otherwise a
+  /// human-readable description of the first problem found.
+  /// MakeServingEngine refuses (asserts in debug, clamps nothing) on a
+  /// non-empty result, so configuration mistakes surface at construction
+  /// instead of as silent mis-serving.
+  std::string Validate() const;
+};
+
+}  // namespace psens
+
+#endif  // PSENS_ENGINE_SERVING_CONFIG_H_

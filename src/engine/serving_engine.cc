@@ -1,0 +1,22 @@
+#include "engine/serving_engine.h"
+
+#include "core/sieve_streaming.h"
+
+namespace psens {
+
+ServingEngine::ServingEngine() = default;
+ServingEngine::~ServingEngine() = default;
+
+SelectionResult ServingEngine::Select(const std::vector<MultiQuery*>& queries,
+                                      const SlotContext& slot,
+                                      const SensorDelta& delta) {
+  if (config().scheduler == GreedyEngine::kSieve) {
+    if (sieve_ == nullptr) {
+      sieve_ = std::make_unique<SieveStreamingScheduler>(config().approx);
+    }
+    return sieve_->SelectDelta(queries, slot, delta);
+  }
+  return GreedySensorSelection(queries, slot, nullptr, config().scheduler);
+}
+
+}  // namespace psens

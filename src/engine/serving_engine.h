@@ -1,0 +1,117 @@
+#ifndef PSENS_ENGINE_SERVING_ENGINE_H_
+#define PSENS_ENGINE_SERVING_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/greedy.h"
+#include "core/sensor.h"
+#include "core/sensor_delta.h"
+#include "core/slot.h"
+#include "engine/serving_config.h"
+#include "mobility/trace.h"
+
+namespace psens {
+
+class SieveStreamingScheduler;
+class TraceWriter;
+
+/// The serving API every engine-shaped thing implements — the single
+/// AcquisitionEngine and the sharded ShardRouter — and the only surface
+/// the serving layer (SlotServer, the closed loop, the trace replayer,
+/// the fig benches) programs against. One slot's lifecycle:
+///
+///   engine->ApplyDelta(delta);                   // or ApplyTrace
+///   const SlotContext& slot = engine->BeginSlot(t);
+///   ... bind the slot's queries against `slot` ...
+///   SelectionResult r = engine->Select(queries, slot, delta);
+///   engine->RecordSlotReadings(r.selected_sensors, t);
+///
+/// Select runs the configured scheduler (ServingConfig::scheduler) and
+/// commits Algorithm 1's proportional payments through
+/// CommitWithProportionalPayments; for GreedyEngine::kSieve it owns the
+/// cross-slot sieve bucket state, which is part of the run's determinism
+/// and therefore lives with the engine, not with any one serving loop.
+///
+/// Contract: for a fixed input stream (registry, deltas, query batches,
+/// per-slot seeds), every implementation produces bit-identical
+/// selections, payments, and valuation-call counts — regardless of
+/// thread count, index policy, incremental vs rebuild mode, or shard
+/// count. SameOutcome() (trace/slot_server.h) is the comparator; the
+/// streaming-equivalence, shard-invariance, and replay differential
+/// suites enforce it.
+class ServingEngine {
+ public:
+  ServingEngine();  // out-of-line: sieve_'s type is incomplete here
+  virtual ~ServingEngine();
+
+  /// Streams one mobility-trace slot in as a delta: only sensors whose
+  /// position or presence actually changed are touched.
+  virtual void ApplyTrace(const Trace& trace, int slot) = 0;
+
+  /// Applies a churn delta (arrivals/departures/moves/price changes).
+  virtual void ApplyDelta(const SensorDelta& delta) = 0;
+
+  /// Finalizes announcements for slot `time` and returns the context.
+  /// Valid until the next BeginSlot call or engine destruction.
+  virtual const SlotContext& BeginSlot(int time) = 0;
+
+  /// Charges one reading each to the given *global sensor ids* at slot
+  /// `time` (energy + privacy history), flagging their announcements for
+  /// refresh at the next BeginSlot.
+  virtual void RecordReadings(const std::vector<int>& sensor_ids,
+                              int time) = 0;
+
+  /// Same, addressed by the current context's slot-sensor indices (the
+  /// form scheduler results use).
+  virtual void RecordSlotReadings(const std::vector<int>& slot_indices,
+                                  int time) = 0;
+
+  virtual const std::vector<Sensor>& sensors() const = 0;
+  virtual const ServingConfig& config() const = 0;
+  /// Name of the live index backend ("dynamic-grid", "kd-buffered",
+  /// "sharded", "rebuild" in reference mode, "none" when unindexed).
+  virtual const char* IndexBackendName() const = 0;
+  /// Number of shard engines behind this serving engine (1 when single).
+  virtual int shard_count() const { return 1; }
+
+  /// Pins the approx slot seed the *next* BeginSlot stamps, overriding
+  /// the (approx.seed, time) derivation for that one slot. The trace
+  /// replayer uses this to impose each recorded slot's seed.
+  virtual void PinNextSlotSeed(uint64_t slot_seed) = 0;
+
+  /// The live trace recorder, or null when ServingConfig::trace_path is
+  /// empty (or the file could not be created). The serving layer stages
+  /// each slot's query batch here after BeginSlot.
+  virtual TraceWriter* trace_writer() = 0;
+
+  /// Finalizes the trace (patches the slot count, closes the file).
+  /// Returns false if recording was off or any write failed.
+  virtual bool FinishTrace() = 0;
+
+  /// Runs the configured scheduler over the bound queries and commits
+  /// proportional payments. `delta` is the slot's churn delta (the sieve
+  /// absorbs it instead of re-streaming the population; the other
+  /// schedulers ignore it). Not virtual: selection is global and shared —
+  /// sharding lives entirely inside BeginSlot's context assembly.
+  SelectionResult Select(const std::vector<MultiQuery*>& queries,
+                         const SlotContext& slot, const SensorDelta& delta);
+
+ private:
+  /// Cross-slot sieve bucket state (GreedyEngine::kSieve only), built
+  /// lazily from config().approx on the first Select.
+  std::unique_ptr<SieveStreamingScheduler> sieve_;
+};
+
+/// Builds the serving engine the config describes: a plain
+/// AcquisitionEngine for shards == 1, a ShardRouter over
+/// config.shards geo-partitioned engines otherwise. Asserts
+/// config.Validate() passes. Defined in src/shard/shard_router.cc (the
+/// only translation unit that knows both implementations).
+std::unique_ptr<ServingEngine> MakeServingEngine(std::vector<Sensor> sensors,
+                                                 const ServingConfig& config);
+
+}  // namespace psens
+
+#endif  // PSENS_ENGINE_SERVING_ENGINE_H_

@@ -1,0 +1,58 @@
+#ifndef PSENS_SHARD_SHARD_MAP_H_
+#define PSENS_SHARD_SHARD_MAP_H_
+
+#include <algorithm>
+
+#include "common/geometry.h"
+#include "index/grid_geometry.h"
+
+namespace psens {
+
+/// Geo-partitioning of the sensor universe across N shards, built on the
+/// same GridGeometry binning the spatial indexes use: the working region
+/// is laid out as a uniform cell grid and cells are dealt round-robin to
+/// shards (cell % shards). Round-robin interleaving — rather than
+/// contiguous stripes — keeps clustered populations balanced: a hot
+/// downtown cluster spans many cells, and its cells land on every shard.
+///
+/// ShardOf is a pure function of (geometry, position): deterministic,
+/// registry-independent, and total — positions outside the working
+/// region clamp into edge cells exactly like the grid indexes clamp
+/// outliers, so every sensor always has exactly one owning shard.
+struct ShardMap {
+  GridGeometry geo;
+  int shards = 1;
+
+  /// Lays the cell grid over `working_region` for an expected population
+  /// of `expected_population` sensors (the auto cell sizing targets ~2
+  /// sensors per cell, so the cell count comfortably exceeds any sane
+  /// shard count).
+  static ShardMap Layout(const Rect& working_region, int shards,
+                         size_t expected_population) {
+    ShardMap map;
+    map.shards = std::max(1, shards);
+    map.geo = GridGeometry::Layout(working_region, expected_population,
+                                   /*cell_size=*/0.0);
+    return map;
+  }
+
+  int ShardOf(const Point& p) const {
+    return shards <= 1 ? 0 : geo.CellOf(p) % shards;
+  }
+};
+
+/// One shard's view of the partition: the map plus this shard's id. A
+/// default-constructed slice owns everything (the unsharded engine).
+struct ShardSlice {
+  ShardMap map;
+  int shard_id = 0;
+
+  bool sharded() const { return map.shards > 1; }
+  bool Owns(const Point& p) const {
+    return !sharded() || map.ShardOf(p) == shard_id;
+  }
+};
+
+}  // namespace psens
+
+#endif  // PSENS_SHARD_SHARD_MAP_H_

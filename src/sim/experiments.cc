@@ -11,6 +11,7 @@
 #include "core/region_monitoring.h"
 #include "core/slot.h"
 #include "engine/acquisition_engine.h"
+#include "engine/serving_engine.h"
 #include "mobility/random_waypoint.h"
 
 namespace psens {
@@ -50,24 +51,27 @@ struct SlotOutcome {
   std::vector<int> read_sensor_ids;
 };
 
-/// Engine configuration shared by all slots of one experiment run.
-EngineConfig MakeEngineConfig(const Rect& working_region, double dmax,
-                              SlotIndexPolicy index_policy,
-                              int intra_slot_threads = 1,
-                              const ApproxParams& approx = {}) {
-  EngineConfig config;
-  config.working_region = working_region;
-  config.dmax = dmax;
-  config.index_policy = index_policy;
-  config.threads = intra_slot_threads;
-  config.approx = approx;
-  return config;
+/// Serving configuration shared by all slots of one experiment run (the
+/// simple experiments, whose configs expose only an index policy).
+ServingConfig MakeServingConfig(const Rect& working_region, double dmax,
+                                SlotIndexPolicy index_policy) {
+  return ServingConfig().WithRegion(working_region).WithDmax(dmax).WithIndexPolicy(
+      index_policy);
+}
+
+/// Stamps the experiment's region/dmax onto a caller-provided serving
+/// config (AggregateExperimentConfig::serving and friends own every other
+/// knob).
+ServingConfig StampServingConfig(ServingConfig serving,
+                                 const Rect& working_region, double dmax) {
+  return serving.WithRegion(working_region).WithDmax(dmax);
 }
 
 /// Runs `slots` slot bodies either sequentially with sensor-state feedback
 /// (RecordReadings between slots) or sharded over a thread pool when the
 /// population carries no cross-slot feedback. Every path streams the trace
-/// through a persistent AcquisitionEngine — the slot context and spatial
+/// through a persistent serving engine (MakeServingEngine — single or
+/// sharded per ServingConfig::shards) — the slot context and spatial
 /// index are repaired from each slot's position/presence delta rather than
 /// rebuilt — which is bit-identical to per-slot reconstruction
 /// (tests/streaming_equivalence_test.cc). `body(t, slot)` must only read
@@ -76,15 +80,16 @@ template <typename SlotBody>
 std::vector<SlotOutcome> RunSlots(const Trace& trace, int slots,
                                   const std::vector<Sensor>& sensors,
                                   const SensorPopulationConfig& population,
-                                  const EngineConfig& engine_config,
+                                  const ServingConfig& serving_config,
                                   int parallelism, const SlotBody& body) {
   std::vector<SlotOutcome> outcomes(static_cast<size_t>(std::max(slots, 0)));
   if (HasCrossSlotFeedback(population, slots)) {
-    AcquisitionEngine engine(sensors, engine_config);
+    std::unique_ptr<ServingEngine> engine =
+        MakeServingEngine(sensors, serving_config);
     for (int t = 0; t < slots; ++t) {
-      engine.ApplyTrace(trace, t);
-      outcomes[t] = body(t, engine.BeginSlot(t));
-      engine.RecordReadings(outcomes[t].read_sensor_ids, t);
+      engine->ApplyTrace(trace, t);
+      outcomes[t] = body(t, engine->BeginSlot(t));
+      engine->RecordReadings(outcomes[t].read_sensor_ids, t);
     }
     return outcomes;
   }
@@ -95,10 +100,11 @@ std::vector<SlotOutcome> RunSlots(const Trace& trace, int slots,
   const int threads =
       std::min(ThreadPool::ResolveParallelism(parallelism), std::max(slots, 1));
   if (threads == 1) {
-    AcquisitionEngine engine(sensors, engine_config);
+    std::unique_ptr<ServingEngine> engine =
+        MakeServingEngine(sensors, serving_config);
     for (int t = 0; t < slots; ++t) {
-      engine.ApplyTrace(trace, t);
-      outcomes[t] = body(t, engine.BeginSlot(t));
+      engine->ApplyTrace(trace, t);
+      outcomes[t] = body(t, engine->BeginSlot(t));
     }
     return outcomes;
   }
@@ -106,10 +112,11 @@ std::vector<SlotOutcome> RunSlots(const Trace& trace, int slots,
   std::atomic<int> next{0};
   for (int w = 0; w < threads; ++w) {
     pool.Submit([&] {
-      AcquisitionEngine engine(sensors, engine_config);
+      std::unique_ptr<ServingEngine> engine =
+          MakeServingEngine(sensors, serving_config);
       for (int t = next++; t < slots; t = next++) {
-        engine.ApplyTrace(trace, t);
-        outcomes[t] = body(t, engine.BeginSlot(t));
+        engine->ApplyTrace(trace, t);
+        outcomes[t] = body(t, engine->BeginSlot(t));
       }
     });
   }
@@ -185,7 +192,7 @@ ExperimentResult RunPointExperiment(const PointExperimentConfig& config) {
   };
   return ReduceOutcomes(RunSlots(
       *config.trace, slots, sensors, population,
-      MakeEngineConfig(config.working_region, config.dmax, config.index_policy),
+      MakeServingConfig(config.working_region, config.dmax, config.index_policy),
       config.parallelism, body));
 }
 
@@ -210,8 +217,10 @@ ExperimentResult RunAggregateExperiment(const AggregateExperimentConfig& config)
     std::vector<MultiQuery*> ptrs;
     for (auto& q : queries) ptrs.push_back(q.get());
     const SelectionResult selection =
-        config.greedy ? GreedySensorSelection(ptrs, slot, nullptr, config.engine)
-                      : BaselineSequentialSelection(ptrs, slot);
+        config.greedy
+            ? GreedySensorSelection(ptrs, slot, nullptr,
+                                    config.serving.scheduler)
+            : BaselineSequentialSelection(ptrs, slot);
 
     SlotOutcome out;
     out.utility = selection.Utility();
@@ -232,9 +241,8 @@ ExperimentResult RunAggregateExperiment(const AggregateExperimentConfig& config)
   };
   return ReduceOutcomes(RunSlots(
       *config.trace, slots, sensors, population,
-      MakeEngineConfig(config.working_region, config.sensing_range,
-                       config.index_policy, config.intra_slot_threads,
-                       config.approx),
+      StampServingConfig(config.serving, config.working_region,
+                         config.sensing_range),
       config.parallelism, body));
 }
 
@@ -247,7 +255,8 @@ ExperimentResult RunLocationMonitoringExperiment(
   population.count = config.trace->NumSensors();
   AcquisitionEngine engine(
       GenerateSensors(population, sensor_rng),
-      MakeEngineConfig(config.working_region, config.dmax, config.index_policy));
+      MakeServingConfig(config.working_region, config.dmax,
+                        config.index_policy));
 
   LocationMonitoringManager::Config manager_config;
   manager_config.alpha = config.alpha;
@@ -320,7 +329,8 @@ ExperimentResult RunRegionMonitoringExperiment(
   population.count = config.num_sensors;
   AcquisitionEngine engine(
       GenerateSensors(population, sensor_rng),
-      MakeEngineConfig(config.field, config.sensing_radius, config.index_policy));
+      MakeServingConfig(config.field, config.sensing_radius,
+                        config.index_policy));
 
   RegionMonitoringManager::Config manager_config;
   manager_config.alpha = config.alpha;
@@ -373,10 +383,9 @@ QueryMixResultSummary RunQueryMixExperiment(const QueryMixExperimentConfig& conf
   Rng query_rng = rng.Fork(2);
   SensorPopulationConfig population = config.sensors;
   population.count = config.trace->NumSensors();
-  AcquisitionEngine engine(
+  std::unique_ptr<ServingEngine> engine = MakeServingEngine(
       GenerateSensors(population, sensor_rng),
-      MakeEngineConfig(config.working_region, config.dmax, config.index_policy,
-                       config.intra_slot_threads, config.approx));
+      StampServingConfig(config.serving, config.working_region, config.dmax));
 
   LocationMonitoringManager::Config lm_config;
   lm_config.alpha = config.alpha;
@@ -394,8 +403,8 @@ QueryMixResultSummary RunQueryMixExperiment(const QueryMixExperimentConfig& conf
   int next_lm_id = 0;
   const int slots = std::min(config.num_slots, config.trace->NumSlots());
   for (int t = 0; t < slots; ++t) {
-    engine.ApplyTrace(*config.trace, t);
-    const SlotContext& slot = engine.BeginSlot(t);
+    engine->ApplyTrace(*config.trace, t);
+    const SlotContext& slot = engine->BeginSlot(t);
 
     const std::vector<PointQuery> points = GeneratePointQueries(
         config.point_queries_per_slot, config.working_region,
@@ -415,7 +424,7 @@ QueryMixResultSummary RunQueryMixExperiment(const QueryMixExperimentConfig& conf
 
     QueryMixOptions options;
     options.use_greedy = config.use_alg5;
-    options.engine = config.engine;
+    options.engine = config.serving.scheduler;
     options.seed = config.seed + static_cast<uint64_t>(t);
     const QueryMixSlotResult slot_result = RunQueryMixSlot(
         slot, points, aggregates, &lm_manager, /*region_manager=*/nullptr, options);
@@ -428,7 +437,7 @@ QueryMixResultSummary RunQueryMixExperiment(const QueryMixExperimentConfig& conf
     point_quality_sum += slot_result.point.quality_sum;
     aggregate_answered += slot_result.aggregate.answered;
     aggregate_quality_sum += slot_result.aggregate.quality_sum;
-    engine.RecordSlotReadings(slot_result.selected_sensors, t);
+    engine->RecordSlotReadings(slot_result.selected_sensors, t);
     lm_manager.RemoveExpired(t + 1);
   }
   lm_manager.RemoveExpired(slots + 1000000);

@@ -8,6 +8,7 @@
 #include "common/geometry.h"
 #include "core/greedy.h"
 #include "core/point_scheduling.h"
+#include "engine/serving_config.h"
 #include "data/gaussian_field.h"
 #include "gp/kernel.h"
 #include "mobility/trace.h"
@@ -75,27 +76,21 @@ struct AggregateExperimentConfig {
   double budget_factor = 15.0;
   /// True: Algorithm 1. False: sequential baseline (Section 4.4).
   bool greedy = true;
-  /// Engine executing the Algorithm 1 selection (ignored by the baseline).
-  /// kStochastic / kSieve run the approximate schedulers, configured by
-  /// `approx` below (core/stochastic_greedy.h, core/sieve_streaming.h).
-  GreedyEngine engine = GreedyEngine::kLazy;
-  /// Approximate-scheduler knobs; stamped onto every slot context (the
-  /// per-slot RNG stream derives from (approx.seed, slot time), so runs
-  /// are reproducible for any parallelism). Ignored by the exact engines.
-  ApproxParams approx;
   SensorPopulationConfig sensors;
-  /// Same contract as PointExperimentConfig::index_policy.
-  SlotIndexPolicy index_policy = SlotIndexPolicy::kAuto;
   uint64_t seed = 123;
   /// Same contract as PointExperimentConfig::parallelism.
   int parallelism = 0;
-  /// Workers for *intra-slot* parallel selection (EngineConfig::threads):
-  /// each greedy round's valuation batch is sharded inside the slot, the
-  /// parallelism a serving system can actually use for the current slot.
-  /// 1 (default) = serial; results are bit-identical for any value.
-  /// Composes with `parallelism` (slot sharding) — prefer one axis, not
-  /// both, to avoid oversubscription.
-  int intra_slot_threads = 1;
+  /// The serving stack for the Algorithm 1 selection: `scheduler` picks
+  /// the engine (kStochastic / kSieve run the approximate schedulers,
+  /// configured by `serving.approx`), `index_policy` the slot index
+  /// (same contract as PointExperimentConfig::index_policy), `threads`
+  /// the *intra-slot* parallel-selection workers (each greedy round's
+  /// valuation batch is sharded inside the slot; composes with
+  /// `parallelism` above — prefer one axis, not both), and `shards` a
+  /// sharded deployment. The working region and dmax are stamped from
+  /// this config's own fields by the runner. Results are bit-identical
+  /// across thread, shard, and index choices.
+  ServingConfig serving;
 };
 
 ExperimentResult RunAggregateExperiment(const AggregateExperimentConfig& config);
@@ -176,20 +171,15 @@ struct QueryMixExperimentConfig {
   int max_alive_monitoring = 100;
   /// Algorithm 5 (true) vs the Section 4.7 baseline (false).
   bool use_alg5 = true;
-  /// Engine executing the Algorithm 1 selection inside Algorithm 5.
-  /// Same contract as AggregateExperimentConfig::engine.
-  GreedyEngine engine = GreedyEngine::kLazy;
-  /// Same contract as AggregateExperimentConfig::approx.
-  ApproxParams approx;
   double alpha = 0.5;
   std::vector<double> history_times;
   std::vector<double> history_values;
   SensorPopulationConfig sensors;
-  /// Same contract as PointExperimentConfig::index_policy.
-  SlotIndexPolicy index_policy = SlotIndexPolicy::kAuto;
   uint64_t seed = 123;
-  /// Same contract as AggregateExperimentConfig::intra_slot_threads.
-  int intra_slot_threads = 1;
+  /// Serving stack for the Algorithm 1 selection inside Algorithm 5 —
+  /// same contract as AggregateExperimentConfig::serving (scheduler,
+  /// approx knobs, index policy, intra-slot threads, shards).
+  ServingConfig serving;
 };
 
 struct QueryMixResultSummary {

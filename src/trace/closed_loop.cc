@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 
 namespace psens {
 
@@ -52,20 +53,13 @@ SlotQueryBatch ChurnWorkload::NextQueries(int time) {
 ClosedLoopResult RunChurnClosedLoop(const ChurnScenarioSetup& setup,
                                     const ClosedLoopConfig& config,
                                     MonitorSet* monitors) {
-  EngineConfig ecfg;
-  ecfg.working_region = setup.field;
-  ecfg.dmax = setup.dmax;
-  ecfg.incremental = config.incremental;
-  ecfg.threads = config.threads;
-  ecfg.approx.epsilon = config.epsilon;
-  ecfg.approx.seed = config.approx_seed;
-  ecfg.trace_path = config.trace_path;
-  AcquisitionEngine engine(setup.scenario.sensors, ecfg);
+  ServingConfig scfg = config.serving;
+  scfg.working_region = setup.field;
+  scfg.dmax = setup.dmax;
+  std::unique_ptr<ServingEngine> engine =
+      MakeServingEngine(setup.scenario.sensors, scfg);
   ChurnWorkload workload(&setup, config.queries);
-  SlotServer::Options sopt;
-  sopt.engine = config.engine;
-  sopt.record_readings = config.record_readings;
-  SlotServer server(&engine, sopt);
+  SlotServer server(engine.get());
   server.set_monitors(monitors);
 
   ClosedLoopResult result;
@@ -87,7 +81,7 @@ ClosedLoopResult RunChurnClosedLoop(const ChurnScenarioSetup& setup,
     result.total_payment += o.total_payment;
     result.valuation_calls += o.selection.valuation_calls;
   }
-  if (!config.trace_path.empty()) engine.FinishTrace();
+  if (!scfg.trace_path.empty()) engine->FinishTrace();
   return result;
 }
 

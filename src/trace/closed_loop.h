@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/serving_config.h"
 #include "sim/workload.h"
 #include "trace/slot_server.h"
 
@@ -47,22 +48,18 @@ class ChurnWorkload {
   Rng query_rng_;
 };
 
-/// A live closed-loop churn run: engine construction, slot 0 cold build,
-/// then `slots` served slots through one SlotServer.
+/// A live closed-loop churn run: serving-engine construction
+/// (MakeServingEngine — single or sharded per ServingConfig::shards),
+/// slot 0 cold build, then `slots` served slots through one SlotServer.
 struct ClosedLoopConfig {
   int slots = 20;
-  GreedyEngine engine = GreedyEngine::kLazy;
   ChurnQueryConfig queries;
-  /// Forwarded to SlotServer::Options::record_readings.
-  bool record_readings = true;
-  /// When non-empty, the run records itself (EngineConfig::trace_path).
-  std::string trace_path;
-  /// Engine knobs (EngineConfig); approx seed defaults to the scenario
-  /// seed at the call site.
-  bool incremental = true;
-  int threads = 1;
-  double epsilon = 0.1;
-  uint64_t approx_seed = 123;
+  /// The serving stack (scheduler, threads, shards, index policy, approx
+  /// knobs, trace recording, readings feedback). working_region and dmax
+  /// are stamped from the scenario setup by RunChurnClosedLoop. The
+  /// approx seed keeps the closed loop's historical default of 123
+  /// unless the caller overrides it.
+  ServingConfig serving = ServingConfig().WithApproxSeed(123);
 };
 
 struct ClosedLoopResult {

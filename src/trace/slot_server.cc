@@ -27,8 +27,7 @@ bool SameOutcome(const SlotOutcome& a, const SlotOutcome& b) {
          a.total_payment == b.total_payment;
 }
 
-SlotServer::SlotServer(AcquisitionEngine* engine, const Options& options)
-    : engine_(engine), options_(options), sieve_(engine->config().approx) {}
+SlotServer::SlotServer(ServingEngine* engine) : engine_(engine) {}
 
 SlotOutcome SlotServer::ServeSlot(int time, const SensorDelta& delta,
                                   const SlotQueryBatch& queries) {
@@ -73,10 +72,7 @@ SlotOutcome SlotServer::ServeSlot(int time, const SensorDelta& delta,
     // the sieve, leaves the carried bucket state untouched — identically
     // in live and replayed runs.
     const SteadyClock::time_point start = SteadyClock::now();
-    out.selection = options_.engine == GreedyEngine::kSieve
-                        ? sieve_.SelectDelta(all, *slot, delta)
-                        : GreedySensorSelection(all, *slot, nullptr,
-                                                options_.engine);
+    out.selection = engine_->Select(all, *slot, delta);
     out.selection_ms = MsSince(start);
   }
   if (monitors_ != nullptr) {
@@ -84,7 +80,7 @@ SlotOutcome SlotServer::ServeSlot(int time, const SensorDelta& delta,
   }
 
   for (const MultiQuery* q : all) out.total_payment += q->TotalPayment();
-  if (options_.record_readings) {
+  if (engine_->config().record_readings) {
     engine_->RecordSlotReadings(out.selection.selected_sensors, time);
   }
 

@@ -8,8 +8,7 @@
 #include "core/greedy.h"
 #include "core/point_query.h"
 #include "core/sensor_delta.h"
-#include "core/sieve_streaming.h"
-#include "engine/acquisition_engine.h"
+#include "engine/serving_engine.h"
 #include "trace/monitor.h"
 
 namespace psens {
@@ -38,35 +37,28 @@ struct SlotOutcome {
 /// Bit-exact equality of the deterministic fields of two slot outcomes
 /// (selections, values, costs, payments, valuation calls) — timings are
 /// measurements, not outcomes, and are ignored. The replay differential
-/// suite and the fig14 gate both rest on this comparator.
+/// suite and the fig14/fig15 gates both rest on this comparator.
 bool SameOutcome(const SlotOutcome& a, const SlotOutcome& b);
 
-/// The serving step shared by every consumer of an AcquisitionEngine —
-/// the live closed loop (trace/closed_loop.h), the trace replayer
-/// (trace/trace_replayer.h), and the fig14 bench: apply the slot's churn
-/// delta, begin the slot, bind the query batch, select with the
-/// configured engine, charge payments, and (closed loop) feed the
-/// purchased readings back into the engine's energy/privacy state.
+/// The serving step shared by every consumer of a ServingEngine — the
+/// live closed loop (trace/closed_loop.h), the trace replayer
+/// (trace/trace_replayer.h), and the fig14/fig15 benches: apply the
+/// slot's churn delta, begin the slot, bind the query batch, run the
+/// engine's configured scheduler, charge payments, and (when
+/// ServingConfig::record_readings) feed the purchased readings back into
+/// the engine's energy/privacy state.
 ///
-/// One body of code serving both record and replay is what makes the
-/// differential tests meaningful: a live run that records and a replay
-/// that re-drives the trace execute the identical statements per slot,
-/// so any schedule drift is a real determinism bug, not a harness skew.
+/// The server is implementation-blind: handed a single AcquisitionEngine
+/// or a ShardRouter it executes the identical statements per slot, which
+/// is what makes the replay and shard differential tests meaningful —
+/// any schedule drift is a real determinism bug, not a harness skew.
 ///
-/// When the engine is recording (EngineConfig::trace_path), the server
+/// When the engine is recording (ServingConfig::trace_path), the server
 /// stages each slot's query batch onto the open trace record; attaching
 /// monitors or a recorder changes no selection bit.
 class SlotServer {
  public:
-  struct Options {
-    GreedyEngine engine = GreedyEngine::kLazy;
-    /// Feed purchased readings back via RecordSlotReadings — the closed
-    /// loop's cross-slot energy/privacy feedback. Replay uses the same
-    /// default so the feedback path is replayed too.
-    bool record_readings = true;
-  };
-
-  SlotServer(AcquisitionEngine* engine, const Options& options);
+  explicit SlotServer(ServingEngine* engine);
 
   /// Monitors observing this server's slots (may be null). Not owned.
   void set_monitors(MonitorSet* monitors) { monitors_ = monitors; }
@@ -77,13 +69,8 @@ class SlotServer {
                         const SlotQueryBatch& queries);
 
  private:
-  AcquisitionEngine* engine_;
-  Options options_;
+  ServingEngine* engine_;
   MonitorSet* monitors_ = nullptr;
-  /// Cross-slot sieve bucket state (GreedyEngine::kSieve only): the
-  /// sieve absorbs each slot's delta instead of re-streaming the
-  /// population, so its carried state is part of the run's determinism.
-  SieveStreamingScheduler sieve_;
 };
 
 }  // namespace psens

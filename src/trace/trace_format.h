@@ -56,7 +56,7 @@ struct TraceHeader {
   uint64_t registry_checksum = 0;
   double dmax = 5.0;
   Rect working_region;
-  /// EngineConfig::approx at record time (slot_seed excluded: the
+  /// ServingConfig::approx at record time (slot_seed excluded: the
   /// *effective* per-slot seed is recorded on every slot record instead).
   uint64_t approx_seed = 0;
   double epsilon = 0.1;

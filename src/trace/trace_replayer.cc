@@ -6,7 +6,7 @@
 #include <mutex>
 #include <thread>
 
-#include "engine/acquisition_engine.h"
+#include "engine/serving_engine.h"
 #include "trace/trace_format.h"
 
 namespace psens {
@@ -107,21 +107,15 @@ ReplayResult TraceReplayer::Replay(const TraceFile& trace,
     return result;
   }
 
-  EngineConfig ecfg;
-  ecfg.working_region = header.working_region;
-  ecfg.dmax = header.dmax;
-  ecfg.incremental = config_.incremental;
-  ecfg.threads = config_.threads;
-  ecfg.approx.epsilon = header.epsilon;
-  ecfg.approx.min_sample = header.min_sample;
-  ecfg.approx.sample_hint = header.sample_hint;
-  ecfg.approx.seed =
-      config_.override_approx_seed ? config_.approx_seed : header.approx_seed;
-  AcquisitionEngine engine(registry, ecfg);
-  SlotServer::Options sopt;
-  sopt.engine = config_.engine;
-  sopt.record_readings = config_.record_readings;
-  SlotServer server(&engine, sopt);
+  ServingConfig scfg = config_.serving;
+  scfg.working_region = header.working_region;
+  scfg.dmax = header.dmax;
+  scfg.approx.epsilon = header.epsilon;
+  scfg.approx.min_sample = header.min_sample;
+  scfg.approx.sample_hint = header.sample_hint;
+  if (!config_.override_approx_seed) scfg.approx.seed = header.approx_seed;
+  std::unique_ptr<ServingEngine> engine = MakeServingEngine(registry, scfg);
+  SlotServer server(engine.get());
   server.set_monitors(monitors);
 
   const size_t n = static_cast<size_t>(trace.num_slots());
@@ -154,7 +148,7 @@ ReplayResult TraceReplayer::Replay(const TraceFile& trace,
                           config_.target_slots_per_sec));
       std::this_thread::sleep_until(due);
     }
-    if (config_.pin_slot_seeds) engine.PinNextSlotSeed(record->slot_seed);
+    if (config_.pin_slot_seeds) engine->PinNextSlotSeed(record->slot_seed);
     SlotQueryBatch batch;
     batch.points = std::move(record->point_queries);
     batch.aggregates = std::move(record->aggregate_queries);

@@ -5,16 +5,14 @@
 #include <string>
 #include <vector>
 
-#include "core/greedy.h"
 #include "core/sensor.h"
+#include "engine/serving_config.h"
 #include "trace/slot_server.h"
 #include "trace/trace_reader.h"
 
 namespace psens {
 
 struct ReplayConfig {
-  /// Selection engine driving the replayed slots.
-  GreedyEngine engine = GreedyEngine::kLazy;
   /// Worker threads decoding slot records ahead of the serving loop.
   /// 1 decodes inline; N > 1 spawns N decoders that claim records by
   /// atomic counter while the caller's thread serves them strictly in
@@ -28,15 +26,16 @@ struct ReplayConfig {
   /// the replaying engine derives seeds from its own base seed — the
   /// knob the seed-persistence regression test flips.
   bool pin_slot_seeds = true;
-  /// Forwarded to SlotServer (closed-loop readings feedback).
-  bool record_readings = true;
-  /// Engine knobs for the replaying engine. dmax, the working region,
-  /// and the approx parameters come from the trace header; the base
-  /// approx seed may be overridden (see pin_slot_seeds).
-  bool incremental = true;
-  int threads = 1;
+  /// Serving stack for the replaying engine (scheduler, threads, shards,
+  /// incremental mode, readings feedback). The working region, dmax, and
+  /// the approx epsilon/min_sample/sample_hint always come from the
+  /// trace header; the base approx seed does too unless
+  /// override_approx_seed imposes serving.approx.seed instead (see
+  /// pin_slot_seeds). A trace recorded under any shard count replays
+  /// under any other — serving.shards only picks the replaying
+  /// deployment.
+  ServingConfig serving;
   bool override_approx_seed = false;
-  uint64_t approx_seed = 0;
 };
 
 struct ReplayResult {

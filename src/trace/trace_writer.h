@@ -11,7 +11,7 @@
 namespace psens {
 
 /// Appends a serving run's input stream to a trace file. One writer
-/// records one run; the engine drives it (EngineConfig::trace_path) and
+/// records one run; the engine drives it (ServingConfig::trace_path) and
 /// the workload/bench layer stages each slot's query batch through the
 /// engine's trace_writer() accessor:
 ///

@@ -218,7 +218,7 @@ TEST(ApproxSchedulerTest, EngineStampsDerivedSlotSeedInBothModes) {
     sensors[i].SetPosition(Point{static_cast<double>(i), 1.0}, true);
   }
   for (bool incremental : {true, false}) {
-    EngineConfig config;
+    ServingConfig config;
     config.working_region = Rect{0, 0, 100, 100};
     config.incremental = incremental;
     config.approx.seed = 321;
@@ -376,10 +376,11 @@ TEST(SieveStreamingTest, SelectDeltaMatchesSelectArrivals) {
 }
 
 TEST(ApproxSchedulerTest, ExperimentPlumbingDrivesApproxEngines) {
-  // The sim-layer path: AggregateExperimentConfig::engine selects the
-  // approximate schedulers and config.approx reaches the slot contexts
-  // through the engine. A run must complete, answer queries, and — for
-  // the seeded stochastic engine — be exactly repeatable.
+  // The sim-layer path: AggregateExperimentConfig::serving.scheduler
+  // selects the approximate schedulers and serving.approx reaches the
+  // slot contexts through the engine. A run must complete, answer
+  // queries, and — for the seeded stochastic engine — be exactly
+  // repeatable.
   RandomWaypointConfig rwm;
   rwm.num_sensors = 60;
   rwm.num_slots = 4;
@@ -392,13 +393,13 @@ TEST(ApproxSchedulerTest, ExperimentPlumbingDrivesApproxEngines) {
   config.mean_queries_per_slot = 6;
   config.sensors.lifetime = 4;
   config.seed = 31;
-  config.approx.seed = 77;
+  config.serving.approx.seed = 77;
 
-  config.engine = GreedyEngine::kLazy;
+  config.serving.scheduler = GreedyEngine::kLazy;
   const ExperimentResult exact = RunAggregateExperiment(config);
   ASSERT_GT(exact.avg_utility, 0.0);
 
-  config.engine = GreedyEngine::kStochastic;
+  config.serving.scheduler = GreedyEngine::kStochastic;
   const ExperimentResult stochastic_a = RunAggregateExperiment(config);
   const ExperimentResult stochastic_b = RunAggregateExperiment(config);
   EXPECT_GT(stochastic_a.avg_utility, 0.0);
@@ -406,7 +407,7 @@ TEST(ApproxSchedulerTest, ExperimentPlumbingDrivesApproxEngines) {
       << "seeded stochastic run not repeatable";
   EXPECT_GE(stochastic_a.avg_utility, 0.4 * exact.avg_utility);
 
-  config.engine = GreedyEngine::kSieve;
+  config.serving.scheduler = GreedyEngine::kSieve;
   const ExperimentResult sieve = RunAggregateExperiment(config);
   EXPECT_GT(sieve.avg_utility, 0.0);
 }

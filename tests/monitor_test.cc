@@ -196,8 +196,8 @@ TEST(MonitorReplayTest, MonitoredReplayEqualsUnmonitoredReplay) {
   config.slots = 8;
   config.queries.queries_per_slot = 16;
   config.queries.aggregates_per_slot = 2;
-  config.trace_path = path;
-  config.approx_seed = 42;
+  config.serving.trace_path = path;
+  config.serving.approx.seed = 42;
   RunChurnClosedLoop(setup, config);
 
   const ReplayResult bare =

@@ -232,9 +232,9 @@ TEST(PruningEquivalenceTest, AggregateExperimentMatches) {
   for (bool greedy : {true, false}) {
     SCOPED_TRACE(greedy);
     config.greedy = greedy;
-    config.index_policy = SlotIndexPolicy::kAuto;
+    config.serving.index_policy = SlotIndexPolicy::kAuto;
     const ExperimentResult pruned = RunAggregateExperiment(config);
-    config.index_policy = SlotIndexPolicy::kNone;
+    config.serving.index_policy = SlotIndexPolicy::kNone;
     const ExperimentResult plain = RunAggregateExperiment(config);
     ExpectSameResult(pruned, plain);
   }
@@ -304,9 +304,9 @@ TEST(PruningEquivalenceTest, QueryMixExperimentMatches) {
   for (bool alg5 : {true, false}) {
     SCOPED_TRACE(alg5);
     config.use_alg5 = alg5;
-    config.index_policy = SlotIndexPolicy::kAuto;
+    config.serving.index_policy = SlotIndexPolicy::kAuto;
     const QueryMixResultSummary pruned = RunQueryMixExperiment(config);
-    config.index_policy = SlotIndexPolicy::kNone;
+    config.serving.index_policy = SlotIndexPolicy::kNone;
     const QueryMixResultSummary plain = RunQueryMixExperiment(config);
     EXPECT_EQ(pruned.avg_utility, plain.avg_utility);
     EXPECT_EQ(pruned.point_quality, plain.point_quality);

@@ -1,0 +1,282 @@
+// Shard-invariance suite: the ShardRouter (src/shard/) must be
+// indistinguishable — bit for bit — from the single AcquisitionEngine it
+// fronts. For a fixed input stream, every shard count produces the same
+// selections, payments, and valuation-call counts, for all four
+// schedulers, under churn with cross-slot feedback (linear energy,
+// privacy decay) and mobility. SameOutcome() is the comparator; a single
+// diverging field fails. Also covered here: the ServingConfig::Validate
+// contract, the ShardMap partition property (every point has exactly one
+// owner), trace interchangeability across shard counts, and the
+// per-shard monitor plumbing.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "engine/serving_config.h"
+#include "engine/serving_engine.h"
+#include "shard/shard_map.h"
+#include "shard/shard_router.h"
+#include "sim/workload.h"
+#include "trace/closed_loop.h"
+#include "trace/monitor.h"
+#include "trace/trace_replayer.h"
+
+namespace psens {
+namespace {
+
+constexpr int kSensors = 600;
+constexpr int kSlots = 12;
+constexpr uint64_t kSeed = 77;
+
+ChurnScenarioSetup MakeSetup() {
+  // Cross-slot feedback on, so a shard losing a sensor's energy or
+  // privacy history would actually change later selections.
+  SensorPopulationConfig profile;
+  profile.linear_energy = true;
+  profile.random_privacy = true;
+  return MakeChurnScenario(kSensors, /*churn_fraction=*/0.05, kSeed,
+                           /*with_mobility=*/true, profile);
+}
+
+ClosedLoopConfig MakeLoopConfig(GreedyEngine scheduler, int shards) {
+  ClosedLoopConfig config;
+  config.slots = kSlots;
+  config.queries.queries_per_slot = 24;
+  config.queries.aggregates_per_slot = 4;
+  config.serving.scheduler = scheduler;
+  config.serving.shards = shards;
+  config.serving.approx.seed = kSeed;
+  return config;
+}
+
+void ExpectSameOutcomes(const std::vector<SlotOutcome>& reference,
+                        const std::vector<SlotOutcome>& sharded) {
+  ASSERT_EQ(reference.size(), sharded.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_TRUE(SameOutcome(reference[i], sharded[i]))
+        << "slot " << reference[i].time << " diverged: unsharded selected "
+        << reference[i].selection.selected_sensors.size()
+        << " sensors (value " << reference[i].selection.total_value
+        << ", payment " << reference[i].total_payment
+        << "), sharded selected "
+        << sharded[i].selection.selected_sensors.size() << " (value "
+        << sharded[i].selection.total_value << ", payment "
+        << sharded[i].total_payment << ")";
+  }
+}
+
+struct SchedulerCase {
+  const char* name;
+  GreedyEngine scheduler;
+};
+
+class ShardInvarianceTest : public testing::TestWithParam<SchedulerCase> {};
+
+TEST_P(ShardInvarianceTest, ShardCountDoesNotChangeOutcomes) {
+  const ChurnScenarioSetup setup = MakeSetup();
+  const ClosedLoopResult reference =
+      RunChurnClosedLoop(setup, MakeLoopConfig(GetParam().scheduler, 1));
+  // The run did real work; empty schedules would pass vacuously.
+  EXPECT_GT(reference.total_payment, 0.0);
+  EXPECT_GT(reference.valuation_calls, 0);
+  for (int shards : {2, 4, 8}) {
+    SCOPED_TRACE(testing::Message() << "shards=" << shards);
+    const ClosedLoopResult sharded = RunChurnClosedLoop(
+        setup, MakeLoopConfig(GetParam().scheduler, shards));
+    ExpectSameOutcomes(reference.outcomes, sharded.outcomes);
+    EXPECT_EQ(reference.total_payment, sharded.total_payment);
+    EXPECT_EQ(reference.valuation_calls, sharded.valuation_calls);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, ShardInvarianceTest,
+    testing::Values(SchedulerCase{"exact", GreedyEngine::kEager},
+                    SchedulerCase{"lazy", GreedyEngine::kLazy},
+                    SchedulerCase{"stochastic", GreedyEngine::kStochastic},
+                    SchedulerCase{"sieve", GreedyEngine::kSieve}),
+    [](const testing::TestParamInfo<SchedulerCase>& info) {
+      return info.param.name;
+    });
+
+// Fanning the per-shard turnover across worker threads must not change
+// anything either (the shard engines only touch disjoint slices; the
+// merge is deterministic regardless of completion order).
+TEST(ShardInvarianceThreadsTest, FanOutThreadCountDoesNotChangeOutcomes) {
+  const ChurnScenarioSetup setup = MakeSetup();
+  ClosedLoopConfig serial = MakeLoopConfig(GreedyEngine::kLazy, 4);
+  serial.serving.threads = 1;
+  ClosedLoopConfig pooled = MakeLoopConfig(GreedyEngine::kLazy, 4);
+  pooled.serving.threads = 4;
+  const ClosedLoopResult a = RunChurnClosedLoop(setup, serial);
+  const ClosedLoopResult b = RunChurnClosedLoop(setup, pooled);
+  ExpectSameOutcomes(a.outcomes, b.outcomes);
+}
+
+// A trace recorded under one shard count replays bit-identically under
+// any other: recording happens at the router (pre-split) level with the
+// single engine's header format.
+TEST(ShardReplayTest, TracesInterchangeAcrossShardCounts) {
+  const ChurnScenarioSetup setup = MakeSetup();
+  const std::string path = testing::TempDir() + "/shard_replay.trc";
+
+  // Record unsharded, replay sharded.
+  ClosedLoopConfig lcfg = MakeLoopConfig(GreedyEngine::kStochastic, 1);
+  lcfg.serving.trace_path = path;
+  const ClosedLoopResult live = RunChurnClosedLoop(setup, lcfg);
+  ReplayConfig rcfg;
+  rcfg.serving.scheduler = GreedyEngine::kStochastic;
+  rcfg.serving.shards = 4;
+  const ReplayResult sharded_replay =
+      TraceReplayer(rcfg).Replay(path, setup.scenario.sensors);
+  ASSERT_TRUE(sharded_replay.ok) << sharded_replay.error;
+  ExpectSameOutcomes(live.outcomes, sharded_replay.outcomes);
+  std::remove(path.c_str());
+
+  // Record sharded, replay unsharded.
+  ClosedLoopConfig scfg = MakeLoopConfig(GreedyEngine::kStochastic, 4);
+  scfg.serving.trace_path = path;
+  const ClosedLoopResult sharded_live = RunChurnClosedLoop(setup, scfg);
+  ExpectSameOutcomes(live.outcomes, sharded_live.outcomes);
+  ReplayConfig ucfg;
+  ucfg.serving.scheduler = GreedyEngine::kStochastic;
+  const ReplayResult unsharded_replay =
+      TraceReplayer(ucfg).Replay(path, setup.scenario.sensors);
+  ASSERT_TRUE(unsharded_replay.ok) << unsharded_replay.error;
+  ExpectSameOutcomes(sharded_live.outcomes, unsharded_replay.outcomes);
+  std::remove(path.c_str());
+}
+
+TEST(ServingConfigTest, ValidateAcceptsDefaultsAndBuilderChains) {
+  EXPECT_TRUE(ServingConfig().Validate().empty());
+  const ServingConfig built = ServingConfig()
+                                  .WithRegion(Rect{0, 0, 100, 100})
+                                  .WithDmax(8.0)
+                                  .WithScheduler(GreedyEngine::kSieve)
+                                  .WithThreads(0)
+                                  .WithShards(4)
+                                  .WithEpsilon(0.2)
+                                  .WithApproxSeed(9)
+                                  .WithRecordReadings(false);
+  EXPECT_TRUE(built.Validate().empty()) << built.Validate();
+  EXPECT_EQ(built.scheduler, GreedyEngine::kSieve);
+  EXPECT_EQ(built.shards, 4);
+  EXPECT_EQ(built.approx.epsilon, 0.2);
+  EXPECT_FALSE(built.record_readings);
+}
+
+TEST(ServingConfigTest, ValidateRejectsBrokenConfigs) {
+  EXPECT_FALSE(ServingConfig().WithDmax(0.0).Validate().empty());
+  EXPECT_FALSE(
+      ServingConfig().WithRegion(Rect{10, 0, 0, 10}).Validate().empty());
+  EXPECT_FALSE(ServingConfig().WithThreads(-1).Validate().empty());
+  EXPECT_FALSE(ServingConfig().WithShards(0).Validate().empty());
+  // Sharded serving requires incremental mode: the rebuild reference
+  // path has no ownership filter.
+  EXPECT_FALSE(ServingConfig()
+                   .WithShards(2)
+                   .WithIncremental(false)
+                   .Validate()
+                   .empty());
+  EXPECT_TRUE(
+      ServingConfig().WithShards(2).WithIncremental(true).Validate().empty());
+  EXPECT_FALSE(ServingConfig().WithEpsilon(0.0).Validate().empty());
+}
+
+TEST(ShardMapTest, EveryPointHasExactlyOneOwner) {
+  const Rect region{0, 0, 120, 90};
+  Rng rng(11);
+  for (int shards : {1, 2, 4, 8}) {
+    SCOPED_TRACE(testing::Message() << "shards=" << shards);
+    const ShardMap map = ShardMap::Layout(region, shards, 2000);
+    for (int i = 0; i < 500; ++i) {
+      // Include positions outside the region: outliers clamp into edge
+      // cells and must still have exactly one owner.
+      const Point p{rng.Uniform(-20.0, 140.0), rng.Uniform(-20.0, 110.0)};
+      const int owner = map.ShardOf(p);
+      ASSERT_GE(owner, 0);
+      ASSERT_LT(owner, shards);
+      int owners = 0;
+      for (int s = 0; s < shards; ++s) {
+        if (ShardSlice{map, s}.Owns(p)) ++owners;
+      }
+      EXPECT_EQ(owners, 1) << "point (" << p.x << ", " << p.y << ")";
+    }
+  }
+}
+
+TEST(ShardMapTest, DefaultSliceOwnsEverything) {
+  const ShardSlice slice;
+  EXPECT_FALSE(slice.sharded());
+  EXPECT_TRUE(slice.Owns(Point{1e9, -1e9}));
+}
+
+// Per-shard monitor plumbing: each shard's monitor set sees exactly one
+// turnover (and one slot end) per BeginSlot, with its own shard's
+// latency — the observability surface the nightly fig15 sweep exports.
+TEST(ShardRouterTest, PerShardMonitorsObserveEveryTurnover) {
+  const ChurnScenarioSetup setup = MakeSetup();
+  ServingConfig config = ServingConfig()
+                             .WithRegion(setup.field)
+                             .WithDmax(setup.dmax)
+                             .WithShards(4)
+                             .WithApproxSeed(kSeed);
+  ShardRouter router(setup.scenario.sensors, config);
+  ASSERT_EQ(router.shard_count(), 4);
+  EXPECT_EQ(router.sensors().size(), setup.scenario.sensors.size());
+
+  constexpr int kShards = 4;
+  LatencyHistogramMonitor latency[kShards];
+  IndexRepairMonitor repair[kShards];
+  MonitorSet sets[kShards];
+  for (int s = 0; s < kShards; ++s) {
+    sets[s].Attach(&latency[s]);
+    sets[s].Attach(&repair[s]);
+    sets[s].StartAll();
+    router.set_shard_monitors(s, &sets[s]);
+  }
+
+  ChurnWorkload workload(&setup, ChurnQueryConfig{});
+  router.BeginSlot(0);
+  for (int t = 1; t <= kSlots; ++t) {
+    router.ApplyDelta(workload.NextDelta());
+    router.BeginSlot(t);
+  }
+  for (int s = 0; s < kShards; ++s) {
+    sets[s].StopAll();
+    EXPECT_EQ(latency[s].count(), kSlots + 1) << "shard " << s;
+    EXPECT_EQ(repair[s].count(), kSlots + 1) << "shard " << s;
+  }
+}
+
+// The partition actually splits the registry: with 4 shards over the
+// clustered city population, every shard owns a non-trivial slice.
+TEST(ShardRouterTest, PartitionBalancesClusteredPopulation) {
+  const ChurnScenarioSetup setup = MakeSetup();
+  ServingConfig config = ServingConfig()
+                             .WithRegion(setup.field)
+                             .WithDmax(setup.dmax)
+                             .WithShards(4);
+  ShardRouter router(setup.scenario.sensors, config);
+  const SlotContext& merged = router.BeginSlot(0);
+  ASSERT_GT(merged.sensors.size(), 0u);
+  std::vector<size_t> owned(4, 0);
+  for (const SlotSensor& s : merged.sensors) {
+    ++owned[static_cast<size_t>(router.shard_map().ShardOf(s.location))];
+  }
+  size_t shard_total = 0;
+  for (int s = 0; s < router.shard_count(); ++s) {
+    EXPECT_GT(owned[static_cast<size_t>(s)], merged.sensors.size() / 16)
+        << "shard " << s << " owns a degenerate slice";
+    shard_total += owned[static_cast<size_t>(s)];
+  }
+  EXPECT_EQ(shard_total, merged.sensors.size());
+}
+
+}  // namespace
+}  // namespace psens

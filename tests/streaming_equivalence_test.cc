@@ -60,8 +60,8 @@ void ExpectSameSchedule(const PointScheduleResult& a,
   }
 }
 
-EngineConfig MakeConfig(const Rect& region, double dmax, bool incremental) {
-  EngineConfig config;
+ServingConfig MakeConfig(const Rect& region, double dmax, bool incremental) {
+  ServingConfig config;
   config.working_region = region;
   config.dmax = dmax;
   config.incremental = incremental;
@@ -277,7 +277,7 @@ JointRun RunJointSelection(const SlotContext& slot, const Rect& field,
   return run;
 }
 
-// Intra-slot parallel selection (SlotContext::pool, EngineConfig::threads)
+// Intra-slot parallel selection (SlotContext::pool, ServingConfig::threads)
 // must be bit-identical to the serial path for both greedy engines: same
 // selection sequence, payments, values, and per-query ValuationCalls()
 // totals at 1, 4, and 8 worker threads.
@@ -293,14 +293,14 @@ TEST(StreamingEquivalenceTest, ParallelSelectionMatchesSerialAcrossThreadCounts)
 
   for (GreedyEngine engine : {GreedyEngine::kEager, GreedyEngine::kLazy}) {
     // Serial reference: engine without a pool (threads = 1).
-    EngineConfig serial_config = MakeConfig(field, 8.0, true);
+    ServingConfig serial_config = MakeConfig(field, 8.0, true);
     AcquisitionEngine serial_engine(scenario.sensors, serial_config);
     const SlotContext& serial_slot = serial_engine.BeginSlot(0);
     ASSERT_EQ(serial_slot.pool, nullptr);
     const JointRun reference = RunJointSelection(serial_slot, field, engine, 77);
 
     for (int threads : {1, 4, 8}) {
-      EngineConfig parallel_config = MakeConfig(field, 8.0, true);
+      ServingConfig parallel_config = MakeConfig(field, 8.0, true);
       parallel_config.threads = threads;
       AcquisitionEngine parallel_engine(scenario.sensors, parallel_config);
       const SlotContext& parallel_slot = parallel_engine.BeginSlot(0);
@@ -345,7 +345,7 @@ TEST(StreamingEquivalenceTest, ParallelStaleFrontBatchMatchesSerialOnDensePlans)
     for (Sensor& s : sensors) {
       s.SetPosition(Point{rng.Uniform(0.0, 40.0), rng.Uniform(0.0, 40.0)}, true);
     }
-    EngineConfig config = MakeConfig(field, 8.0, true);
+    ServingConfig config = MakeConfig(field, 8.0, true);
     config.index_policy = SlotIndexPolicy::kNone;  // dense candidate plan
     config.threads = threads;
     AcquisitionEngine engine(sensors, config);
@@ -407,8 +407,8 @@ TEST(StreamingEquivalenceTest, ParallelEngineMatchesSerialUnderChurn) {
   churn.departure_rate = 25;
   churn.move_fraction = 0.03;
 
-  EngineConfig serial_config = MakeConfig(field, 8.0, true);
-  EngineConfig parallel_config = MakeConfig(field, 8.0, true);
+  ServingConfig serial_config = MakeConfig(field, 8.0, true);
+  ServingConfig parallel_config = MakeConfig(field, 8.0, true);
   parallel_config.threads = 4;
   AcquisitionEngine serial_engine(scenario.sensors, serial_config);
   AcquisitionEngine parallel_engine(scenario.sensors, parallel_config);

@@ -39,11 +39,11 @@ ClosedLoopConfig MakeLoopConfig(GreedyEngine engine,
                                 const std::string& trace_path) {
   ClosedLoopConfig config;
   config.slots = kSlots;
-  config.engine = engine;
+  config.serving.scheduler = engine;
   config.queries.queries_per_slot = 24;
   config.queries.aggregates_per_slot = 4;
-  config.trace_path = trace_path;
-  config.approx_seed = kSeed;
+  config.serving.trace_path = trace_path;
+  config.serving.approx.seed = kSeed;
   return config;
 }
 
@@ -82,7 +82,7 @@ TEST_P(TraceReplayEngineTest, ReplayReproducesLiveRunBitForBit) {
   ASSERT_EQ(static_cast<int>(live.outcomes.size()), kSlots + 1);
 
   ReplayConfig rcfg;
-  rcfg.engine = c.engine;
+  rcfg.serving.scheduler = c.engine;
   TraceReplayer replayer(rcfg);
   const ReplayResult replayed = replayer.Replay(path, setup.scenario.sensors);
   ASSERT_TRUE(replayed.ok) << replayed.error;
@@ -139,9 +139,9 @@ TEST(TraceReplayTest, StochasticReplayReproducesAcrossBaseSeeds) {
       RunChurnClosedLoop(setup, MakeLoopConfig(GreedyEngine::kStochastic, path));
 
   ReplayConfig pinned_cfg;
-  pinned_cfg.engine = GreedyEngine::kStochastic;
+  pinned_cfg.serving.scheduler = GreedyEngine::kStochastic;
   pinned_cfg.override_approx_seed = true;
-  pinned_cfg.approx_seed = kSeed ^ 0xDEADBEEF;
+  pinned_cfg.serving.approx.seed = kSeed ^ 0xDEADBEEF;
   pinned_cfg.pin_slot_seeds = true;
   const ReplayResult pinned =
       TraceReplayer(pinned_cfg).Replay(path, setup.scenario.sensors);
