@@ -66,6 +66,14 @@ struct EngineRow {
   double utility_ratio = 0.0; // vs exact
   int64_t valuation_calls = 0;
   int64_t exact_valuation_calls = 0;
+  // SoA kernel ablation, populated on the exact row only: the same exact
+  // selection re-run against an AoS copy of each slot context
+  // (use_soa = false, arena = nullptr → every valuation takes the legacy
+  // scalar path). soa_speedup = AoS median / slab median;
+  // soa_identical = the two paths agreed bit-for-bit on every slot's
+  // selections, values, costs, payments, and ValuationCalls.
+  double soa_speedup = 0.0;
+  bool soa_identical = true;
 };
 
 std::vector<EngineRow> RunOne(int n, int slots, double churn_fraction,
@@ -114,6 +122,10 @@ std::vector<EngineRow> RunOne(int n, int slots, double churn_fraction,
   EngineState lazy{"lazy", {}, 0.0, 0};
   EngineState stochastic{"stochastic", {}, 0.0, 0};
   EngineState sieve{"sieve", {}, 0.0, 0};
+  // SoA ablation reference: exact greedy re-run against an AoS copy of
+  // the slot context (scalar valuation paths, no arena).
+  EngineState exact_aos{"exact_aos", {}, 0.0, 0};
+  bool soa_identical = true;
   SieveStreamingScheduler sieve_scheduler(ecfg.approx);
 
   for (int t = 1; t <= slots; ++t) {
@@ -157,8 +169,52 @@ std::vector<EngineRow> RunOne(int n, int slots, double churn_fraction,
           [&] { result = GreedySensorSelection(all, slot, nullptr, kind); }));
       state.utility += result.Utility();
       state.calls += result.valuation_calls;
+      return result;
     };
-    run_engine(exact, GreedyEngine::kEager);
+    const SelectionResult exact_result = run_engine(exact, GreedyEngine::kEager);
+    {
+      // SoA ablation: the identical batch, re-bound against an AoS copy
+      // of this slot (use_soa off routes every kernel to the scalar
+      // path), selected with the same exact engine. Binding is untimed,
+      // like the slab run's. A single diverging bit in the observable
+      // outcome flips soa_identical, which the regression gate treats as
+      // fatal.
+      SlotContext scalar = slot;
+      scalar.use_soa = false;
+      scalar.arena = nullptr;
+      std::vector<std::unique_ptr<AggregateQuery>> aos_aggregates;
+      std::vector<std::unique_ptr<PointMultiQuery>> aos_points;
+      std::vector<MultiQuery*> aos_all;
+      for (const auto& q : aggregates) {
+        aos_aggregates.push_back(
+            std::make_unique<AggregateQuery>(q->params(), scalar));
+        aos_all.push_back(aos_aggregates.back().get());
+      }
+      for (const PointQuery& spec : points) {
+        aos_points.push_back(std::make_unique<PointMultiQuery>(spec, &scalar));
+        aos_all.push_back(aos_points.back().get());
+      }
+      SelectionResult aos_result;
+      exact_aos.ms.push_back(bench::TimeMs([&] {
+        aos_result =
+            GreedySensorSelection(aos_all, scalar, nullptr, GreedyEngine::kEager);
+      }));
+      exact_aos.utility += aos_result.Utility();
+      exact_aos.calls += aos_result.valuation_calls;
+      if (aos_result.selected_sensors != exact_result.selected_sensors ||
+          aos_result.total_value != exact_result.total_value ||
+          aos_result.total_cost != exact_result.total_cost ||
+          aos_result.valuation_calls != exact_result.valuation_calls) {
+        soa_identical = false;
+      }
+      for (size_t i = 0; i < all.size(); ++i) {
+        if (all[i]->TotalPayment() != aos_all[i]->TotalPayment() ||
+            all[i]->CurrentValue() != aos_all[i]->CurrentValue() ||
+            all[i]->ValuationCalls() != aos_all[i]->ValuationCalls()) {
+          soa_identical = false;
+        }
+      }
+    }
     run_engine(lazy, GreedyEngine::kLazy);
     run_engine(stochastic, GreedyEngine::kStochastic);
     {
@@ -175,6 +231,7 @@ std::vector<EngineRow> RunOne(int n, int slots, double churn_fraction,
 
   const double exact_median = bench::MedianMs(exact.ms);
   const double lazy_median = bench::MedianMs(lazy.ms);
+  const double exact_aos_median = bench::MedianMs(exact_aos.ms);
   std::vector<EngineRow> rows;
   for (const EngineState* state : {&exact, &lazy, &stochastic, &sieve}) {
     EngineRow row;
@@ -197,6 +254,11 @@ std::vector<EngineRow> RunOne(int n, int slots, double churn_fraction,
         exact.utility != 0.0 ? state->utility / exact.utility : 0.0;
     row.valuation_calls = state->calls;
     row.exact_valuation_calls = exact.calls;
+    if (state == &exact) {
+      row.soa_speedup =
+          exact_median > 0.0 ? exact_aos_median / exact_median : 0.0;
+      row.soa_identical = soa_identical;
+    }
     rows.push_back(row);
   }
   return rows;
@@ -221,12 +283,15 @@ void WriteJson(const std::string& path, double cal_ms,
         "\"exact_median_ms\": %.4f, \"lazy_median_ms\": %.4f, "
         "\"speedup_vs_exact\": %.3f, \"speedup_vs_lazy\": %.3f, "
         "\"utility_ratio\": %.5f, \"valuation_calls\": %" PRId64 ", "
-        "\"exact_valuation_calls\": %" PRId64 "}%s\n",
+        "\"exact_valuation_calls\": %" PRId64 ", "
+        "\"soa_speedup\": %.3f, \"soa_identical\": %s}%s\n",
         r.engine.c_str(), r.sensors, r.slots, r.queries_per_slot,
         r.aggregates_per_slot, r.churn_fraction, r.epsilon, r.median_ms,
         r.exact_median_ms, r.lazy_median_ms, r.speedup_vs_exact,
         r.speedup_vs_lazy, r.utility_ratio, r.valuation_calls,
-        r.exact_valuation_calls, i + 1 < rows.size() ? "," : "");
+        r.exact_valuation_calls, r.soa_speedup,
+        r.soa_identical ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -269,6 +334,11 @@ int main(int argc, char** argv) {
                   100.0 * r.churn_fraction, r.epsilon, r.median_ms,
                   r.speedup_vs_exact, r.speedup_vs_lazy, r.utility_ratio,
                   r.valuation_calls);
+      if (r.engine == "exact") {
+        std::printf("  soa kernels: %.2fx vs AoS scalar, outcomes %s\n",
+                    r.soa_speedup,
+                    r.soa_identical ? "bit-identical" : "DIVERGED");
+      }
       rows.push_back(r);
     }
   };

@@ -20,13 +20,26 @@ BENCH_pr.json artifact and diffs it against the committed baseline
      while checks 1-3 stay exact;
   5. when --fig13 is given: the approximation gate — the stochastic-greedy
      row at the gate population (100k sensors) must show a median
-     slot-selection speedup of at least --min-fig13-speedup (default 5x)
+     slot-selection speedup of at least --min-fig13-speedup (default 3x)
      over the exact engine AND a realized utility ratio of at least
      --min-fig13-utility (default 0.95); utility ratios are deterministic
      for a fixed seed, so a drop is a real quality regression, not noise.
      The sieve row only warns below its single-pass sanity floor (0.4);
      valuation-call counts diff against the baseline like other
-     deterministic work metrics;
+     deterministic work metrics. The same fig13 run also carries the SoA
+     kernel gate on its exact row: `soa_identical: false` (the slab
+     kernels diverged from the AoS scalar reference) fails, zero
+     tolerance, on every host, and `soa_speedup` at the gate population
+     must reach --min-soa-speedup (default 1.5x; both sides of the ratio
+     are measured in the same process, so it is host-normalized by
+     construction);
+ 10. when --fig16 is given: the kernel-microbench gate — any row whose
+     slab outcome was not bit-identical to the AoS reference
+     (`identical: false`) fails, zero tolerance; and each row's outcome
+     digest (an FNV-1a hash of the selection's raw bit patterns,
+     deterministic for a fixed seed on every host) must equal the
+     committed baseline digest — a changed digest means a kernel changed
+     an answer, which requires an explicit --update to bless;
   9. when --fig15 is given: the sharded-serving gate — any row whose
      sharded outcomes were not bit-identical to the unsharded reference
      (`identical: false`) fails, zero tolerance, on every host; and at
@@ -74,11 +87,12 @@ BENCH_pr.json artifact and diffs it against the committed baseline
 Usage:
   check_bench_regression.py --fig11 fig11.json [--fig12 fig12.json]
       [--fig13 fig13.json] [--fig14 fig14.json] [--fig15 fig15.json]
-      [--schedulers sched.json]
+      [--fig16 fig16.json] [--schedulers sched.json]
       --baseline bench/BENCH_baseline.json --out BENCH_pr.json
       [--min-speedup 10] [--min-fig12-speedup 4]
-      [--min-fig13-speedup 5] [--min-fig13-utility 0.95]
+      [--min-fig13-speedup 3] [--min-fig13-utility 0.95]
       [--min-fig14-speedup 0.9] [--fig15-gate-shards 4]
+      [--min-soa-speedup 1.5]
       [--tolerance 0.2] [--strict-time] [--update]
 
 --update rewrites the baseline from the current run instead of checking.
@@ -115,6 +129,7 @@ def main():
     ap.add_argument("--fig13", help="fig13_approx_quality --json output")
     ap.add_argument("--fig14", help="fig14_replay --json output")
     ap.add_argument("--fig15", help="fig15_shard_sweep --json output")
+    ap.add_argument("--fig16", help="fig16_kernel_microbench --json output")
     ap.add_argument("--schedulers", help="bench_schedulers --benchmark_out JSON")
     ap.add_argument("--baseline", required=True)
     ap.add_argument("--out", default="BENCH_pr.json")
@@ -125,7 +140,14 @@ def main():
     # runs of the same binary), so the floor is set at what any capable
     # host clears rather than at a lucky measurement.
     ap.add_argument("--min-fig12-speedup", type=float, default=4.0)
-    ap.add_argument("--min-fig13-speedup", type=float, default=5.0)
+    # 3x, down from the 5x the gate held before the SoA slab kernels:
+    # the ratio's denominator is the *exact* engine's slot time, and the
+    # slab + coverage-memo work made that engine ~2.4x faster, shrinking
+    # the stochastic engine's relative advantage (both engines select
+    # the same sensors; only the exact side got cheaper). The floor
+    # guards the approximate scheduler's asymptotic win, not the exact
+    # engine's slowness — ~4x is what the gate scenario now measures.
+    ap.add_argument("--min-fig13-speedup", type=float, default=3.0)
     ap.add_argument("--min-fig13-utility", type=float, default=0.95)
     # Just under 1.0: the gate asserts the replayer holds the live
     # closed-loop slot rate, but live and replay rates are two separate
@@ -137,6 +159,10 @@ def main():
                     help="largest shard count the fig15 monotone-throughput "
                          "check covers; also the hardware-thread floor for "
                          "that check to arm")
+    # Same-process ratio (the AoS pass and the slab pass are timed in one
+    # binary run), so the floor is host-normalized by construction;
+    # 1.5x sits well under the ~2x measured on the gate scenario.
+    ap.add_argument("--min-soa-speedup", type=float, default=1.5)
     ap.add_argument("--parallel-gate-threads", type=int, default=8,
                     help="minimum requested thread count (and hardware "
                          "threads) for the parallel speedup gate to arm")
@@ -152,6 +178,7 @@ def main():
     fig13 = load(args.fig13) if args.fig13 else None
     fig14 = load(args.fig14) if args.fig14 else None
     fig15 = load(args.fig15) if args.fig15 else None
+    fig16 = load(args.fig16) if args.fig16 else None
     schedulers = load(args.schedulers) if args.schedulers else None
 
     # Per-shard monitor records are observability artifacts, not
@@ -168,6 +195,7 @@ def main():
         "fig13": (fig13 or {}).get("results", []),
         "fig14": (fig14 or {}).get("results", []),
         "fig15": fig15_rows,
+        "fig16": (fig16 or {}).get("results", []),
         "scheduler_times_ms": google_benchmark_times(schedulers),
     }
     with open(args.out, "w") as f:
@@ -194,6 +222,8 @@ def main():
             updated["fig14"] = old["fig14"]
         if fig15 is None and old.get("fig15"):
             updated["fig15"] = old["fig15"]
+        if fig16 is None and old.get("fig16"):
+            updated["fig16"] = old["fig16"]
         if schedulers is None and old.get("scheduler_times_ms"):
             updated["scheduler_times_ms"] = old["scheduler_times_ms"]
         if fig12 is not None:
@@ -429,11 +459,30 @@ def main():
     # is a real regression in the scheduler, not measurement noise.
     if fig13 is not None:
         fig13_gate_rows = 0
+        soa_gate_rows = 0
         for r in pr["fig13"]:
+            # SoA bit-equality is fatal on every row that carries the
+            # flag, not just the gate scenario: a divergence is a kernel
+            # bug regardless of population.
+            if r.get("engine") == "exact" and not r.get("soa_identical", True):
+                failures.append(
+                    f"fig13 exact n={r['sensors']}: slab kernels diverged "
+                    "from the AoS scalar reference")
             # Gate only the canonical scenario (100k sensors, 1% churn);
             # full runs add churn-rate sweep rows that are informational.
             if r["sensors"] != 100_000 or r.get("churn", 0.01) != 0.01:
                 continue
+            if r.get("engine") == "exact":
+                soa_gate_rows += 1
+                if r.get("soa_speedup", 0.0) < args.min_soa_speedup:
+                    failures.append(
+                        f"fig13 exact n={r['sensors']}: SoA kernel speedup "
+                        f"{r.get('soa_speedup', 0.0):.2f}x vs AoS scalar < "
+                        f"required {args.min_soa_speedup:.1f}x")
+                else:
+                    print(f"ok: fig13 exact n={r['sensors']} SoA kernel "
+                          f"speedup {r['soa_speedup']:.2f}x vs AoS scalar "
+                          f"(>= {args.min_soa_speedup:.1f}x)")
             if r.get("engine") == "stochastic":
                 fig13_gate_rows += 1
                 if r["speedup_vs_exact"] < args.min_fig13_speedup:
@@ -462,6 +511,22 @@ def main():
         if fig13_gate_rows == 0:
             failures.append(
                 "fig13 produced no gate row (stochastic @ 100k sensors)")
+        if soa_gate_rows == 0:
+            failures.append(
+                "fig13 produced no SoA gate row (exact @ 100k sensors)")
+
+    # 10. fig16 kernel-microbench gate (only when the run provided it).
+    # Bit-equality is fatal everywhere; digest equality against the
+    # committed baseline is checked further down with the other
+    # baseline diffs.
+    if fig16 is not None:
+        if not pr["fig16"]:
+            failures.append("fig16 produced no results")
+        for r in pr["fig16"]:
+            if not r.get("identical", False):
+                failures.append(
+                    f"fig16 {r.get('query', '?')} n={r['sensors']}: slab "
+                    "kernels diverged from the AoS scalar reference")
 
     try:
         base = load(args.baseline)
@@ -608,6 +673,36 @@ def main():
                     msg = (f"fig15 n={r['sensors']} shards={r['shards']}: "
                            f"normalized closed-loop time {norm_pr:.4f} > "
                            f"{limit:.2f}x baseline {norm_base:.4f}")
+                    (failures if args.strict_time else warnings).append(msg)
+
+        # fig16: the outcome digest is an FNV-1a hash over the selection's
+        # raw bit patterns, deterministic for a fixed seed on every host —
+        # a changed digest means a kernel changed an answer, which is
+        # fatal until blessed with --update. Slab kernel time diffs
+        # normalized like every other time metric.
+        def fig16_key(r):
+            return (r.get("query"), r["sensors"], r.get("queries", 0))
+
+        base_fig16 = {fig16_key(r): r for r in base.get("fig16", [])}
+        for r in pr["fig16"]:
+            b = base_fig16.get(fig16_key(r))
+            if b is None:
+                warnings.append(f"fig16 {r.get('query', '?')} "
+                                f"n={r['sensors']}: not in baseline")
+                continue
+            if b.get("digest") and r.get("digest") != b["digest"]:
+                failures.append(
+                    f"fig16 {r['query']} n={r['sensors']}: outcome digest "
+                    f"{r.get('digest')} != baseline {b['digest']} — a kernel "
+                    "changed an answer (re-bless with --update if intended)")
+            if pr["cal_ms"] > 0 and base.get("cal_ms", 0) > 0 \
+                    and b.get("soa_median_ms", 0) > 0:
+                norm_pr = r["soa_median_ms"] / pr["cal_ms"]
+                norm_base = b["soa_median_ms"] / base["cal_ms"]
+                if norm_base > 0 and norm_pr > norm_base * limit:
+                    msg = (f"fig16 {r['query']} n={r['sensors']}: normalized "
+                           f"slab kernel time {norm_pr:.4f} > {limit:.2f}x "
+                           f"baseline {norm_base:.4f}")
                     (failures if args.strict_time else warnings).append(msg)
 
         base_times = base.get("scheduler_times_ms", {})

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Runs the full (non --quick) fig02-fig15 benchmark suite and bundles the
+# Runs the full (non --quick) fig02-fig16 benchmark suite and bundles the
 # machine-readable outputs into one BENCH_nightly.json. Used by the
 # scheduled nightly workflow (.github/workflows/nightly.yml) so the
 # PR-path bench gate can stay on the fast --quick settings; also runnable
@@ -54,6 +54,10 @@ run fig14_replay --json "$LOG_DIR/fig14_nightly.json" \
 # nightly artifact exposes per-shard turnover latency / index-repair
 # stats without parsing the full sweep JSON.
 run fig15_shard_sweep --json "$LOG_DIR/fig15_nightly.json"
+# SoA slab-vs-AoS kernel microbench: full populations (10k/100k/1M), one
+# row per query type. Exits non-zero by itself if any slab outcome is not
+# bit-identical to the scalar reference.
+run fig16_kernel_microbench --json "$LOG_DIR/fig16_nightly.json"
 
 python3 - "$OUT" "$LOG_DIR" <<'PY'
 import json, os, sys, time
@@ -73,6 +77,7 @@ fig12 = load("fig12_nightly.json") or {}
 fig13 = load("fig13_nightly.json") or {}
 fig14 = load("fig14_nightly.json") or {}
 fig15 = load("fig15_nightly.json") or {}
+fig16 = load("fig16_nightly.json") or {}
 
 # Split the per-shard monitor records (turnover-latency histogram +
 # index-repair stats, one JSON object per shard) out of each fig15 row
@@ -101,6 +106,7 @@ doc = {
     "fig13": fig13.get("results", []),
     "fig14": fig14.get("results", []),
     "fig15": fig15_rows,
+    "fig16": fig16.get("results", []),
     "logs": sorted(f for f in os.listdir(log_dir) if f.endswith(".log")),
 }
 with open(out_path, "w") as f:

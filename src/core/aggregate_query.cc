@@ -16,38 +16,64 @@ int PopCount(const std::vector<uint64_t>& mask) {
   return count;
 }
 
-int PopCountOr(const std::vector<uint64_t>& a, const std::vector<uint64_t>& b) {
+int PopCountOr(const std::vector<uint64_t>& a, const uint64_t* b) {
   int count = 0;
   for (size_t i = 0; i < a.size(); ++i) count += std::popcount(a[i] | b[i]);
   return count;
 }
 
-void OrInto(std::vector<uint64_t>& acc, const std::vector<uint64_t>& mask) {
+void OrInto(std::vector<uint64_t>& acc, const uint64_t* mask) {
   for (size_t i = 0; i < acc.size(); ++i) acc[i] |= mask[i];
 }
 
 /// Location-independent sensor quality used by the aggregate valuation.
-double SensorTheta(const SlotSensor& s) { return (1.0 - s.inaccuracy) * s.trust; }
+double SensorTheta(double inaccuracy, double trust) {
+  return (1.0 - inaccuracy) * trust;
+}
 
 /// Shared batched-sweep kernel of the two coverage valuations (Eq. 5 over
 /// region cells / trajectory-corridor cells): out[i] = marginal of probing
-/// sensors[i] against the accumulated coverage state. `value_from` is the
+/// sensors[i] against the accumulated coverage state. Masks live in one
+/// flat word slab (`words` per candidate ordinal); `value_from` is the
 /// owner's ValueFrom (they differ only in captured params).
+///
+/// When `cached_at`/`cached_delta` are non-null (slab-synced binds), the
+/// kernel memoizes each candidate's delta under `version` — the owner's
+/// selection-state version, bumped on every Commit/ResetSelection. A hit
+/// replays the exact double computed by this same kernel under identical
+/// inputs (acc_mask, theta_sum, count, current_value are all unchanged
+/// since the stamp), so served values are bit-identical to recomputation;
+/// valuation-call accounting is external (NetEvaluator stage 4) and does
+/// not observe hits. In a joint greedy round only the queries the last
+/// commit touched recompute — everyone else's sweep becomes two loads.
 template <typename ValueFrom>
 void CoverageMarginals(std::span<const int> sensors, std::span<double> out,
-                       const std::vector<std::vector<uint64_t>>& cover_mask,
+                       const std::vector<int>& mask_slot,
+                       const std::vector<uint64_t>& mask_words, int words,
                        const std::vector<double>& theta,
                        const std::vector<uint64_t>& acc_mask, double theta_sum,
-                       int count, double current_value,
+                       int count, double current_value, uint64_t version,
+                       uint64_t* cached_at, double* cached_delta,
                        const ValueFrom& value_from) {
   for (size_t i = 0; i < sensors.size(); ++i) {
     const int s = sensors[i];
-    if (cover_mask[s].empty()) {
+    const int ord = mask_slot[s];
+    if (ord < 0) {
       out[i] = 0.0;
       continue;
     }
-    const int new_covered = PopCountOr(acc_mask, cover_mask[s]);
+    if (cached_at != nullptr && cached_at[ord] == version) {
+      out[i] = cached_delta[ord];
+      continue;
+    }
+    const uint64_t* mask =
+        mask_words.data() + static_cast<size_t>(ord) * static_cast<size_t>(words);
+    const int new_covered = PopCountOr(acc_mask, mask);
     out[i] = value_from(new_covered, theta_sum + theta[s], count) - current_value;
+    if (cached_at != nullptr) {
+      cached_at[ord] = version;
+      cached_delta[ord] = out[i];
+    }
   }
 }
 
@@ -61,7 +87,7 @@ AggregateQuery::AggregateQuery(const Params& params, const SlotContext& slot)
       std::max(1, static_cast<int>(std::ceil(params_.region.Height() / cell)));
   num_cells_ = cells_x_ * cells_y;
 
-  cover_mask_.resize(slot.sensors.size());
+  mask_slot_.assign(slot.sensors.size(), -1);
   theta_.assign(slot.sensors.size(), 0.0);
   const double range = params_.sensing_range;
   // Quick reject: a sensing disk touching the region requires the sensor
@@ -79,27 +105,42 @@ AggregateQuery::AggregateQuery(const Params& params, const SlotContext& slot)
       if (grown.Contains(s.location)) coarse.push_back(s.index);
     }
   }
+  // Bind loop over the coarse survivors. On a slab-synced slot the
+  // location and quality inputs stream from the SoA columns (identical
+  // bits, contiguous loads); hand-built contexts read the AoS records.
+  const bool slabs = slot.SlabsSynced();
+  std::vector<uint64_t> mask(static_cast<size_t>(NumWords()), 0);
   for (int si : coarse) {
     const SlotSensor& s = slot.sensors[si];
-    std::vector<uint64_t> mask(NumWords(), 0);
+    const Point loc = slabs ? Point{slot.slabs.x[si], slot.slabs.y[si]}
+                            : s.location;
+    std::fill(mask.begin(), mask.end(), 0);
     bool any = false;
     for (int c = 0; c < num_cells_; ++c) {
       const int cx = c % cells_x_;
       const int cy = c / cells_x_;
       const Point center{params_.region.x_min + (cx + 0.5) * cell,
                          params_.region.y_min + (cy + 0.5) * cell};
-      if (Distance(center, s.location) <= range) {
+      if (Distance(center, loc) <= range) {
         mask[c / 64] |= uint64_t{1} << (c % 64);
         any = true;
       }
     }
     if (any) {
-      cover_mask_[s.index] = std::move(mask);
-      theta_[s.index] = SensorTheta(s);
+      mask_slot_[s.index] = static_cast<int>(candidates_.size());
+      mask_words_.insert(mask_words_.end(), mask.begin(), mask.end());
+      theta_[s.index] = slabs ? SensorTheta(slot.slabs.inaccuracy[si],
+                                            slot.slabs.trust[si])
+                              : SensorTheta(s.inaccuracy, s.trust);
       candidates_.push_back(s.index);
     }
   }
   acc_mask_.assign(NumWords(), 0);
+  soa_ = slabs;
+  if (soa_) {
+    cached_at_.assign(candidates_.size(), 0);
+    cached_delta_.resize(candidates_.size());
+  }
 }
 
 const std::vector<int>* AggregateQuery::CandidateSensors() const {
@@ -115,8 +156,11 @@ double AggregateQuery::ValueFrom(int covered_cells, double theta_sum,
 
 double AggregateQuery::MarginalValue(int sensor) const {
   ++valuation_calls_;
-  if (cover_mask_[sensor].empty()) return 0.0;  // not a candidate: no change
-  const int new_covered = PopCountOr(acc_mask_, cover_mask_[sensor]);
+  const int ord = mask_slot_[sensor];
+  if (ord < 0) return 0.0;  // not a candidate: no change
+  const uint64_t* mask = mask_words_.data() +
+                         static_cast<size_t>(ord) * static_cast<size_t>(NumWords());
+  const int new_covered = PopCountOr(acc_mask_, mask);
   const double new_value =
       ValueFrom(new_covered, theta_sum_ + theta_[sensor],
                 static_cast<int>(selected_.size()) + 1);
@@ -125,16 +169,21 @@ double AggregateQuery::MarginalValue(int sensor) const {
 
 void AggregateQuery::MarginalValuesUncounted(std::span<const int> sensors,
                                              std::span<double> out) const {
-  CoverageMarginals(sensors, out, cover_mask_, theta_, acc_mask_, theta_sum_,
+  CoverageMarginals(sensors, out, mask_slot_, mask_words_, NumWords(), theta_,
+                    acc_mask_, theta_sum_,
                     static_cast<int>(selected_.size()) + 1, current_value_,
+                    state_version_, soa_ ? cached_at_.data() : nullptr,
+                    soa_ ? cached_delta_.data() : nullptr,
                     [this](int covered, double ts, int count) {
                       return ValueFrom(covered, ts, count);
                     });
 }
 
 void AggregateQuery::Commit(int sensor, double payment) {
-  if (!cover_mask_[sensor].empty()) {
-    OrInto(acc_mask_, cover_mask_[sensor]);
+  const int ord = mask_slot_[sensor];
+  if (ord >= 0) {
+    OrInto(acc_mask_, mask_words_.data() +
+                          static_cast<size_t>(ord) * static_cast<size_t>(NumWords()));
     covered_cells_ = PopCount(acc_mask_);
     theta_sum_ += theta_[sensor];
   }
@@ -142,6 +191,7 @@ void AggregateQuery::Commit(int sensor, double payment) {
   current_value_ = ValueFrom(covered_cells_, theta_sum_,
                              static_cast<int>(selected_.size()));
   total_payment_ += payment;
+  ++state_version_;  // |S| changed even when ord < 0: every memo is stale
 }
 
 void AggregateQuery::ResetSelection() {
@@ -149,6 +199,7 @@ void AggregateQuery::ResetSelection() {
   acc_mask_.assign(NumWords(), 0);
   covered_cells_ = 0;
   theta_sum_ = 0.0;
+  ++state_version_;
 }
 
 double AggregateQuery::CurrentCoverage() const {
@@ -160,8 +211,10 @@ double AggregateQuery::ValueOf(const std::vector<int>& sensors) const {
   double theta_sum = 0.0;
   int count = 0;
   for (int s : sensors) {
-    if (!cover_mask_[s].empty()) {
-      OrInto(acc, cover_mask_[s]);
+    const int ord = mask_slot_[s];
+    if (ord >= 0) {
+      OrInto(acc, mask_words_.data() +
+                      static_cast<size_t>(ord) * static_cast<size_t>(NumWords()));
       theta_sum += theta_[s];
     }
     ++count;
@@ -203,7 +256,7 @@ TrajectoryQuery::TrajectoryQuery(const Params& params, const SlotContext& slot)
     }
   }
 
-  cover_mask_.resize(slot.sensors.size());
+  mask_slot_.assign(slot.sensors.size(), -1);
   theta_.assign(slot.sensors.size(), 0.0);
   // Coarse pruning: a sensor covering any corridor cell lies inside the
   // cell centers' bounding box grown by the sensing range.
@@ -237,23 +290,35 @@ TrajectoryQuery::TrajectoryQuery(const Params& params, const SlotContext& slot)
   } else {
     for (const SlotSensor& s : slot.sensors) coarse.push_back(s.index);
   }
+  const bool slabs = slot.SlabsSynced();
+  std::vector<uint64_t> mask(static_cast<size_t>(NumWords()), 0);
   for (int si : coarse) {
     const SlotSensor& s = slot.sensors[si];
-    std::vector<uint64_t> mask(NumWords(), 0);
+    const Point loc = slabs ? Point{slot.slabs.x[si], slot.slabs.y[si]}
+                            : s.location;
+    std::fill(mask.begin(), mask.end(), 0);
     bool any = false;
     for (int c = 0; c < num_cells_; ++c) {
-      if (Distance(cell_centers_[c], s.location) <= params_.sensing_range) {
+      if (Distance(cell_centers_[c], loc) <= params_.sensing_range) {
         mask[c / 64] |= uint64_t{1} << (c % 64);
         any = true;
       }
     }
     if (any) {
-      cover_mask_[s.index] = std::move(mask);
-      theta_[s.index] = SensorTheta(s);
+      mask_slot_[s.index] = static_cast<int>(candidates_.size());
+      mask_words_.insert(mask_words_.end(), mask.begin(), mask.end());
+      theta_[s.index] = slabs ? SensorTheta(slot.slabs.inaccuracy[si],
+                                            slot.slabs.trust[si])
+                              : SensorTheta(s.inaccuracy, s.trust);
       candidates_.push_back(s.index);
     }
   }
   acc_mask_.assign(NumWords(), 0);
+  soa_ = slabs;
+  if (soa_) {
+    cached_at_.assign(candidates_.size(), 0);
+    cached_delta_.resize(candidates_.size());
+  }
 }
 
 const std::vector<int>* TrajectoryQuery::CandidateSensors() const {
@@ -269,8 +334,11 @@ double TrajectoryQuery::ValueFrom(int covered_cells, double theta_sum,
 
 double TrajectoryQuery::MarginalValue(int sensor) const {
   ++valuation_calls_;
-  if (cover_mask_[sensor].empty()) return 0.0;
-  const int new_covered = PopCountOr(acc_mask_, cover_mask_[sensor]);
+  const int ord = mask_slot_[sensor];
+  if (ord < 0) return 0.0;
+  const uint64_t* mask = mask_words_.data() +
+                         static_cast<size_t>(ord) * static_cast<size_t>(NumWords());
+  const int new_covered = PopCountOr(acc_mask_, mask);
   const double new_value =
       ValueFrom(new_covered, theta_sum_ + theta_[sensor],
                 static_cast<int>(selected_.size()) + 1);
@@ -279,16 +347,21 @@ double TrajectoryQuery::MarginalValue(int sensor) const {
 
 void TrajectoryQuery::MarginalValuesUncounted(std::span<const int> sensors,
                                               std::span<double> out) const {
-  CoverageMarginals(sensors, out, cover_mask_, theta_, acc_mask_, theta_sum_,
+  CoverageMarginals(sensors, out, mask_slot_, mask_words_, NumWords(), theta_,
+                    acc_mask_, theta_sum_,
                     static_cast<int>(selected_.size()) + 1, current_value_,
+                    state_version_, soa_ ? cached_at_.data() : nullptr,
+                    soa_ ? cached_delta_.data() : nullptr,
                     [this](int covered, double ts, int count) {
                       return ValueFrom(covered, ts, count);
                     });
 }
 
 void TrajectoryQuery::Commit(int sensor, double payment) {
-  if (!cover_mask_[sensor].empty()) {
-    OrInto(acc_mask_, cover_mask_[sensor]);
+  const int ord = mask_slot_[sensor];
+  if (ord >= 0) {
+    OrInto(acc_mask_, mask_words_.data() +
+                          static_cast<size_t>(ord) * static_cast<size_t>(NumWords()));
     covered_cells_ = PopCount(acc_mask_);
     theta_sum_ += theta_[sensor];
   }
@@ -296,6 +369,7 @@ void TrajectoryQuery::Commit(int sensor, double payment) {
   current_value_ = ValueFrom(covered_cells_, theta_sum_,
                              static_cast<int>(selected_.size()));
   total_payment_ += payment;
+  ++state_version_;  // |S| changed even when ord < 0: every memo is stale
 }
 
 void TrajectoryQuery::ResetSelection() {
@@ -303,6 +377,7 @@ void TrajectoryQuery::ResetSelection() {
   acc_mask_.assign(NumWords(), 0);
   covered_cells_ = 0;
   theta_sum_ = 0.0;
+  ++state_version_;
 }
 
 double TrajectoryQuery::CurrentCoverage() const {
@@ -314,8 +389,10 @@ double TrajectoryQuery::ValueOf(const std::vector<int>& sensors) const {
   double theta_sum = 0.0;
   int count = 0;
   for (int s : sensors) {
-    if (!cover_mask_[s].empty()) {
-      OrInto(acc, cover_mask_[s]);
+    const int ord = mask_slot_[s];
+    if (ord >= 0) {
+      OrInto(acc, mask_words_.data() +
+                      static_cast<size_t>(ord) * static_cast<size_t>(NumWords()));
       theta_sum += theta_[s];
     }
     ++count;

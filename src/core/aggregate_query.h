@@ -73,8 +73,13 @@ class AggregateQuery : public MultiQueryBase {
   Params params_;
   int num_cells_ = 0;
   int cells_x_ = 0;
-  /// Per slot-sensor: covered-cell bitset (empty when not a candidate).
-  std::vector<std::vector<uint64_t>> cover_mask_;
+  /// Per slot-sensor: candidate ordinal into mask_words_, or -1 when the
+  /// sensor covers no cell. One flat word slab (NumWords() words per
+  /// ordinal) replaces the former vector-of-bitsets so the probe kernel
+  /// does one int load + one contiguous word run per sensor; popcount
+  /// word order is unchanged, so marginals stay bit-identical.
+  std::vector<int> mask_slot_;
+  std::vector<uint64_t> mask_words_;
   std::vector<double> theta_;
   /// Sensors with non-empty masks, ascending; valid when slot_indexed_.
   std::vector<int> candidates_;
@@ -84,6 +89,18 @@ class AggregateQuery : public MultiQueryBase {
   std::vector<uint64_t> acc_mask_;
   int covered_cells_ = 0;
   double theta_sum_ = 0.0;
+
+  /// Per-candidate round-delta memo, armed only on slab-synced binds
+  /// (SlotContext::SlabsSynced — the SoA ablation switch, so the AoS
+  /// reference path recomputes every probe). `state_version_` names the
+  /// current selection state; a memo entry stamped with it replays the
+  /// identical double the sweep kernel computed under the same inputs.
+  /// Written from at most one worker at a time (each query's batch slice
+  /// belongs to one NetEvaluator worker, with a join between rounds).
+  bool soa_ = false;
+  uint64_t state_version_ = 1;
+  mutable std::vector<uint64_t> cached_at_;
+  mutable std::vector<double> cached_delta_;
 };
 
 /// Query over a trajectory (Section 2.2.3): treated as a spatial-aggregate
@@ -121,7 +138,9 @@ class TrajectoryQuery : public MultiQueryBase {
   Params params_;
   int num_cells_ = 0;
   std::vector<Point> cell_centers_;
-  std::vector<std::vector<uint64_t>> cover_mask_;
+  /// Flat coverage slab, same layout as AggregateQuery's.
+  std::vector<int> mask_slot_;
+  std::vector<uint64_t> mask_words_;
   std::vector<double> theta_;
   std::vector<int> candidates_;
   bool slot_indexed_ = false;
@@ -129,6 +148,12 @@ class TrajectoryQuery : public MultiQueryBase {
   std::vector<uint64_t> acc_mask_;
   int covered_cells_ = 0;
   double theta_sum_ = 0.0;
+
+  /// Round-delta memo; same contract as AggregateQuery's.
+  bool soa_ = false;
+  uint64_t state_version_ = 1;
+  mutable std::vector<uint64_t> cached_at_;
+  mutable std::vector<double> cached_delta_;
 };
 
 }  // namespace psens

@@ -1,0 +1,60 @@
+#include "core/arena.h"
+
+#include <algorithm>
+
+namespace psens {
+
+void* SlotArena::Allocate(size_t bytes, size_t align) {
+  if (align == 0) align = 1;
+  if (!chunks_.empty()) {
+    Chunk& c = chunks_.back();
+    // Align the pointer address, not the offset: the chunk base is only
+    // max_align_t-aligned, so over-aligned requests need the extra slack.
+    const uintptr_t base = reinterpret_cast<uintptr_t>(c.data.get());
+    const size_t aligned =
+        static_cast<size_t>(((base + c.used + align - 1) &
+                             ~static_cast<uintptr_t>(align - 1)) -
+                            base);
+    if (aligned + bytes <= c.size) {
+      c.used = aligned + bytes;
+      bytes_allocated_ += bytes;
+      return c.data.get() + aligned;
+    }
+  }
+  // Spill: the new chunk is at least double the standard size so a
+  // sequence of large requests amortizes, and always fits this request
+  // with worst-case alignment padding.
+  Chunk& c = AddChunk(bytes + align);
+  const size_t base = reinterpret_cast<uintptr_t>(c.data.get()) & (align - 1);
+  const size_t aligned = base == 0 ? 0 : align - base;
+  c.used = aligned + bytes;
+  bytes_allocated_ += bytes;
+  return c.data.get() + aligned;
+}
+
+SlotArena::Chunk& SlotArena::AddChunk(size_t min_bytes) {
+  const size_t grown = chunks_.empty() ? chunk_bytes_ : 2 * chunk_bytes_;
+  const size_t size = std::max(grown, min_bytes);
+  Chunk c;
+  c.data = std::make_unique<unsigned char[]>(size);
+  c.size = size;
+  bytes_reserved_ += size;
+  chunks_.push_back(std::move(c));
+  return chunks_.back();
+}
+
+void SlotArena::Reset() {
+  bytes_allocated_ = 0;
+  if (chunks_.size() > 1) {
+    // Coalesce to one chunk at the high-water mark: next slot's identical
+    // allocation pattern fits without spilling.
+    size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    chunks_.clear();
+    bytes_reserved_ = 0;
+    AddChunk(total);
+  }
+  if (!chunks_.empty()) chunks_.back().used = 0;
+}
+
+}  // namespace psens

@@ -33,7 +33,9 @@ NetEvaluator::NetEvaluator(const std::vector<MultiQuery*>& queries,
       cost_scale_(cost_scale),
       pool_(pool) {
   const size_t n = slot.sensors.size();
-  offsets_.resize(queries.size() + 1);
+  SlotArena* arena = slot.arena;
+  cost_column_ = slot.SlabsSynced() ? slot.slabs.cost.data() : nullptr;
+  offsets_.Acquire(arena, queries.size() + 1);
   offsets_[0] = 0;
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     offsets_[qi + 1] =
@@ -56,15 +58,18 @@ NetEvaluator::NetEvaluator(const std::vector<MultiQuery*>& queries,
         windows_.push_back(begin);
       }
     }
-    max_window = std::max(max_window, offsets_.back() -
+    max_window = std::max(max_window, offsets_[queries.size()] -
                                           offsets_[static_cast<size_t>(begin)]);
     windows_.push_back(static_cast<int>(queries.size()));
   }
-  pair_sensor_.resize(static_cast<size_t>(max_window));
-  pair_delta_.resize(static_cast<size_t>(max_window));
-  counts_.assign(queries.size(), 0);
-  mark_.assign(n, 0);
-  positive_sum_.assign(n, 0.0);
+  pair_sensor_.Acquire(arena, static_cast<size_t>(max_window));
+  pair_delta_.Acquire(arena, static_cast<size_t>(max_window));
+  counts_.Acquire(arena, queries.size());
+  std::fill(counts_.begin(), counts_.end(), int64_t{0});
+  mark_.Acquire(arena, n);
+  std::fill(mark_.begin(), mark_.end(), char{0});
+  positive_sum_.Acquire(arena, n);
+  std::fill(positive_sum_.begin(), positive_sum_.end(), 0.0);
 
   parallel_ = pool_ != nullptr && pool_->size() > 1;
   if (parallel_) {
@@ -80,13 +85,16 @@ NetEvaluator::NetEvaluator(const std::vector<MultiQuery*>& queries,
 double NetEvaluator::ScaledCost(int sensor) const {
   double scale = 1.0;
   if (cost_scale_ != nullptr) scale = (*cost_scale_)[sensor];
-  return slot_.sensors[static_cast<size_t>(sensor)].cost * scale;
+  const double cost = cost_column_ != nullptr
+                          ? cost_column_[sensor]
+                          : slot_.sensors[static_cast<size_t>(sensor)].cost;
+  return cost * scale;
 }
 
 void NetEvaluator::SweepQueries(int window_begin, int begin, int end) {
   const int64_t base = offsets_[static_cast<size_t>(window_begin)];
   for (int qi = begin; qi < end; ++qi) {
-    const std::vector<int>& candidates = plan_.SensorsOf(qi);
+    const std::span<const int> candidates = plan_.SensorsOf(qi);
     int* sensors = pair_sensor_.data() + (offsets_[static_cast<size_t>(qi)] - base);
     double* deltas = pair_delta_.data() + (offsets_[static_cast<size_t>(qi)] - base);
     int64_t m = 0;
@@ -100,9 +108,7 @@ void NetEvaluator::SweepQueries(int window_begin, int begin, int end) {
   }
 }
 
-void NetEvaluator::EvaluateNets(const std::vector<int>& sensors,
-                                std::vector<double>* net) {
-  net->resize(sensors.size());
+void NetEvaluator::EvaluateNets(std::span<const int> sensors, double* net) {
   if (sensors.empty()) return;
   for (int s : sensors) mark_[static_cast<size_t>(s)] = 1;
 
@@ -148,7 +154,7 @@ void NetEvaluator::EvaluateNets(const std::vector<int>& sensors,
   // Stage 3: gather nets in eval-set order, resetting the touched state.
   for (size_t k = 0; k < sensors.size(); ++k) {
     const int s = sensors[k];
-    (*net)[k] = positive_sum_[static_cast<size_t>(s)] - ScaledCost(s);
+    net[k] = positive_sum_[static_cast<size_t>(s)] - ScaledCost(s);
     positive_sum_[static_cast<size_t>(s)] = 0.0;
     mark_[static_cast<size_t>(s)] = 0;
   }
@@ -165,7 +171,7 @@ void NetEvaluator::EvaluateNets(const std::vector<int>& sensors,
 }
 
 double NetEvaluator::EvaluateNet(int sensor) {
-  const std::vector<int>& interested = plan_.QueriesOf(sensor);
+  const std::span<const int> interested = plan_.QueriesOf(sensor);
   if (!parallel_ || interested.size() < kMinParallelQueries) {
     // Serial reference: counted scalar probes, ascending query order.
     double positive_sum = 0.0;

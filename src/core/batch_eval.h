@@ -2,8 +2,10 @@
 #define PSENS_CORE_BATCH_EVAL_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "core/arena.h"
 #include "core/candidate_pruning.h"
 #include "core/multi_query.h"
 #include "core/slot.h"
@@ -46,11 +48,13 @@ class NetEvaluator {
                const CandidatePlan& plan, const SlotContext& slot,
                const std::vector<double>* cost_scale, ThreadPool* pool);
 
-  /// Fills (*net)[k] with the net gain of sensors[k] against the current
-  /// selections. `sensors` must be ascending and duplicate-free (the
-  /// engines pass remaining scan sensors). Valuation-call accounting for
-  /// every evaluated pair is merged into the queries before returning.
-  void EvaluateNets(const std::vector<int>& sensors, std::vector<double>* net);
+  /// Fills net[k] with the net gain of sensors[k] against the current
+  /// selections (`net` must hold sensors.size() entries — callers size
+  /// their own, usually arena-backed, storage). `sensors` must be
+  /// ascending and duplicate-free (the engines pass remaining scan
+  /// sensors). Valuation-call accounting for every evaluated pair is
+  /// merged into the queries before returning.
+  void EvaluateNets(std::span<const int> sensors, double* net);
 
   /// Net gain of a single sensor — the CELF stale-front re-evaluation.
   /// Serial reference semantics; when the sensor interests many queries
@@ -76,6 +80,10 @@ class NetEvaluator {
   ThreadPool* pool_;
   bool parallel_ = false;
 
+  /// Announced-cost column of the slot's SoA slabs when synced (same bits
+  /// as the AoS field, contiguous loads in stage 3), else null.
+  const double* cost_column_ = nullptr;
+
   /// Pair buffer in query-major CSR layout: query q's slice starts at
   /// offsets_[q] - offsets_[window begin] within the current window's
   /// buffer and holds counts_[q] live entries per round. Queries are
@@ -85,18 +93,23 @@ class NetEvaluator {
   /// |Q| x n cross product; windows are swept (and their deltas reduced)
   /// in ascending query order, preserving the reference accumulation
   /// order exactly.
-  std::vector<int64_t> offsets_;
+  ///
+  /// All slot-lifetime scratch below draws from SlotContext::arena when
+  /// the engine attached one (reset at the next BeginSlot — the evaluator
+  /// never outlives its slot) and owns heap storage otherwise.
+  ArenaBuffer<int64_t> offsets_;
   /// Window boundaries: queries [windows_[w], windows_[w+1]) share one
   /// buffer fill.
   std::vector<int> windows_;
-  std::vector<int> pair_sensor_;
-  std::vector<double> pair_delta_;
-  std::vector<int64_t> counts_;
+  ArenaBuffer<int> pair_sensor_;
+  ArenaBuffer<double> pair_delta_;
+  ArenaBuffer<int64_t> counts_;
   /// Eval-set membership (by sensor id) for the current EvaluateNets call.
-  std::vector<char> mark_;
+  ArenaBuffer<char> mark_;
   /// Per-sensor positive-marginal accumulator (zeroed between rounds).
-  std::vector<double> positive_sum_;
-  /// Scratch for EvaluateNet's sharded single-sensor path.
+  ArenaBuffer<double> positive_sum_;
+  /// Scratch for EvaluateNet's sharded single-sensor path (lazily grown
+  /// per call, so it stays an owned vector).
   std::vector<double> single_deltas_;
 };
 

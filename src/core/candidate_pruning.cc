@@ -6,7 +6,7 @@
 namespace psens {
 
 CandidatePlan BuildCandidatePlan(const std::vector<MultiQuery*>& queries,
-                                 int num_sensors) {
+                                 int num_sensors, SlotArena* arena) {
   CandidatePlan plan;
   for (const MultiQuery* q : queries) {
     if (q->CandidateSensors() != nullptr) {
@@ -15,59 +15,93 @@ CandidatePlan BuildCandidatePlan(const std::vector<MultiQuery*>& queries,
     }
   }
   if (!plan.active) {
-    plan.all_sensors.resize(static_cast<size_t>(num_sensors));
+    plan.all_sensors.Acquire(arena, static_cast<size_t>(num_sensors));
     std::iota(plan.all_sensors.begin(), plan.all_sensors.end(), 0);
-    plan.all_queries.resize(queries.size());
+    plan.all_queries.Acquire(arena, queries.size());
     std::iota(plan.all_queries.begin(), plan.all_queries.end(), 0);
     // Default-constructed refs resolve to the dense fallback.
     plan.query_candidates.assign(queries.size(), CandidatePlan::QueryCandidateRef{});
     return plan;
   }
 
-  plan.queries_of_sensor.resize(static_cast<size_t>(num_sensors));
   plan.query_candidates.assign(queries.size(), CandidatePlan::QueryCandidateRef{});
-  bool any_dense = false;
-  // Ascending qi loop keeps every per-sensor query list ascending, which
-  // preserves the dense scan's marginal accumulation order exactly.
+  // Counting pass: per-sensor interested-query tallies. A dense query
+  // attaches to every sensor; out-of-range candidate entries are dropped
+  // here and mirrored below by the sanitized query-major copies.
+  plan.qs_offsets.Acquire(arena, static_cast<size_t>(num_sensors) + 1);
+  std::fill(plan.qs_offsets.begin(), plan.qs_offsets.end(), int64_t{0});
+  int64_t num_dense = 0;
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     const std::vector<int>* candidates = queries[qi]->CandidateSensors();
     if (candidates == nullptr) {
-      any_dense = true;
-      for (auto& list : plan.queries_of_sensor) list.push_back(static_cast<int>(qi));
-    } else {
-      bool in_range = true;
-      for (int s : *candidates) {
-        if (s >= 0 && s < num_sensors) {
-          plan.queries_of_sensor[static_cast<size_t>(s)].push_back(
-              static_cast<int>(qi));
-        } else {
-          in_range = false;
-        }
+      ++num_dense;
+      continue;
+    }
+    for (int s : *candidates) {
+      if (s >= 0 && s < num_sensors) ++plan.qs_offsets[static_cast<size_t>(s) + 1];
+    }
+  }
+  int64_t total = 0;
+  int num_scan = 0;
+  for (int s = 0; s < num_sensors; ++s) {
+    const int64_t count = plan.qs_offsets[static_cast<size_t>(s) + 1] + num_dense;
+    if (count > 0) ++num_scan;
+    plan.qs_offsets[static_cast<size_t>(s) + 1] = total += count;
+  }
+  plan.qs_data.Acquire(arena, static_cast<size_t>(total));
+
+  // Fill pass in ascending qi order: every per-sensor query run stays
+  // ascending, preserving the dense scan's marginal accumulation order
+  // exactly. cursor[s] tracks the next free slot of sensor s's run.
+  ArenaBuffer<int64_t> cursor;
+  cursor.Acquire(arena, static_cast<size_t>(num_sensors));
+  for (int s = 0; s < num_sensors; ++s) {
+    cursor[static_cast<size_t>(s)] = plan.qs_offsets[static_cast<size_t>(s)];
+  }
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const std::vector<int>* candidates = queries[qi]->CandidateSensors();
+    if (candidates == nullptr) {
+      for (int s = 0; s < num_sensors; ++s) {
+        plan.qs_data[static_cast<size_t>(cursor[static_cast<size_t>(s)]++)] =
+            static_cast<int>(qi);
       }
-      if (in_range) {
-        plan.query_candidates[qi].external = candidates;
+      continue;
+    }
+    bool in_range = true;
+    for (int s : *candidates) {
+      if (s >= 0 && s < num_sensors) {
+        plan.qs_data[static_cast<size_t>(cursor[static_cast<size_t>(s)]++)] =
+            static_cast<int>(qi);
       } else {
-        // Rare defensive path: mirror the in-range filter above so the
-        // query-major view scans exactly the pairs the inverted index
-        // indexes.
-        plan.query_candidates[qi].sanitized_index =
-            static_cast<int>(plan.sanitized.size());
-        plan.sanitized.emplace_back();
-        std::vector<int>& copy = plan.sanitized.back();
-        for (int s : *candidates) {
-          if (s >= 0 && s < num_sensors) copy.push_back(s);
-        }
+        in_range = false;
+      }
+    }
+    if (in_range) {
+      plan.query_candidates[qi].external = candidates;
+    } else {
+      // Rare defensive path: mirror the in-range filter above so the
+      // query-major view scans exactly the pairs the inverted index
+      // indexes.
+      plan.query_candidates[qi].sanitized_index =
+          static_cast<int>(plan.sanitized.size());
+      plan.sanitized.emplace_back();
+      std::vector<int>& copy = plan.sanitized.back();
+      for (int s : *candidates) {
+        if (s >= 0 && s < num_sensors) copy.push_back(s);
       }
     }
   }
-  if (any_dense) {
+  if (num_dense > 0) {
     // Dense queries resolve SensorsOf through the all-sensors fallback.
-    plan.all_sensors.resize(static_cast<size_t>(num_sensors));
+    plan.all_sensors.Acquire(arena, static_cast<size_t>(num_sensors));
     std::iota(plan.all_sensors.begin(), plan.all_sensors.end(), 0);
   }
+  plan.sensors.Acquire(arena, static_cast<size_t>(num_scan));
+  size_t w = 0;
   for (int s = 0; s < num_sensors; ++s) {
-    if (!plan.queries_of_sensor[static_cast<size_t>(s)].empty()) {
-      plan.sensors.push_back(s);
+    if (plan.qs_offsets[static_cast<size_t>(s) + 1] >
+        plan.qs_offsets[static_cast<size_t>(s)]) {
+      plan.sensors[w++] = s;
     }
   }
   return plan;
@@ -82,7 +116,7 @@ void CheckPrunedMarginals(const std::vector<MultiQuery*>& queries,
 #else
   if (!plan.active) return;
   std::vector<char> interested(queries.size(), 0);
-  for (int qi : plan.queries_of_sensor[static_cast<size_t>(sensor)]) {
+  for (int qi : plan.QueriesOf(sensor)) {
     interested[static_cast<size_t>(qi)] = 1;
   }
   for (size_t qi = 0; qi < queries.size(); ++qi) {

@@ -1,8 +1,11 @@
 #ifndef PSENS_CORE_CANDIDATE_PRUNING_H_
 #define PSENS_CORE_CANDIDATE_PRUNING_H_
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
+#include "core/arena.h"
 #include "core/multi_query.h"
 
 namespace psens {
@@ -26,12 +29,18 @@ struct CandidatePlan {
   /// valuation-call counts to the pre-index code).
   bool active = false;
   /// Sensors (ascending) with at least one interested query.
-  std::vector<int> sensors;
-  /// Per sensor: interested queries, ascending by query position.
-  std::vector<std::vector<int>> queries_of_sensor;
-  /// Dense fallbacks (0..n-1 / 0..Q-1), filled only when !active.
-  std::vector<int> all_sensors;
-  std::vector<int> all_queries;
+  ArenaBuffer<int> sensors;
+  /// CSR inverted index: sensor s's interested queries, ascending by
+  /// query position, are qs_data[qs_offsets[s] .. qs_offsets[s+1]). One
+  /// flat slab (arena-backed when the slot carries an arena) replaces the
+  /// former vector-of-vectors — O(1) allocations per plan instead of one
+  /// per sensor, and each sensor's query run is a contiguous read.
+  ArenaBuffer<int64_t> qs_offsets;
+  ArenaBuffer<int> qs_data;
+  /// Dense fallbacks (0..n-1 / 0..Q-1), filled only when !active or some
+  /// query is dense.
+  ArenaBuffer<int> all_sensors;
+  ArenaBuffer<int> all_queries;
 
   /// Per query: where its candidate sensor list (ascending) lives — the
   /// query-major mirror of queries_of_sensor, used by the batched round
@@ -49,30 +58,41 @@ struct CandidatePlan {
   std::vector<std::vector<int>> sanitized;
 
   /// Sensors an engine must scan, resolving the dense fallback.
-  const std::vector<int>& ScanSensors() const {
-    return active ? sensors : all_sensors;
+  std::span<const int> ScanSensors() const {
+    const ArenaBuffer<int>& s = active ? sensors : all_sensors;
+    return {s.data(), s.size()};
   }
   /// Queries that may value `sensor`, resolving the dense fallback.
-  const std::vector<int>& QueriesOf(int sensor) const {
-    return active ? queries_of_sensor[static_cast<size_t>(sensor)] : all_queries;
+  std::span<const int> QueriesOf(int sensor) const {
+    if (!active) return {all_queries.data(), all_queries.size()};
+    const size_t b = static_cast<size_t>(qs_offsets[static_cast<size_t>(sensor)]);
+    const size_t e =
+        static_cast<size_t>(qs_offsets[static_cast<size_t>(sensor) + 1]);
+    return {qs_data.data() + b, e - b};
   }
   /// Sensors query `query` may value (ascending), resolving the dense
   /// fallback. Scanning these per query and summing into per-sensor
   /// accumulators in ascending query order visits exactly the (sensor,
   /// query) pairs of the sensor-major reference loops, with the identical
   /// per-sensor accumulation order.
-  const std::vector<int>& SensorsOf(int query) const {
+  std::span<const int> SensorsOf(int query) const {
     const QueryCandidateRef& ref = query_candidates[static_cast<size_t>(query)];
-    if (ref.external != nullptr) return *ref.external;
+    if (ref.external != nullptr) return {ref.external->data(), ref.external->size()};
     if (ref.sanitized_index >= 0) {
-      return sanitized[static_cast<size_t>(ref.sanitized_index)];
+      const std::vector<int>& s = sanitized[static_cast<size_t>(ref.sanitized_index)];
+      return {s.data(), s.size()};
     }
-    return all_sensors;
+    return {all_sensors.data(), all_sensors.size()};
   }
 };
 
+/// Builds the plan for one selection run. `arena` (usually
+/// SlotContext::arena, may be null) backs the plan's flat index storage;
+/// the plan must then not outlive the arena's next Reset — engines build
+/// it per selection inside one slot, which satisfies this by construction.
 CandidatePlan BuildCandidatePlan(const std::vector<MultiQuery*>& queries,
-                                 int num_sensors);
+                                 int num_sensors,
+                                 SlotArena* arena = nullptr);
 
 /// Debug cross-check of the pruning contract for one committed sensor:
 /// asserts that every query *not* in the plan's list for `sensor` indeed

@@ -60,24 +60,35 @@ SelectionResult EagerGreedySensorSelection(const std::vector<MultiQuery*>& queri
   SelectionResult result;
   const int64_t calls_before = TotalValuationCalls(queries);
   const int n = static_cast<int>(slot.sensors.size());
-  std::vector<char> remaining(n, 1);
+  // Round scratch draws from the slot arena when one is attached (reset
+  // at the next BeginSlot; a selection never outlives its slot).
+  ArenaBuffer<char> remaining;
+  remaining.Acquire(slot.arena, static_cast<size_t>(n));
+  // SlotContext::eligible (per-shard scheduler passes) restricts which
+  // sensors may be *selected*; valuations and payments are untouched.
+  for (int s = 0; s < n; ++s) {
+    remaining[static_cast<size_t>(s)] =
+        slot.eligible == nullptr || (*slot.eligible)[static_cast<size_t>(s)];
+  }
 
-  const CandidatePlan plan = BuildCandidatePlan(queries, n);
+  const CandidatePlan plan = BuildCandidatePlan(queries, n, slot.arena);
   NetEvaluator evaluator(queries, plan, slot, cost_scale, slot.pool);
 
-  std::vector<int> scan;  // remaining scan sensors, ascending, per round
-  std::vector<double> net;
+  ArenaBuffer<int> scan;  // remaining scan sensors, ascending, per round
+  ArenaBuffer<double> net;
+  scan.Acquire(slot.arena, static_cast<size_t>(n));
+  net.Acquire(slot.arena, static_cast<size_t>(n));
   while (true) {
-    scan.clear();
+    size_t scan_n = 0;
     for (int s : plan.ScanSensors()) {
-      if (remaining[s]) scan.push_back(s);
+      if (remaining[static_cast<size_t>(s)]) scan[scan_n++] = s;
     }
-    evaluator.EvaluateNets(scan, &net);
+    evaluator.EvaluateNets({scan.data(), scan_n}, net.data());
     int best_sensor = -1;
     double best_net = 0.0;
     // Ascending stable argmax with strict >: the first maximum wins, the
     // same (gain, sensor-id) tie-break as the reference ascending rescan.
-    for (size_t k = 0; k < scan.size(); ++k) {
+    for (size_t k = 0; k < scan_n; ++k) {
       if (net[k] > best_net) {
         best_net = net[k];
         best_sensor = scan[k];
@@ -87,7 +98,7 @@ SelectionResult EagerGreedySensorSelection(const std::vector<MultiQuery*>& queri
     CheckPrunedMarginals(queries, plan, best_sensor);
     result.total_cost +=
         CommitWithProportionalPayments(queries, plan, slot, best_sensor);
-    remaining[best_sensor] = 0;
+    remaining[static_cast<size_t>(best_sensor)] = 0;
     result.selected_sensors.push_back(best_sensor);
   }
 

@@ -1,6 +1,7 @@
 #include "core/lazy_greedy.h"
 
 #include <queue>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -39,20 +40,28 @@ SelectionResult LazyGreedySensorSelection(const std::vector<MultiQuery*>& querie
   // net gain <= -cost and never enters the heap; a sensor's net sums only
   // over its interested queries. Identical selections and payments, fewer
   // valuation calls (core/candidate_pruning.h).
-  const CandidatePlan plan = BuildCandidatePlan(queries, n);
+  const CandidatePlan plan = BuildCandidatePlan(queries, n, slot.arena);
   NetEvaluator evaluator(queries, plan, slot, cost_scale, slot.pool);
 
   // Initial fill — the dominant cost of a CELF run — as one batched (and,
   // with slot.pool, parallel) sweep: nets for every scan sensor, then heap
   // pushes in the same ascending order the serial loop used, so the heap
   // state, every cached value, and the valuation-call totals are
-  // bit-identical to evaluating one sensor at a time.
+  // bit-identical to evaluating one sensor at a time. Sensors outside
+  // SlotContext::eligible (per-shard scheduler passes) never enter the
+  // heap — they may not be selected here, though their valuations and
+  // payments are untouched.
   std::priority_queue<Candidate, std::vector<Candidate>, CandidateLess> heap;
   {
-    std::vector<double> net;
-    evaluator.EvaluateNets(plan.ScanSensors(), &net);
-    const std::vector<int>& scan = plan.ScanSensors();
+    const std::span<const int> scan = plan.ScanSensors();
+    ArenaBuffer<double> net;
+    net.Acquire(slot.arena, scan.size());
+    evaluator.EvaluateNets(scan, net.data());
     for (size_t k = 0; k < scan.size(); ++k) {
+      if (slot.eligible != nullptr &&
+          !(*slot.eligible)[static_cast<size_t>(scan[k])]) {
+        continue;
+      }
       heap.push(Candidate{net[k], 0, scan[k]});
     }
   }

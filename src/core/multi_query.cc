@@ -25,9 +25,42 @@ double PointMultiQuery::MarginalValue(int sensor) const {
 
 void PointMultiQuery::MarginalValuesUncounted(std::span<const int> sensors,
                                               std::span<double> out) const {
-  const std::vector<SlotSensor>& announced = slot_->sensors;
   const double dmax = slot_->dmax;
   const double current = current_value_;
+  if (slot_->SlabsSynced()) {
+    const SlotSlabs& sl = slot_->slabs;
+    if (cand_values_ready_) {
+      // The pruned engines probe ascending subsequences of the candidate
+      // list; a two-pointer walk resolves each probe to its cached Eq. 3
+      // value (bit-identical: computed once by the same kernel). Probes
+      // outside the list (dense sweeps, tests) fall through to the
+      // kernel inline.
+      size_t j = 0;
+      const size_t m = candidates_.size();
+      for (size_t i = 0; i < sensors.size(); ++i) {
+        const int s = sensors[i];
+        while (j < m && candidates_[j] < s) ++j;
+        if (j < m && candidates_[j] == s) {
+          out[i] = cand_values_[j] - current;
+          ++j;
+        } else {
+          out[i] = PointQueryValueAt(query_, sl.x[s], sl.y[s],
+                                     sl.inaccuracy[s], sl.trust[s], dmax) -
+                   current;
+        }
+      }
+      return;
+    }
+    // Column kernel: contiguous 8-byte loads instead of 48-byte records.
+    for (size_t i = 0; i < sensors.size(); ++i) {
+      const int s = sensors[i];
+      out[i] = PointQueryValueAt(query_, sl.x[s], sl.y[s], sl.inaccuracy[s],
+                                 sl.trust[s], dmax) -
+               current;
+    }
+    return;
+  }
+  const std::vector<SlotSensor>& announced = slot_->sensors;
   for (size_t i = 0; i < sensors.size(); ++i) {
     out[i] = PointQueryValue(query_, announced[sensors[i]], dmax) - current;
   }
@@ -48,6 +81,17 @@ const std::vector<int>* PointMultiQuery::CandidateSensors() const {
   if (!candidates_ready_) {
     slot_->index->RangeQuery(query_.location, slot_->dmax, &candidates_);
     candidates_ready_ = true;
+    if (slot_->SlabsSynced()) {
+      const SlotSlabs& sl = slot_->slabs;
+      cand_values_.resize(candidates_.size());
+      for (size_t j = 0; j < candidates_.size(); ++j) {
+        const int s = candidates_[j];
+        cand_values_[j] = PointQueryValueAt(query_, sl.x[s], sl.y[s],
+                                            sl.inaccuracy[s], sl.trust[s],
+                                            slot_->dmax);
+      }
+      cand_values_ready_ = true;
+    }
   }
   return &candidates_;
 }

@@ -139,8 +139,12 @@ class PointMultiQuery : public MultiQueryBase {
   const PointQuery& query() const { return query_; }
 
   double MarginalValue(int sensor) const override;
-  /// Tight sweep: one fused pass over the probed sensors' slot
-  /// announcements, no per-sensor virtual dispatch.
+  /// Tight sweep: one fused pass, no per-sensor virtual dispatch. On a
+  /// slab-synced slot (SlotContext::SlabsSynced) the pass streams the
+  /// SoA columns; when the candidate value cache is warm (the pruned
+  /// engines probe ascending subsequences of CandidateSensors, and Eq. 3
+  /// is selection-independent) probes become cached-value lookups. All
+  /// paths produce bit-identical values and accounting.
   void MarginalValuesUncounted(std::span<const int> sensors,
                                std::span<double> out) const override;
   bool ThreadSafeBatchValuation() const override { return true; }
@@ -168,6 +172,13 @@ class PointMultiQuery : public MultiQueryBase {
   int best_sensor_ = -1;
   mutable std::vector<int> candidates_;
   mutable bool candidates_ready_ = false;
+  /// Eq. 3 value per candidate (parallel to candidates_), computed once
+  /// per slot binding when the slabs are synced: the valuation depends
+  /// only on (query, sensor), never on selection state, so re-probes hit
+  /// this cache. Filled on the coordinating thread by CandidateSensors
+  /// (the pruning plan builds before any worker probes), read-only after.
+  mutable std::vector<double> cand_values_;
+  mutable bool cand_values_ready_ = false;
 };
 
 /// Arbitrary set-valuation query defined by a callback; used in tests and

@@ -11,6 +11,13 @@ const std::vector<int>* MultiSensorPointQuery::CandidateSensors() const {
   if (!candidates_ready_) {
     slot_->index->RangeQuery(params_.location, slot_->dmax, &candidates_);
     candidates_ready_ = true;
+    if (slot_->SlabsSynced()) {
+      cand_theta_.resize(candidates_.size());
+      for (size_t j = 0; j < candidates_.size(); ++j) {
+        cand_theta_[j] = QualityFromSlabs(candidates_[j]);
+      }
+      cand_theta_ready_ = true;
+    }
   }
   return &candidates_;
 }
@@ -18,6 +25,15 @@ const std::vector<int>* MultiSensorPointQuery::CandidateSensors() const {
 double MultiSensorPointQuery::Quality(int sensor) const {
   const double theta = SlotQuality(slot_->sensors[sensor], params_.location,
                                    slot_->dmax);
+  return theta >= params_.theta_min ? theta : 0.0;
+}
+
+double MultiSensorPointQuery::QualityFromSlabs(int sensor) const {
+  const SlotSlabs& sl = slot_->slabs;
+  const size_t s = static_cast<size_t>(sensor);
+  const double theta = ReadingQuality(
+      sl.inaccuracy[s], sl.trust[s],
+      Distance(Point{sl.x[s], sl.y[s]}, params_.location), slot_->dmax);
   return theta >= params_.theta_min ? theta : 0.0;
 }
 
@@ -43,11 +59,25 @@ double MultiSensorPointQuery::MarginalValue(int sensor) const {
 void MultiSensorPointQuery::MarginalValuesUncounted(
     std::span<const int> sensors, std::span<double> out) const {
   if (sensors.empty()) return;
+  // Probe-quality resolver: cached candidate theta when warm (the pruned
+  // engines probe ascending subsequences of the candidate list), else the
+  // slab kernel, else the scalar reference. All three compute the same
+  // ReadingQuality on the same inputs — bit-identical.
+  const bool slabs = slot_->SlabsSynced();
+  size_t cj = 0;
+  const size_t cm = candidates_.size();
+  const auto probe_quality = [&](int s) -> double {
+    if (cand_theta_ready_) {
+      while (cj < cm && candidates_[cj] < s) ++cj;
+      if (cj < cm && candidates_[cj] == s) return cand_theta_[cj++];
+    }
+    return slabs ? QualityFromSlabs(s) : Quality(s);
+  };
   if (params_.redundancy <= 0) {
     // ValueFromQualities is identically zero; mirror the scalar branch
     // structure exactly (theta <= 0 probes return a literal 0).
     for (size_t i = 0; i < sensors.size(); ++i) {
-      out[i] = Quality(sensors[i]) <= 0.0 ? 0.0 : -current_value_;
+      out[i] = probe_quality(sensors[i]) <= 0.0 ? 0.0 : -current_value_;
     }
     return;
   }
@@ -55,7 +85,7 @@ void MultiSensorPointQuery::MarginalValuesUncounted(
   std::sort(batch_sorted_.begin(), batch_sorted_.end(), std::greater<double>());
   const size_t k = static_cast<size_t>(params_.redundancy);
   for (size_t i = 0; i < sensors.size(); ++i) {
-    const double theta = Quality(sensors[i]);
+    const double theta = probe_quality(sensors[i]);
     if (theta <= 0.0) {
       out[i] = 0.0;
       continue;

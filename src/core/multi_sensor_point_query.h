@@ -63,6 +63,9 @@ class MultiSensorPointQuery : public MultiQueryBase {
 
  private:
   double Quality(int sensor) const;
+  /// Quality(sensor) computed from the slot's SoA columns (bit-identical;
+  /// requires SlotContext::SlabsSynced).
+  double QualityFromSlabs(int sensor) const;
   /// Valuation from a set of reading qualities (top-k mean scaled by B).
   double ValueFromQualities(std::vector<double> qualities) const;
 
@@ -71,6 +74,13 @@ class MultiSensorPointQuery : public MultiQueryBase {
   std::vector<double> qualities_;
   mutable std::vector<int> candidates_;
   mutable bool candidates_ready_ = false;
+  /// Filtered quality theta per candidate (parallel to candidates_),
+  /// computed once per slot binding when the slabs are synced — the
+  /// quality depends only on (query, sensor), so batch probes resolve
+  /// against this cache. Same fill/read discipline as PointMultiQuery's
+  /// candidate value cache.
+  mutable std::vector<double> cand_theta_;
+  mutable bool cand_theta_ready_ = false;
   /// Per-batch scratch: qualities_ sorted descending (see
   /// MarginalValuesUncounted). Per-object, so the by-query sharding of the
   /// parallel engines needs no locking.

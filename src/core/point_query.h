@@ -28,6 +28,18 @@ inline double PointQueryValue(const PointQuery& q, const SlotSensor& s,
   return q.budget * theta;
 }
 
+/// Slab-kernel form of Eq. (3): the same valuation from SlotSlabs column
+/// entries. Routes through the same ReadingQuality as the AoS form with
+/// identically ordered operands, so for equal inputs the result is
+/// bit-identical whatever the build flags.
+inline double PointQueryValueAt(const PointQuery& q, double x, double y,
+                                double inaccuracy, double trust, double dmax) {
+  const double theta =
+      ReadingQuality(inaccuracy, trust, Distance(Point{x, y}, q.location), dmax);
+  if (theta < q.theta_min) return 0.0;
+  return q.budget * theta;
+}
+
 }  // namespace psens
 
 #endif  // PSENS_CORE_POINT_QUERY_H_

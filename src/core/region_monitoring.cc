@@ -73,6 +73,23 @@ std::vector<double> RegionMonitoringManager::CostScale(const SlotContext& slot) 
       slot.index->RectQuery(q.region, &in_region);
       for (int si : in_region) ++counts[si];
     }
+  } else if (slot.SlabsSynced()) {
+    // Unindexed hot path over the coordinate slabs: a branch-light
+    // contains test per (query, sensor) in query-major order. Identical
+    // counts to the AoS scan below — Contains is the same comparison
+    // chain, only the operand loads changed.
+    const size_t n = slot.sensors.size();
+    const double* xs = slot.slabs.x.data();
+    const double* ys = slot.slabs.y.data();
+    for (const RegionMonitoringQuery& q : queries_) {
+      if (!q.ActiveAt(slot.time)) continue;
+      const Rect r = q.region;
+      for (size_t si = 0; si < n; ++si) {
+        const bool in = xs[si] >= r.x_min && xs[si] <= r.x_max &&
+                        ys[si] >= r.y_min && ys[si] <= r.y_max;
+        counts[si] += in ? 1 : 0;
+      }
+    }
   } else {
     for (const SlotSensor& s : slot.sensors) {
       for (const RegionMonitoringQuery& q : queries_) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <utility>
 
 #include "core/batch_eval.h"
@@ -126,14 +127,15 @@ SelectionResult SieveStreamingScheduler::SelectArrivals(
   const bool full_stream = !initialized_;
 
   for (MultiQuery* q : queries) q->ResetSelection();
-  const CandidatePlan plan = BuildCandidatePlan(queries, n);
+  const CandidatePlan plan = BuildCandidatePlan(queries, n, slot.arena);
   NetEvaluator evaluator(queries, plan, slot, cost_scale, slot.pool);
 
   // The offered stream, ascending slot indices: the whole candidate set on
   // (re)initialization, only the delta's arrivals afterwards.
   std::vector<int> offered;
   if (full_stream) {
-    offered = plan.ScanSensors();
+    const std::span<const int> scan = plan.ScanSensors();
+    offered.assign(scan.begin(), scan.end());
   } else {
     for (int id : arrival_ids) {
       const int idx = SlotIndexOf(slot, id);
@@ -147,8 +149,8 @@ SelectionResult SieveStreamingScheduler::SelectArrivals(
   // they seed the threshold grid, and (for submodular valuations) they
   // upper-bound any later marginal, so a bucket only streams sensors whose
   // single net reaches its threshold.
-  std::vector<double> net0;
-  evaluator.EvaluateNets(offered, &net0);
+  std::vector<double> net0(offered.size());
+  evaluator.EvaluateNets(offered, net0.data());
   for (double v : net0) max_single_net_ = std::max(max_single_net_, v);
   EnsureBuckets(max_single_net_);
 

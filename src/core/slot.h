@@ -9,6 +9,7 @@
 
 namespace psens {
 
+class SlotArena;
 class SpatialIndex;
 class ThreadPool;
 
@@ -71,6 +72,63 @@ struct SlotSensor {
   double trust = 1.0;
 };
 
+/// Structure-of-arrays view of SlotContext::sensors: one contiguous
+/// column per hot field, row i mirroring sensors[i] exactly. The delta
+/// kernels in the query classes and batch_eval stream these columns
+/// instead of chasing 48-byte SlotSensor records, which keeps the fp
+/// math loads contiguous and lets the compiler auto-vectorize without
+/// intrinsics. privacy_mult and energy mirror the registry-side inputs
+/// of the announced cost (Eq. 8) for monitors and diagnostics.
+///
+/// Invariant: a context with use_soa set and slabs.size() ==
+/// sensors.size() has every column entry equal to the corresponding
+/// SlotSensor field (x/y == location, cost/inaccuracy/trust verbatim).
+/// Contexts built by BuildSlotContext or an engine's BeginSlot always
+/// satisfy it; hand-assembled contexts that skip the slabs simply fall
+/// back to the scalar AoS paths (SlotContext::SlabsSynced gates every
+/// kernel).
+struct SlotSlabs {
+  std::vector<double> x;
+  std::vector<double> y;
+  std::vector<double> cost;
+  std::vector<double> inaccuracy;
+  std::vector<double> trust;
+  std::vector<double> privacy_mult;
+  std::vector<double> energy;
+
+  size_t size() const { return x.size(); }
+
+  void Resize(size_t n) {
+    x.resize(n);
+    y.resize(n);
+    cost.resize(n);
+    inaccuracy.resize(n);
+    trust.resize(n);
+    privacy_mult.resize(n);
+    energy.resize(n);
+  }
+
+  void Clear() { Resize(0); }
+
+  /// Writes row i from a SlotSensor plus the registry-side fields.
+  void SetRow(size_t i, const SlotSensor& s, double privacy_multiplier,
+              double energy_level) {
+    x[i] = s.location.x;
+    y[i] = s.location.y;
+    cost[i] = s.cost;
+    inaccuracy[i] = s.inaccuracy;
+    trust[i] = s.trust;
+    privacy_mult[i] = privacy_multiplier;
+    energy[i] = energy_level;
+  }
+
+  /// Row i from the registry sensor backing SlotSensor s.
+  void SetRowFrom(size_t i, const SlotSensor& s, const Sensor& reg) {
+    SetRow(i, s, PrivacyLevelValue(reg.profile().privacy),
+           reg.RemainingEnergy());
+  }
+};
+
 /// Everything schedulers need about the current time slot.
 struct SlotContext {
   int time = 0;
@@ -95,6 +153,31 @@ struct SlotContext {
   ThreadPool* pool = nullptr;
   /// Approximate-scheduler knobs (ignored by the exact engines).
   ApproxParams approx;
+  /// Column view of `sensors` (see SlotSlabs). Kept in lockstep by
+  /// BuildSlotContext and the engines' incremental repair; empty on
+  /// hand-assembled contexts, which makes SlabsSynced() false and routes
+  /// every kernel to its scalar reference path.
+  SlotSlabs slabs;
+  /// Slot-lifetime scratch arena (non-owning; the engine resets it at
+  /// each BeginSlot). Null means scratch consumers fall back to owned
+  /// heap buffers.
+  SlotArena* arena = nullptr;
+  /// Ablation/differential-test switch: false forces the scalar AoS
+  /// valuation paths even when the slabs are populated. The two paths
+  /// are bit-identical (tests/soa_kernel_equivalence_test).
+  bool use_soa = true;
+  /// Optional selection-eligibility mask, indexed by slot-sensor index.
+  /// Non-null restricts which sensors the greedy engines may *select*
+  /// (valuations and payments are unaffected); the per-shard scheduler
+  /// passes use it to confine each pass to one shard's members. Null
+  /// means everyone is eligible.
+  const std::vector<char>* eligible = nullptr;
+
+  /// True when the slab columns mirror `sensors` and kernels may use
+  /// them (see SlotSlabs invariant).
+  bool SlabsSynced() const {
+    return use_soa && slabs.size() == sensors.size();
+  }
 };
 
 /// (Re)builds `slot.index` from `slot.sensors` per `slot.index_policy`.
@@ -125,6 +208,11 @@ inline SlotContext BuildSlotContext(const std::vector<Sensor>& sensors,
     slot_sensor.inaccuracy = s.profile().inaccuracy;
     slot_sensor.trust = s.profile().trust;
     ctx.sensors.push_back(slot_sensor);
+  }
+  ctx.slabs.Resize(ctx.sensors.size());
+  for (const SlotSensor& ss : ctx.sensors) {
+    ctx.slabs.SetRowFrom(static_cast<size_t>(ss.index), ss,
+                         sensors[static_cast<size_t>(ss.sensor_id)]);
   }
   AttachSlotIndex(ctx);
   return ctx;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <utility>
 
 #include "common/rng.h"
@@ -41,12 +42,21 @@ SelectionResult StochasticGreedySensorSelection(
   const int64_t calls_before = TotalValuationCalls(queries);
   const int n = static_cast<int>(slot.sensors.size());
 
-  const CandidatePlan plan = BuildCandidatePlan(queries, n);
+  const CandidatePlan plan = BuildCandidatePlan(queries, n, slot.arena);
   NetEvaluator evaluator(queries, plan, slot, cost_scale, slot.pool);
 
   // Remaining candidates in mutable order: the partial Fisher-Yates below
   // shuffles a per-round prefix; pruning compacts the prefix in place.
-  std::vector<int> remaining = plan.ScanSensors();
+  // Sensors outside SlotContext::eligible (per-shard scheduler passes)
+  // never enter the pool, so they cannot be sampled or selected.
+  const std::span<const int> scan0 = plan.ScanSensors();
+  std::vector<int> remaining;
+  remaining.reserve(scan0.size());
+  for (int s : scan0) {
+    if (slot.eligible == nullptr || (*slot.eligible)[static_cast<size_t>(s)]) {
+      remaining.push_back(s);
+    }
+  }
   const int sample_size =
       StochasticSampleSize(slot.approx, static_cast<int>(remaining.size()),
                            static_cast<int>(queries.size()));
@@ -103,7 +113,8 @@ SelectionResult StochasticGreedySensorSelection(
   // rounds draw from viable candidates only.
   {
     scan = remaining;
-    evaluator.EvaluateNets(scan, &net);
+    net.resize(scan.size());
+    evaluator.EvaluateNets(scan, net.data());
     const int best_sensor = argmax();
     if (best_sensor >= 0) {
       CheckPrunedMarginals(queries, plan, best_sensor);
@@ -133,7 +144,8 @@ SelectionResult StochasticGreedySensorSelection(
     // The evaluator contract wants ascending, duplicate-free sensors; the
     // sample is duplicate-free by construction.
     std::sort(scan.begin(), scan.end());
-    evaluator.EvaluateNets(scan, &net);
+    net.resize(scan.size());
+    evaluator.EvaluateNets(scan, net.data());
     const int best_sensor = argmax();
     if (best_sensor >= 0) {
       current_sample = sample_size;

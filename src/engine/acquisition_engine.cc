@@ -192,13 +192,22 @@ void AcquisitionEngine::RefreshMember(int id, int time) {
     }
     return;
   }
-  // Continuing member: patch announcement in place.
+  // Continuing member: patch announcement in place — slab row included,
+  // so the SoA columns stay in lockstep without a rebuild.
   SlotSensor& ss = ctx_.sensors[static_cast<size_t>(pos)];
   if (!(ss.location == s.position())) {
     ss.location = s.position();
+    ctx_.slabs.x[static_cast<size_t>(pos)] = ss.location.x;
+    ctx_.slabs.y[static_cast<size_t>(pos)] = ss.location.y;
     if (index_ != nullptr) index_->Move(id, s.position());
   }
-  if (cost_dirty_[id] || privacy_flag_[id]) ss.cost = s.Cost(time);
+  if (cost_dirty_[id] || privacy_flag_[id]) {
+    ss.cost = s.Cost(time);
+    ctx_.slabs.cost[static_cast<size_t>(pos)] = ss.cost;
+    // Readings (the one thing that drains energy) arrive here with
+    // cost_dirty set, so the diagnostic energy column rides the same patch.
+    ctx_.slabs.energy[static_cast<size_t>(pos)] = s.RemainingEnergy();
+  }
   if (journal_repairs_) repairs_.patched.push_back(id);
 }
 
@@ -211,7 +220,8 @@ void AcquisitionEngine::RebuildMembership(int time) {
   }
   MergeSortedMembership(
       &ctx_.sensors, &merge_scratch_, &slot_pos_, pending_insert_,
-      pending_remove_, [&](SlotSensor& ss, int id) {
+      pending_remove_,
+      [&](SlotSensor& ss, int id) {
         const Sensor& s = sensors_[id];
         ss.location = s.position();
         ss.cost = s.Cost(time);
@@ -229,6 +239,10 @@ void AcquisitionEngine::RebuildMembership(int time) {
           privacy_flag_[id] = 1;
           privacy_refresh_.push_back(id);
         }
+      },
+      &ctx_.slabs, &slab_scratch_,
+      [&](SlotSlabs& out, size_t row, const SlotSensor& ss, int id) {
+        out.SetRowFrom(row, ss, sensors_[static_cast<size_t>(id)]);
       });
   pending_insert_.clear();
   pending_remove_.clear();
@@ -251,9 +265,14 @@ void AcquisitionEngine::AttachIndex() {
 }
 
 const SlotContext& AcquisitionEngine::BeginSlot(int time) {
+  // Per-slot scratch dies here: everything the previous slot's selection
+  // carved from the arena (candidate plans, evaluator buffers, gain
+  // scratch) is invalidated in one pointer reset.
+  arena_.Reset();
   if (!config_.incremental) {
     ctx_ = BuildSlotContext(sensors_, config_.working_region, time, config_.dmax,
                             config_.index_policy, config_.index_auto_threshold);
+    ctx_.arena = &arena_;  // the assignment above wiped the stamp
     ctx_.pool = pool_.get();
     ctx_.approx = config_.approx;
     ctx_.approx.slot_seed = ApproxSlotSeed(config_.approx, time);
@@ -270,6 +289,7 @@ const SlotContext& AcquisitionEngine::BeginSlot(int time) {
     repairs_.patched.clear();
   }
   ctx_.time = time;
+  ctx_.arena = &arena_;
   ctx_.pool = pool_.get();
   // Pin the approximate schedulers' per-slot stream: both engine modes
   // stamp the identical derived seed, so approximate selections agree
@@ -299,6 +319,8 @@ const SlotContext& AcquisitionEngine::BeginSlot(int time) {
     const int pos = slot_pos_[id];
     if (pos >= 0) {
       ctx_.sensors[static_cast<size_t>(pos)].cost = s.Cost(time);
+      ctx_.slabs.cost[static_cast<size_t>(pos)] =
+          ctx_.sensors[static_cast<size_t>(pos)].cost;
       if (journal_repairs_) repairs_.patched.push_back(id);
     }
     const bool decaying =

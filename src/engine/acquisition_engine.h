@@ -8,6 +8,7 @@
 
 #include "common/geometry.h"
 #include "common/thread_pool.h"
+#include "core/arena.h"
 #include "core/sensor.h"
 #include "core/sensor_delta.h"
 #include "core/slot.h"
@@ -191,6 +192,12 @@ class AcquisitionEngine : public ServingEngine {
   /// Merge target whose capacity persists across slots (swapped with
   /// ctx_.sensors after each membership rebuild).
   std::vector<SlotSensor> merge_scratch_;
+  /// Slab-column merge target, swapped with ctx_.slabs in lockstep with
+  /// merge_scratch_ (engine/membership_merge.h).
+  SlotSlabs slab_scratch_;
+  /// Slot-lifetime scratch arena handed to schedulers through
+  /// SlotContext::arena; reset at every BeginSlot.
+  SlotArena arena_;
   std::unique_ptr<DynamicSpatialIndex> index_;
   std::shared_ptr<SlotIndexView> view_;
   /// Intra-slot selection pool (ServingConfig::threads), handed to

@@ -44,28 +44,55 @@ inline size_t MemberInsertPosition(const std::vector<int>& slot_pos, int id,
 /// shifts), but at streaming bandwidth it undercuts both a per-element
 /// branch-and-push_back loop and an in-place read-modify-write pass.
 ///
+/// When `slabs`/`slab_scratch` are non-null, the SoA columns
+/// (core/slot.h SlotSlabs) ride the same merge: every copy_run memcpys
+/// the identical row range of each column, so the slabs stay in lockstep
+/// with `members` at no extra bookkeeping, and `slab_fill(out, row, ss,
+/// id)` is invoked (after `fill`, with `ss` the freshly filled entry and
+/// `out` the merge-target slabs) to populate a freshly inserted row —
+/// typically out.SetRowFrom(row, ss, registry[id]). Pass nulls for the
+/// legacy slab-free merge.
+///
 /// `inserts` and `removes` must be sorted ascending and disjoint;
 /// `slot_pos` maps sensor id -> position in `members` (-1 = non-member)
 /// and is kept consistent. `fill(ss, id)` populates a freshly inserted
 /// entry's payload (location/cost/inaccuracy/trust); .index and
 /// .sensor_id are set by the merge. fill is invoked in ascending id
-/// order. `members` and `scratch` are swapped on return.
-template <typename FillFn>
+/// order. `members`/`scratch` (and the slab pairs) are swapped on return.
+template <typename FillFn, typename SlabFillFn>
 void MergeSortedMembership(std::vector<SlotSensor>* members,
                            std::vector<SlotSensor>* scratch,
                            std::vector<int>* slot_pos,
                            const std::vector<int>& inserts,
-                           const std::vector<int>& removes, FillFn&& fill) {
+                           const std::vector<int>& removes, FillFn&& fill,
+                           SlotSlabs* slabs, SlotSlabs* slab_scratch,
+                           SlabFillFn&& slab_fill) {
   const size_t old_size = members->size();
   scratch->resize(old_size + inserts.size());
+  const bool merge_slabs = slabs != nullptr && slab_scratch != nullptr;
+  if (merge_slabs) slab_scratch->Resize(old_size + inserts.size());
   const SlotSensor* src = members->data();
   SlotSensor* dst = scratch->data();
   size_t si = 0;  // source cursor (old array)
   size_t di = 0;  // destination cursor
+  const auto copy_column = [](std::vector<double>& to,
+                              const std::vector<double>& from, size_t di_,
+                              size_t si_, size_t len) {
+    std::memcpy(to.data() + di_, from.data() + si_, len * sizeof(double));
+  };
   const auto copy_run = [&](size_t src_end) {
     const size_t len = src_end - si;
     if (len == 0) return;
     std::memcpy(dst + di, src + si, len * sizeof(SlotSensor));
+    if (merge_slabs) {
+      copy_column(slab_scratch->x, slabs->x, di, si, len);
+      copy_column(slab_scratch->y, slabs->y, di, si, len);
+      copy_column(slab_scratch->cost, slabs->cost, di, si, len);
+      copy_column(slab_scratch->inaccuracy, slabs->inaccuracy, di, si, len);
+      copy_column(slab_scratch->trust, slabs->trust, di, si, len);
+      copy_column(slab_scratch->privacy_mult, slabs->privacy_mult, di, si, len);
+      copy_column(slab_scratch->energy, slabs->energy, di, si, len);
+    }
     if (di != si) {
       const int shift = static_cast<int>(di) - static_cast<int>(si);
       for (size_t k = di; k < di + len; ++k) {
@@ -92,6 +119,7 @@ void MergeSortedMembership(std::vector<SlotSensor>* members,
       ss.index = static_cast<int>(di);
       ss.sensor_id = id;
       fill(ss, id);
+      if (merge_slabs) slab_fill(*slab_scratch, di, ss, id);
       (*slot_pos)[id] = static_cast<int>(di);
       ++di;
     } else {
@@ -103,7 +131,24 @@ void MergeSortedMembership(std::vector<SlotSensor>* members,
   }
   copy_run(old_size);
   scratch->resize(di);
+  if (merge_slabs) {
+    slab_scratch->Resize(di);
+    std::swap(*slabs, *slab_scratch);
+  }
   std::swap(*members, *scratch);
+}
+
+/// Legacy slab-free merge (kept for callers whose contexts do not carry
+/// the SoA columns).
+template <typename FillFn>
+void MergeSortedMembership(std::vector<SlotSensor>* members,
+                           std::vector<SlotSensor>* scratch,
+                           std::vector<int>* slot_pos,
+                           const std::vector<int>& inserts,
+                           const std::vector<int>& removes, FillFn&& fill) {
+  MergeSortedMembership(members, scratch, slot_pos, inserts, removes,
+                        static_cast<FillFn&&>(fill), nullptr, nullptr,
+                        [](SlotSlabs&, size_t, const SlotSensor&, int) {});
 }
 
 }  // namespace psens

@@ -15,6 +15,21 @@ std::string ServingConfig::Validate() const {
            "ownership-filtered slot state from deltas; the rebuild reference "
            "path has no ownership filter)";
   }
+  if (!shard_schedulers.empty()) {
+    if (shards <= 1) {
+      return "shard_schedulers requires shards > 1 (per-shard passes need a "
+             "shard partition to confine eligibility to)";
+    }
+    if (static_cast<int>(shard_schedulers.size()) != shards) {
+      return "shard_schedulers must name exactly one engine per shard";
+    }
+    for (GreedyEngine e : shard_schedulers) {
+      if (e == GreedyEngine::kSieve) {
+        return "shard_schedulers cannot use kSieve (its cross-slot bucket "
+               "state has no per-pass home)";
+      }
+    }
+  }
   if (!(approx.epsilon > 0.0)) return "approx.epsilon must be positive";
   if (approx.min_sample < 1) return "approx.min_sample must be >= 1";
   if (approx.sample_hint < 0) return "approx.sample_hint must be >= 0";

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/geometry.h"
 #include "core/greedy.h"
@@ -56,6 +58,21 @@ struct ServingConfig {
   /// across N shard engines (src/shard/shard_router.h) with bit-identical
   /// outcomes for any value.
   int shards = 1;
+  /// Heterogeneous per-shard scheduling. Empty (default): `scheduler`
+  /// runs once globally over the merged context — the bit-identical-to-
+  /// unsharded path. Size == `shards` (requires shards > 1): Select runs
+  /// one sequential pass per shard in ascending shard order, pass s using
+  /// shard_schedulers[s] with selection *eligibility* confined to shard
+  /// s's members (SlotContext::eligible); valuations, payments, and
+  /// cross-shard marginal visibility stay global, so earlier passes'
+  /// selections shrink later passes' marginals exactly as one global run
+  /// would. The outcome is NOT the unrestricted global outcome — the
+  /// contract is instead self-consistency: bit-identical selections,
+  /// payments, and valuation calls for any thread count and repeat run
+  /// (tests/shard_invariance_test.cc pins a merged-outcome digest).
+  /// kSieve entries are rejected by Validate(): the sieve's cross-slot
+  /// bucket state has no per-pass home.
+  std::vector<GreedyEngine> shard_schedulers;
   /// Approximate-scheduler knobs, stamped onto every slot context.
   /// BeginSlot derives the per-slot RNG stream from (approx.seed, time)
   /// unless approx.slot_seed pins it, so an approximate selection re-run
@@ -106,6 +123,10 @@ struct ServingConfig {
   }
   ServingConfig& WithShards(int n) {
     shards = n;
+    return *this;
+  }
+  ServingConfig& WithShardSchedulers(std::vector<GreedyEngine> engines) {
+    shard_schedulers = std::move(engines);
     return *this;
   }
   ServingConfig& WithApprox(const ApproxParams& params) {

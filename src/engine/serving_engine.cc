@@ -1,6 +1,9 @@
 #include "engine/serving_engine.h"
 
+#include <cassert>
+
 #include "core/sieve_streaming.h"
+#include "shard/shard_map.h"
 
 namespace psens {
 
@@ -10,6 +13,9 @@ ServingEngine::~ServingEngine() = default;
 SelectionResult ServingEngine::Select(const std::vector<MultiQuery*>& queries,
                                       const SlotContext& slot,
                                       const SensorDelta& delta) {
+  if (!config().shard_schedulers.empty() && shard_count() > 1) {
+    return SelectShardPasses(queries, slot);
+  }
   if (config().scheduler == GreedyEngine::kSieve) {
     if (sieve_ == nullptr) {
       sieve_ = std::make_unique<SieveStreamingScheduler>(config().approx);
@@ -17,6 +23,46 @@ SelectionResult ServingEngine::Select(const std::vector<MultiQuery*>& queries,
     return sieve_->SelectDelta(queries, slot, delta);
   }
   return GreedySensorSelection(queries, slot, nullptr, config().scheduler);
+}
+
+SelectionResult ServingEngine::SelectShardPasses(
+    const std::vector<MultiQuery*>& queries, const SlotContext& slot) {
+  const ShardMap* map = shard_map_ptr();
+  assert(map != nullptr && "shard passes need the router's shard map");
+  const int passes = shard_count();
+  const size_t n = slot.sensors.size();
+  const int64_t calls_before = TotalValuationCalls(queries);
+
+  // One context copy for the whole sequence; only the eligibility mask
+  // changes between passes. The copy shares the slot's index, pool, and
+  // arena — pass-local scratch keeps drawing from the slot arena, which
+  // the next BeginSlot resets as usual.
+  SlotContext pass = slot;
+  std::vector<char> mask(n, 0);
+  pass.eligible = &mask;
+
+  SelectionResult merged;
+  for (int s = 0; s < passes; ++s) {
+    for (size_t i = 0; i < n; ++i) {
+      mask[i] = map->ShardOf(slot.sensors[i].location) == s ? 1 : 0;
+    }
+    // Query selection state carries across passes on purpose: pass s sees
+    // every earlier pass's commitments, so its marginals shrink exactly as
+    // one global run's would. A sensor belongs to exactly one shard, so no
+    // sensor is selectable in two passes.
+    SelectionResult r = GreedySensorSelection(queries, pass, nullptr,
+                                              config().shard_schedulers[s]);
+    merged.selected_sensors.insert(merged.selected_sensors.end(),
+                                   r.selected_sensors.begin(),
+                                   r.selected_sensors.end());
+    merged.total_cost += r.total_cost;
+  }
+  // Per-pass total_value is cumulative (each pass sums CurrentValue over
+  // the shared query state), so the merged value is computed once at the
+  // end, not summed across passes.
+  for (const MultiQuery* q : queries) merged.total_value += q->CurrentValue();
+  merged.valuation_calls = TotalValuationCalls(queries) - calls_before;
+  return merged;
 }
 
 }  // namespace psens

@@ -16,6 +16,7 @@ namespace psens {
 
 class SieveStreamingScheduler;
 class TraceWriter;
+struct ShardMap;
 
 /// The serving API every engine-shaped thing implements — the single
 /// AcquisitionEngine and the sharded ShardRouter — and the only surface
@@ -75,6 +76,11 @@ class ServingEngine {
   virtual const char* IndexBackendName() const = 0;
   /// Number of shard engines behind this serving engine (1 when single).
   virtual int shard_count() const { return 1; }
+  /// The geo-partition behind a sharded engine, or null when single.
+  /// Select's heterogeneous per-shard passes
+  /// (ServingConfig::shard_schedulers) derive each pass's eligibility
+  /// mask from it.
+  virtual const ShardMap* shard_map_ptr() const { return nullptr; }
 
   /// Pins the approx slot seed the *next* BeginSlot stamps, overriding
   /// the (approx.seed, time) derivation for that one slot. The trace
@@ -99,6 +105,12 @@ class ServingEngine {
                          const SlotContext& slot, const SensorDelta& delta);
 
  private:
+  /// Heterogeneous per-shard selection (ServingConfig::shard_schedulers):
+  /// one sequential pass per shard in ascending shard order, each pass
+  /// confined by an ownership-derived SlotContext::eligible mask. See the
+  /// shard_schedulers field doc for the determinism contract.
+  SelectionResult SelectShardPasses(const std::vector<MultiQuery*>& queries,
+                                    const SlotContext& slot);
   /// Cross-slot sieve bucket state (GreedyEngine::kSieve only), built
   /// lazily from config().approx on the first Select.
   std::unique_ptr<SieveStreamingScheduler> sieve_;

@@ -218,7 +218,9 @@ void ShardRouter::ApplyDelta(const SensorDelta& delta) {
 }
 
 const SlotContext& ShardRouter::BeginSlot(int time) {
+  arena_.Reset();
   ctx_.time = time;
+  ctx_.arena = &arena_;
   ctx_.pool = pool_.get();
   ctx_.approx = config_.approx;
   ctx_.approx.slot_seed = ApproxSlotSeed(config_.approx, time);
@@ -267,6 +269,9 @@ void ShardRouter::Reconcile() {
     g.cost = e->cost;
     g.inaccuracy = e->inaccuracy;
     g.trust = e->trust;
+    // Keep the merged context's SoA columns in lockstep with the patch.
+    ctx_.slabs.SetRowFrom(static_cast<size_t>(pos), g,
+                          (*registry_)[static_cast<size_t>(id)]);
   };
   journal_ins_.clear();
   journal_rem_.clear();
@@ -324,6 +329,10 @@ void ShardRouter::Reconcile() {
         ss.cost = e->cost;
         ss.inaccuracy = e->inaccuracy;
         ss.trust = e->trust;
+      },
+      &ctx_.slabs, &slab_scratch_,
+      [&](SlotSlabs& out, size_t row, const SlotSensor& ss, int id) {
+        out.SetRowFrom(row, ss, (*registry_)[static_cast<size_t>(id)]);
       });
 }
 

@@ -84,6 +84,7 @@ class ShardRouter : public ServingEngine {
   /// "none" when unindexed (policy kNone or below the auto threshold).
   const char* IndexBackendName() const override;
   int shard_count() const override { return map_.shards; }
+  const ShardMap* shard_map_ptr() const override { return &map_; }
 
   void PinNextSlotSeed(uint64_t slot_seed) override;
   TraceWriter* trace_writer() override { return trace_.get(); }
@@ -128,6 +129,12 @@ class ShardRouter : public ServingEngine {
   /// id -> position in ctx_.sensors, or -1 (global membership).
   std::vector<int> slot_pos_;
   std::vector<SlotSensor> merge_scratch_;
+  /// Slab-column merge target for the merged context (lockstep with
+  /// merge_scratch_; engine/membership_merge.h).
+  SlotSlabs slab_scratch_;
+  /// Slot-lifetime scratch arena for the merged context's selection run;
+  /// reset at every BeginSlot.
+  SlotArena arena_;
   std::shared_ptr<ShardedIndexView> view_;
   /// Fans per-shard turnover out, then serves intra-slot selection
   /// through SlotContext::pool (phases are sequential, never nested).

@@ -118,6 +118,44 @@ TEST(ShardInvarianceThreadsTest, FanOutThreadCountDoesNotChangeOutcomes) {
   ExpectSameOutcomes(a.outcomes, b.outcomes);
 }
 
+// Heterogeneous per-shard scheduling (ServingConfig::shard_schedulers)
+// trades the bit-identical-to-unsharded guarantee for per-shard policy
+// freedom, but keeps the determinism half of the contract: for a fixed
+// input stream the merged outcome is bit-identical across repeat runs
+// and across thread counts (the passes are sequential in ascending
+// shard order; threads only parallelize turnover and intra-pass
+// valuation batches).
+TEST(HeterogeneousShardSchedulersTest, MergedOutcomeIsDeterministic) {
+  const ChurnScenarioSetup setup = MakeSetup();
+  ClosedLoopConfig base = MakeLoopConfig(GreedyEngine::kLazy, 4);
+  base.serving.shard_schedulers = {GreedyEngine::kLazy,
+                                   GreedyEngine::kStochastic,
+                                   GreedyEngine::kEager, GreedyEngine::kLazy};
+  ASSERT_TRUE(base.serving.Validate().empty()) << base.serving.Validate();
+
+  const ClosedLoopResult reference = RunChurnClosedLoop(setup, base);
+  // The run did real work; empty schedules would pass vacuously.
+  EXPECT_GT(reference.total_payment, 0.0);
+  EXPECT_GT(reference.valuation_calls, 0);
+
+  // Repeat-run invariance: same config, fresh engine, same stream.
+  const ClosedLoopResult repeat = RunChurnClosedLoop(setup, base);
+  ExpectSameOutcomes(reference.outcomes, repeat.outcomes);
+  EXPECT_EQ(reference.total_payment, repeat.total_payment);
+  EXPECT_EQ(reference.valuation_calls, repeat.valuation_calls);
+
+  // Thread-count invariance.
+  for (int threads : {2, 4}) {
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    ClosedLoopConfig pooled = base;
+    pooled.serving.threads = threads;
+    const ClosedLoopResult t = RunChurnClosedLoop(setup, pooled);
+    ExpectSameOutcomes(reference.outcomes, t.outcomes);
+    EXPECT_EQ(reference.total_payment, t.total_payment);
+    EXPECT_EQ(reference.valuation_calls, t.valuation_calls);
+  }
+}
+
 // A trace recorded under one shard count replays bit-identically under
 // any other: recording happens at the router (pre-split) level with the
 // single engine's header format.
@@ -186,6 +224,31 @@ TEST(ServingConfigTest, ValidateRejectsBrokenConfigs) {
   EXPECT_TRUE(
       ServingConfig().WithShards(2).WithIncremental(true).Validate().empty());
   EXPECT_FALSE(ServingConfig().WithEpsilon(0.0).Validate().empty());
+}
+
+TEST(ServingConfigTest, ValidateChecksShardSchedulerShapes) {
+  using G = GreedyEngine;
+  // Well-formed: one entry per shard, no sieve.
+  EXPECT_TRUE(ServingConfig()
+                  .WithShards(3)
+                  .WithShardSchedulers({G::kLazy, G::kEager, G::kStochastic})
+                  .Validate()
+                  .empty());
+  // Per-shard schedulers need an actual shard split.
+  EXPECT_FALSE(
+      ServingConfig().WithShardSchedulers({G::kLazy}).Validate().empty());
+  // Size must match the shard count exactly.
+  EXPECT_FALSE(ServingConfig()
+                   .WithShards(4)
+                   .WithShardSchedulers({G::kLazy, G::kEager})
+                   .Validate()
+                   .empty());
+  // The sieve's cross-slot bucket state has no per-pass home.
+  EXPECT_FALSE(ServingConfig()
+                   .WithShards(2)
+                   .WithShardSchedulers({G::kLazy, G::kSieve})
+                   .Validate()
+                   .empty());
 }
 
 TEST(ShardMapTest, EveryPointHasExactlyOneOwner) {
