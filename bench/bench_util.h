@@ -58,10 +58,13 @@ inline bool SameSchedule(const PointScheduleResult& a,
 ///                    (default kSlotIndexAutoThreshold = 32)
 ///   --epsilon E      quality knob of the approximate schedulers
 ///                    (fig13_approx_quality; default 0.1)
+///   --huge           extend the full-mode population sweep with a
+///                    10M-sensor point (nightly runs; ignored in --quick)
 struct BenchArgs {
   int slots = 50;
   uint64_t seed = 123;
   bool quick = false;
+  bool huge = false;
   bool ablation = false;
   int threads = 0;
   std::string json_path;
@@ -76,6 +79,8 @@ struct BenchArgs {
       if (std::strcmp(argv[i], "--quick") == 0) {
         args.quick = true;
         args.slots = 10;
+      } else if (std::strcmp(argv[i], "--huge") == 0) {
+        args.huge = true;
       } else if (std::strcmp(argv[i], "--ablation") == 0) {
         args.ablation = true;
       } else if (std::strcmp(argv[i], "--slots") == 0 && i + 1 < argc) {

@@ -158,6 +158,9 @@ int main(int argc, char** argv) {
   std::vector<int> populations =
       args.quick ? std::vector<int>{10'000, 100'000}
                  : std::vector<int>{10'000, 100'000, 300'000, 1'000'000};
+  // The nightly 10M point: full mode only (a --quick 10M brute-force
+  // reference would blow the PR-path budget for no extra signal).
+  if (args.huge && !args.quick) populations.push_back(10'000'000);
   if (args.max_sensors > 0) {
     std::vector<int> capped;
     for (int n : populations) {

@@ -195,6 +195,10 @@ int main(int argc, char** argv) {
   std::vector<int> populations = args.quick
                                      ? std::vector<int>{100'000}
                                      : std::vector<int>{100'000, 1'000'000};
+  // The nightly 10M point: full mode only. check_bench_regression.py's
+  // --update path applies the same hardware-eligibility rule to these
+  // rows as to every other sharded row.
+  if (args.huge && !args.quick) populations.push_back(10'000'000);
   if (args.max_sensors > 0) {
     std::vector<int> capped;
     for (int n : populations) {

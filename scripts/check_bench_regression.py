@@ -53,6 +53,17 @@ BENCH_pr.json artifact and diffs it against the committed baseline
      on such hosts into the baseline. Per-shard monitor records are
      stripped from the merged artifact (the nightly job archives the raw
      JSON instead);
+ 11. when --fig17 is given: the pipelined-serving gate — any row whose
+     pipelined outcomes were not bit-identical to the sequential twin
+     (`identical: false`) fails, zero tolerance, on every host; and the
+     unsharded pipelined row at the gate population (100k sensors) must
+     show a sustained-throughput speedup of at least --min-fig17-speedup
+     (default 1.3x) over its sequential twin. The speedup check is
+     hardware-gated like the fig12/fig15 fan-out gates: the overlap
+     needs a second core for the task-graph worker, so it arms only when
+     the host has at least 2 hardware threads (a 1-core container
+     time-slices the overlap and only warns), and --update refuses to
+     record pipelined rows measured on such hosts into the baseline;
   8. when --fig14 is given: the record/replay gate — any engine row whose
      trace replay was not bit-identical to the live closed-loop run
      (`identical: false`) fails, zero tolerance, on every host; and the
@@ -87,12 +98,12 @@ BENCH_pr.json artifact and diffs it against the committed baseline
 Usage:
   check_bench_regression.py --fig11 fig11.json [--fig12 fig12.json]
       [--fig13 fig13.json] [--fig14 fig14.json] [--fig15 fig15.json]
-      [--fig16 fig16.json] [--schedulers sched.json]
+      [--fig16 fig16.json] [--fig17 fig17.json] [--schedulers sched.json]
       --baseline bench/BENCH_baseline.json --out BENCH_pr.json
       [--min-speedup 10] [--min-fig12-speedup 4]
       [--min-fig13-speedup 3] [--min-fig13-utility 0.95]
       [--min-fig14-speedup 0.9] [--fig15-gate-shards 4]
-      [--min-soa-speedup 1.5]
+      [--min-soa-speedup 1.5] [--min-fig17-speedup 1.3]
       [--tolerance 0.2] [--strict-time] [--update]
 
 --update rewrites the baseline from the current run instead of checking.
@@ -130,6 +141,7 @@ def main():
     ap.add_argument("--fig14", help="fig14_replay --json output")
     ap.add_argument("--fig15", help="fig15_shard_sweep --json output")
     ap.add_argument("--fig16", help="fig16_kernel_microbench --json output")
+    ap.add_argument("--fig17", help="fig17_pipeline_throughput --json output")
     ap.add_argument("--schedulers", help="bench_schedulers --benchmark_out JSON")
     ap.add_argument("--baseline", required=True)
     ap.add_argument("--out", default="BENCH_pr.json")
@@ -159,6 +171,13 @@ def main():
                     help="largest shard count the fig15 monotone-throughput "
                          "check covers; also the hardware-thread floor for "
                          "that check to arm")
+    # 1.3x, well under the ~1.6-1.8x a full turnover/selection overlap
+    # can reach: the pipelined win is bounded by the *shorter* of the two
+    # overlapped phases (Amdahl over the slot cycle), and the gate
+    # scenario's turnover/selection split shifts with allocator and cache
+    # behaviour across hosts. The floor asserts the overlap is real, not
+    # that it is perfectly balanced.
+    ap.add_argument("--min-fig17-speedup", type=float, default=1.3)
     # Same-process ratio (the AoS pass and the slab pass are timed in one
     # binary run), so the floor is host-normalized by construction;
     # 1.5x sits well under the ~2x measured on the gate scenario.
@@ -179,6 +198,7 @@ def main():
     fig14 = load(args.fig14) if args.fig14 else None
     fig15 = load(args.fig15) if args.fig15 else None
     fig16 = load(args.fig16) if args.fig16 else None
+    fig17 = load(args.fig17) if args.fig17 else None
     schedulers = load(args.schedulers) if args.schedulers else None
 
     # Per-shard monitor records are observability artifacts, not
@@ -196,6 +216,7 @@ def main():
         "fig14": (fig14 or {}).get("results", []),
         "fig15": fig15_rows,
         "fig16": (fig16 or {}).get("results", []),
+        "fig17": (fig17 or {}).get("results", []),
         "scheduler_times_ms": google_benchmark_times(schedulers),
     }
     with open(args.out, "w") as f:
@@ -224,6 +245,8 @@ def main():
             updated["fig15"] = old["fig15"]
         if fig16 is None and old.get("fig16"):
             updated["fig16"] = old["fig16"]
+        if fig17 is None and old.get("fig17"):
+            updated["fig17"] = old["fig17"]
         if schedulers is None and old.get("scheduler_times_ms"):
             updated["scheduler_times_ms"] = old["scheduler_times_ms"]
         if fig12 is not None:
@@ -284,6 +307,42 @@ def main():
                 if prev is not None:
                     kept15.append(prev)
             updated["fig15"] = kept15
+        if fig17 is not None:
+            # Same hardware rule as the fig12/fig15 fan-out rows: the
+            # pipelined overlap needs a core for the task-graph worker on
+            # top of the serving (and shard fan-out) threads; a row
+            # measured without them records a meaningless ~1x speedup.
+            def fig17_key(r):
+                return (r["sensors"], r.get("pipeline", 0),
+                        r.get("shards", 1), r.get("slots", 0),
+                        r.get("queries", 0))
+
+            old_fig17 = {fig17_key(r): r for r in (old.get("fig17") or [])}
+
+            def fig17_needed(r):
+                return (max(1, r.get("shards", 1))
+                        + (1 if r.get("pipeline", 0) == 2 else 0))
+
+            kept17 = []
+            for r in pr["fig17"]:
+                hardware = r.get("hardware_threads", 0)
+                needed = fig17_needed(r)
+                if needed == 1 or hardware >= needed:
+                    kept17.append(r)
+                    continue
+                prev = old_fig17.get(fig17_key(r))
+                if prev is not None and (
+                        prev.get("hardware_threads", 0) < fig17_needed(prev)):
+                    prev = None  # the committed row is itself misleading
+                print(f"warning: fig17 n={r['sensors']} "
+                      f"pipeline={r.get('pipeline', 0)} "
+                      f"shards={r.get('shards', 1)}: host has {hardware} "
+                      f"hardware thread(s), row needs {needed}; NOT "
+                      "recording its throughput into the baseline"
+                      + (" (keeping previous row)" if prev else ""))
+                if prev is not None:
+                    kept17.append(prev)
+            updated["fig17"] = kept17
         with open(args.baseline, "w") as f:
             json.dump(updated, f, indent=2)
         print(f"baseline updated: {args.baseline}")
@@ -453,6 +512,43 @@ def main():
                           f"shards {ladder} "
                           f"({by_shards[ladder[0]]['slots_per_sec']:.2f} -> "
                           f"{by_shards[ladder[-1]]['slots_per_sec']:.2f})")
+
+    # 11. fig17 pipelined-serving gate (only when the run provided it).
+    if fig17 is not None:
+        for r in pr["fig17"]:
+            # Bit-equality against the sequential twin: fatal on every
+            # host, every population, every shard count.
+            if not r.get("identical", False):
+                failures.append(
+                    f"fig17 n={r['sensors']} pipeline={r.get('pipeline', 0)} "
+                    f"shards={r.get('shards', 1)}: pipelined outcomes "
+                    "diverged from the sequential schedule")
+        gate = [r for r in pr["fig17"]
+                if r["sensors"] == 100_000 and r.get("pipeline", 0) == 2
+                and r.get("shards", 1) == 1]
+        if not gate:
+            failures.append(
+                "fig17 produced no gate row (pipelined unsharded @ 100k "
+                "sensors) — was the population capped?")
+        for r in gate:
+            hardware = r.get("hardware_threads", 0)
+            if hardware < 2:
+                # The overlap needs a second core for the task-graph
+                # worker; a 1-core host time-slices the two phases and
+                # cannot exhibit the speedup by construction.
+                warnings.append(
+                    f"fig17 n={r['sensors']}: pipelined speedup check "
+                    f"SKIPPED — host has {hardware} hardware thread(s), "
+                    "gate needs >= 2 (bit-equality still enforced)")
+            elif r["speedup_vs_sequential"] < args.min_fig17_speedup:
+                failures.append(
+                    f"fig17 n={r['sensors']}: pipelined sustained "
+                    f"throughput {r['speedup_vs_sequential']:.2f}x "
+                    f"sequential < required {args.min_fig17_speedup:.2f}x")
+            else:
+                print(f"ok: fig17 n={r['sensors']} pipelined throughput "
+                      f"{r['speedup_vs_sequential']:.2f}x sequential "
+                      f"(>= {args.min_fig17_speedup:.2f}x)")
 
     # 5. fig13 approximation gate (only when the run provided it). The
     # utility ratio is deterministic for a fixed seed — below-bar quality
@@ -702,6 +798,39 @@ def main():
                 if norm_base > 0 and norm_pr > norm_base * limit:
                     msg = (f"fig16 {r['query']} n={r['sensors']}: normalized "
                            f"slab kernel time {norm_pr:.4f} > {limit:.2f}x "
+                           f"baseline {norm_base:.4f}")
+                    (failures if args.strict_time else warnings).append(msg)
+
+        # fig17: normalized closed-loop wall time per (population,
+        # pipeline, shard) shape. Skipped for rows the current host could
+        # not overlap at full width (hardware below the row's thread
+        # need) — their wall time says nothing about the pipelined path.
+        def fig17_diff_key(r):
+            return (r["sensors"], r.get("pipeline", 0), r.get("shards", 1),
+                    r.get("slots", 0), r.get("queries", 0))
+
+        base_fig17 = {fig17_diff_key(r): r for r in base.get("fig17", [])}
+        for r in pr["fig17"]:
+            needed = (max(1, r.get("shards", 1))
+                      + (1 if r.get("pipeline", 0) == 2 else 0))
+            if needed > 1 and r.get("hardware_threads", 0) < needed:
+                continue
+            b = base_fig17.get(fig17_diff_key(r))
+            if b is None:
+                warnings.append(f"fig17 n={r['sensors']} "
+                                f"pipeline={r.get('pipeline', 0)} "
+                                f"shards={r.get('shards', 1)}: "
+                                "not in baseline")
+                continue
+            if pr["cal_ms"] > 0 and base.get("cal_ms", 0) > 0 \
+                    and b.get("wall_ms", 0) > 0:
+                norm_pr = r["wall_ms"] / pr["cal_ms"]
+                norm_base = b["wall_ms"] / base["cal_ms"]
+                if norm_base > 0 and norm_pr > norm_base * limit:
+                    msg = (f"fig17 n={r['sensors']} "
+                           f"pipeline={r.get('pipeline', 0)} "
+                           f"shards={r.get('shards', 1)}: normalized "
+                           f"closed-loop time {norm_pr:.4f} > {limit:.2f}x "
                            f"baseline {norm_base:.4f}")
                     (failures if args.strict_time else warnings).append(msg)
 

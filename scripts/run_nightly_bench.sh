@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Runs the full (non --quick) fig02-fig16 benchmark suite and bundles the
+# Runs the full (non --quick) fig02-fig17 benchmark suite and bundles the
 # machine-readable outputs into one BENCH_nightly.json. Used by the
 # scheduled nightly workflow (.github/workflows/nightly.yml) so the
 # PR-path bench gate can stay on the fast --quick settings; also runnable
@@ -42,22 +42,30 @@ run fig10_query_mix
 # captured. fig14 keeps its recorded traces under the log directory so
 # the nightly workflow can upload them as artifacts — a nightly-fresh
 # corpus of real serving traces for offline replay and debugging.
-run fig11_scale_sweep --json "$LOG_DIR/fig11_nightly.json"
+# --huge extends fig11/fig15 with a 10M-sensor point (nightly-only: the
+# brute-force reference and the shard fan-out at that scale are far too
+# heavy for the PR-path --quick gate).
+run fig11_scale_sweep --huge --json "$LOG_DIR/fig11_nightly.json"
 run fig12_streaming --json "$LOG_DIR/fig12_nightly.json"
 run fig13_approx_quality --json "$LOG_DIR/fig13_nightly.json"
 mkdir -p "$LOG_DIR/traces"
 run fig14_replay --json "$LOG_DIR/fig14_nightly.json" \
   --trace-dir "$LOG_DIR/traces"
-# Sharded serving sweep: full populations up to 1M at shard counts
-# {1,2,4,8}. The JSON embeds one monitor record per shard per row; the
-# merge step below splits them out into per-row monitor files so the
-# nightly artifact exposes per-shard turnover latency / index-repair
-# stats without parsing the full sweep JSON.
-run fig15_shard_sweep --json "$LOG_DIR/fig15_nightly.json"
+# Sharded serving sweep: full populations up to 1M (plus the --huge 10M
+# point) at shard counts {1,2,4,8}. The JSON embeds one monitor record
+# per shard per row; the merge step below splits them out into per-row
+# monitor files so the nightly artifact exposes per-shard turnover
+# latency / index-repair stats without parsing the full sweep JSON.
+run fig15_shard_sweep --huge --json "$LOG_DIR/fig15_nightly.json"
 # SoA slab-vs-AoS kernel microbench: full populations (10k/100k/1M), one
 # row per query type. Exits non-zero by itself if any slab outcome is not
 # bit-identical to the scalar reference.
 run fig16_kernel_microbench --json "$LOG_DIR/fig16_nightly.json"
+# Pipelined slot execution: sequential-vs-pipelined sustained slots/sec
+# at 100k/1M under 1% churn, with the fatal bit-equality column. Exits
+# non-zero by itself if any pipelined outcome diverges from its
+# sequential twin.
+run fig17_pipeline_throughput --json "$LOG_DIR/fig17_nightly.json"
 
 python3 - "$OUT" "$LOG_DIR" <<'PY'
 import json, os, sys, time
@@ -78,6 +86,7 @@ fig13 = load("fig13_nightly.json") or {}
 fig14 = load("fig14_nightly.json") or {}
 fig15 = load("fig15_nightly.json") or {}
 fig16 = load("fig16_nightly.json") or {}
+fig17 = load("fig17_nightly.json") or {}
 
 # Split the per-shard monitor records (turnover-latency histogram +
 # index-repair stats, one JSON object per shard) out of each fig15 row
@@ -107,6 +116,7 @@ doc = {
     "fig14": fig14.get("results", []),
     "fig15": fig15_rows,
     "fig16": fig16.get("results", []),
+    "fig17": fig17.get("results", []),
     "logs": sorted(f for f in os.listdir(log_dir) if f.endswith(".log")),
 }
 with open(out_path, "w") as f:

@@ -1,0 +1,173 @@
+#include "src/common/task_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+namespace psens {
+
+TaskGraphExecutor::TaskGraphExecutor(int workers) {
+  const int n = std::max(1, workers);
+  deques_.reserve(n);
+  for (int i = 0; i < n; ++i) deques_.push_back(std::make_unique<WorkerDeque>());
+  threads_.reserve(n);
+  for (int i = 0; i < n; ++i) threads_.emplace_back([this, i] { WorkerLoop(i); });
+}
+
+TaskGraphExecutor::~TaskGraphExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+TaskGraphExecutor::TaskId TaskGraphExecutor::AddTask(
+    std::function<void()> fn, const std::vector<TaskId>& deps) {
+  assert(!active_.load(std::memory_order_relaxed) &&
+         "AddTask during a launched wave");
+  const TaskId id = static_cast<TaskId>(fns_.size());
+  fns_.push_back(std::move(fn));
+  dependents_.emplace_back();
+  int live_deps = 0;
+  for (TaskId d : deps) {
+    assert(d >= 0 && d < id && "dependency must be an earlier task id");
+    dependents_[d].push_back(id);
+    ++live_deps;
+  }
+  initial_deps_.push_back(live_deps);
+  return id;
+}
+
+void TaskGraphExecutor::Launch() {
+  const int n = static_cast<int>(fns_.size());
+  if (n == 0) return;
+  pending_ = std::make_unique<std::atomic<int>[]>(n);
+  for (int i = 0; i < n; ++i)
+    pending_[i].store(initial_deps_[i], std::memory_order_relaxed);
+  remaining_.store(n, std::memory_order_relaxed);
+  {
+    // Publishing the graph under state_mu_ gives workers (which take
+    // state_mu_ or a deque mutex before touching the graph) a
+    // happens-before edge over the build-phase writes.
+    std::lock_guard<std::mutex> lock(state_mu_);
+    first_error_ = nullptr;
+    active_.store(true, std::memory_order_release);
+    int q = next_queue_;
+    for (int i = 0; i < n; ++i) {
+      if (initial_deps_[i] != 0) continue;
+      WorkerDeque& d = *deques_[q % deques_.size()];
+      {
+        std::lock_guard<std::mutex> dl(d.mu);
+        d.tasks.push_back(i);
+      }
+      ++q;
+    }
+    next_queue_ = q % static_cast<int>(deques_.size());
+  }
+  work_cv_.notify_all();
+}
+
+void TaskGraphExecutor::Join() {
+  if (fns_.empty()) return;
+  std::unique_lock<std::mutex> lock(state_mu_);
+  done_cv_.wait(lock, [this] {
+    return remaining_.load(std::memory_order_acquire) == 0;
+  });
+  active_.store(false, std::memory_order_release);
+  std::exception_ptr err = first_error_;
+  first_error_ = nullptr;
+  lock.unlock();
+  fns_.clear();
+  dependents_.clear();
+  initial_deps_.clear();
+  pending_.reset();
+  if (err) std::rethrow_exception(err);
+}
+
+void TaskGraphExecutor::PushReady(int self, TaskId id) {
+  WorkerDeque& d = *deques_[self];
+  std::lock_guard<std::mutex> dl(d.mu);
+  d.tasks.push_front(id);
+}
+
+void TaskGraphExecutor::RunTask(TaskId id) {
+  try {
+    fns_[id]();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  // A failed task still releases its dependents so the wave drains and
+  // Join() can rethrow instead of deadlocking.
+  int newly_ready = 0;
+  // Safe to read dependents_ without a lock: the graph is immutable
+  // between Launch() and the last task's completion.
+  for (TaskId dep : dependents_[id]) {
+    if (pending_[dep].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      PushReady(/*self=*/static_cast<int>(dep % deques_.size()), dep);
+      ++newly_ready;
+    }
+  }
+  if (newly_ready > 0) work_cv_.notify_all();
+  if (remaining_.fetch_sub(1, std::memory_order_acq_rel) - 1 == 0) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    done_cv_.notify_all();
+    work_cv_.notify_all();
+  }
+}
+
+bool TaskGraphExecutor::TryRunOne(int self) {
+  const int n = static_cast<int>(deques_.size());
+  // Own queue first (front = LIFO, best locality)...
+  {
+    WorkerDeque& d = *deques_[self];
+    std::unique_lock<std::mutex> dl(d.mu);
+    if (!d.tasks.empty()) {
+      TaskId id = d.tasks.front();
+      d.tasks.pop_front();
+      dl.unlock();
+      RunTask(id);
+      return true;
+    }
+  }
+  // ...then steal from the back of the other workers' deques.
+  for (int k = 1; k < n; ++k) {
+    WorkerDeque& d = *deques_[(self + k) % n];
+    std::unique_lock<std::mutex> dl(d.mu);
+    if (!d.tasks.empty()) {
+      TaskId id = d.tasks.back();
+      d.tasks.pop_back();
+      dl.unlock();
+      RunTask(id);
+      return true;
+    }
+  }
+  return false;
+}
+
+void TaskGraphExecutor::WorkerLoop(int self) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(state_mu_);
+      work_cv_.wait(lock, [this] {
+        return shutdown_ ||
+               (active_.load(std::memory_order_acquire) &&
+                remaining_.load(std::memory_order_acquire) > 0);
+      });
+      if (shutdown_) return;
+    }
+    while (remaining_.load(std::memory_order_acquire) > 0) {
+      if (!TryRunOne(self)) {
+        // Not-yet-released tasks may land in any deque; a short timed
+        // wait sidesteps lost-wakeup races without intricate signaling.
+        std::unique_lock<std::mutex> lock(state_mu_);
+        if (shutdown_) return;
+        work_cv_.wait_for(lock, std::chrono::microseconds(200));
+      }
+    }
+  }
+}
+
+}  // namespace psens

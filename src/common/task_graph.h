@@ -1,0 +1,96 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace psens {
+
+// A small work-stealing task-graph executor (the lego jobqueue pattern,
+// upgraded with explicit dependencies). Usage is phased:
+//
+//   TaskGraphExecutor exec(workers);
+//   auto a = exec.AddTask([] { ... });
+//   auto b = exec.AddTask([] { ... }, {a});   // b runs after a
+//   exec.Launch();
+//   exec.Join();                              // blocks; rethrows first error
+//
+// AddTask/Launch/Join must all be called from one coordinating thread.
+// After Join() the graph is reset and the executor can be reused for the
+// next wave of tasks. Worker threads are spawned once in the constructor
+// and persist across waves; each owns a deque it pushes/pops at the front
+// (LIFO, cache-friendly) while idle workers steal from the back of other
+// workers' deques. Join() is a deterministic barrier: it returns only
+// once every task of the wave has finished, so any memory written by
+// tasks is visible to the coordinator afterwards.
+class TaskGraphExecutor {
+ public:
+  using TaskId = int;
+
+  // Spawns max(1, workers) worker threads. Tasks never run inline on the
+  // coordinating thread, so a single-worker executor still overlaps its
+  // task with whatever the coordinator does between Launch() and Join().
+  explicit TaskGraphExecutor(int workers);
+  ~TaskGraphExecutor();
+
+  TaskGraphExecutor(const TaskGraphExecutor&) = delete;
+  TaskGraphExecutor& operator=(const TaskGraphExecutor&) = delete;
+
+  // Build phase: records a task and its dependencies (ids returned by
+  // earlier AddTask calls in the same wave). No task starts until
+  // Launch().
+  TaskId AddTask(std::function<void()> fn, const std::vector<TaskId>& deps = {});
+
+  // Releases every task whose dependencies are all satisfied and lets the
+  // workers run the wave. Must be followed by Join() before the next
+  // AddTask().
+  void Launch();
+
+  // Blocks until all tasks of the launched wave have completed, then
+  // resets the graph for reuse. If any task threw, the first captured
+  // exception is rethrown here (all tasks still run to completion —
+  // a failed task releases its dependents).
+  void Join();
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  struct WorkerDeque {
+    std::mutex mu;
+    std::deque<TaskId> tasks;
+  };
+
+  void WorkerLoop(int self);
+  bool TryRunOne(int self);
+  void RunTask(TaskId id);
+  void PushReady(int self, TaskId id);
+
+  // Graph (build phase; owned by the coordinator until Launch()).
+  std::vector<std::function<void()>> fns_;
+  std::vector<std::vector<TaskId>> dependents_;
+  std::vector<int> initial_deps_;
+
+  // Wave state.
+  std::unique_ptr<std::atomic<int>[]> pending_;
+  std::atomic<int> remaining_{0};
+  std::atomic<bool> active_{false};
+
+  std::vector<std::unique_ptr<WorkerDeque>> deques_;
+  std::vector<std::thread> threads_;
+
+  std::mutex state_mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::exception_ptr first_error_;
+  bool shutdown_ = false;
+  int next_queue_ = 0;
+};
+
+}  // namespace psens

@@ -6,7 +6,10 @@
 #include <string>
 #include <vector>
 
+#include <utility>
+
 #include "common/geometry.h"
+#include "common/task_graph.h"
 #include "common/thread_pool.h"
 #include "core/arena.h"
 #include "core/sensor.h"
@@ -84,6 +87,18 @@ class AcquisitionEngine : public ServingEngine {
   /// Valid until the next BeginSlot call or engine destruction.
   const SlotContext& BeginSlot(int time) override;
 
+  /// Pipelined slot lifecycle (see ServingEngine). With
+  /// ServingConfig::pipeline == 2, StageNextSlot journals the delta,
+  /// copies it, and launches the *back* buffer's repair (delta
+  /// application, membership merge, announced-cost refresh, dynamic-index
+  /// maintenance) on the engine's task-graph executor, overlapping the
+  /// caller's in-flight selection over the *front* buffer.
+  /// ActivateStagedSlot joins that work, applies the deferred readings
+  /// feedback, stamps the slot, and flips buffers. With pipeline < 2 both
+  /// degrade to the sequential ApplyDelta + BeginSlot path.
+  void StageNextSlot(int time, const SensorDelta& delta) override;
+  const SlotContext& ActivateStagedSlot() override;
+
   /// Charges one reading each to the given *global sensor ids* at slot
   /// `time` (energy + privacy history), flagging their announcements for
   /// refresh at the next BeginSlot.
@@ -136,17 +151,61 @@ class AcquisitionEngine : public ServingEngine {
   /// owning engine(s) here so the next BeginSlot re-evaluates the sensor.
   void NoteChange(int id, bool cost_dirty) { MarkChanged(id, cost_dirty); }
 
-  /// The raw id-keyed dynamic index (null when unindexed or in rebuild
-  /// mode) — the router's sharded index view fans queries out to these.
-  const SpatialIndex* raw_dynamic_index() const { return index_.get(); }
+  /// The raw id-keyed dynamic index of the *front* (active) buffer (null
+  /// when unindexed or in rebuild mode) — the router's sharded index view
+  /// fans queries out to these. In pipelined mode the front index is
+  /// immutable between flips, so the view may probe it while the back
+  /// buffer's repair is in flight.
+  const SpatialIndex* raw_dynamic_index() const {
+    return buf_[front_].index.get();
+  }
 
   /// This engine's current slot entry for global sensor `id`, or null
   /// when the sensor is not a member here. Valid until the next
   /// BeginSlot. The router copies announcement payloads from here when
   /// reconciling its merged context.
   const SlotSensor* MemberEntry(int id) const {
-    const int pos = slot_pos_[id];
-    return pos < 0 ? nullptr : &ctx_.sensors[static_cast<size_t>(pos)];
+    const SlotBuffer& b = buf_[front_];
+    const int pos = b.slot_pos[id];
+    return pos < 0 ? nullptr : &b.ctx.sensors[static_cast<size_t>(pos)];
+  }
+
+  // --- Staged shard surface (router-driven pipelining) -------------------
+  //
+  // A ShardRouter with pipeline == 2 drives its shard engines' staged
+  // repair from its own task graph instead of letting each shard run one:
+  // per slot it calls EarlyRepairStaged on every shard (concurrent graph
+  // tasks, after the router applied the delta), reconciles the staged
+  // journals/entries into its merged back context, then at its commit
+  // barrier applies readings feedback through LateFeedbackStaged and
+  // flips every shard with FlipStaged in lockstep with its own buffers.
+
+  /// Repairs this engine's *back* buffer for slot `time` from the marks
+  /// accumulated since the last flip (the early, overlappable phase of a
+  /// pipelined slot). Requires double-buffered construction
+  /// (ServingConfig::pipeline == 2). Journals repairs for shard engines.
+  void EarlyRepairStaged(int time);
+
+  /// Applies the previous slot's readings feedback to the registry and
+  /// the *back* buffer: each (sensor id, reading slot) pair is charged
+  /// via Sensor::RecordReading, then the sensor's staged announcement is
+  /// re-costed at `slot_time` and enrolled for privacy refresh — the
+  /// deferred equivalent of the sequential NoteReading + RefreshMember
+  /// sequence. Serving-thread only, after the staged repair joined.
+  void LateFeedbackStaged(const std::vector<std::pair<int, int>>& readings,
+                          int slot_time);
+
+  /// Promotes the back buffer to front (and queues the staged index ops
+  /// for replay onto the new back buffer's index at the next staging).
+  void FlipStaged();
+
+  /// The *back* buffer's slot entry for `id` after EarlyRepairStaged, or
+  /// null when not a staged member. The router's staged reconcile copies
+  /// announcement payloads from here.
+  const SlotSensor* StagedMemberEntry(int id) const {
+    const SlotBuffer& b = buf_[front_ ^ 1];
+    const int pos = b.slot_pos[id];
+    return pos < 0 ? nullptr : &b.ctx.sensors[static_cast<size_t>(pos)];
   }
 
  private:
@@ -155,12 +214,55 @@ class AcquisitionEngine : public ServingEngine {
   /// slot indices, so translated results stay ascending.
   class SlotIndexView;
 
+  /// One copy of the per-slot serving state. Sequential serving uses
+  /// buf_[0] only; pipelined serving (ServingConfig::pipeline == 2)
+  /// double-buffers so the staged repair of slot t+1 writes the back
+  /// buffer while slot t's selection reads the front one. Each buffer's
+  /// index view is pinned to that buffer's index and slot_pos, so a
+  /// context handed out at a flip keeps translating through the right
+  /// map.
+  struct SlotBuffer {
+    SlotContext ctx;
+    /// id -> position in ctx.sensors, or -1 when not a member.
+    std::vector<int> slot_pos;
+    std::unique_ptr<DynamicSpatialIndex> index;
+    std::shared_ptr<SlotIndexView> view;
+  };
+
+  /// One dynamic-index mutation, journaled during a staged repair so the
+  /// identical op sequence can be replayed onto the other buffer's index
+  /// at the next staging — both indexes then share the exact op history
+  /// (including kAuto rechoice counters), which keeps their query
+  /// behavior, and therefore selection outcomes, bitwise in lockstep
+  /// with a sequential single-index run.
+  struct IndexOp {
+    enum Kind { kInsert, kRemove, kMove };
+    Kind kind;
+    int id;
+    Point p;
+  };
+
+  /// A continuing member whose staged announcement needs patching after
+  /// the cross-buffer membership merge lands (positions are only known
+  /// post-merge).
+  struct StagedPatch {
+    int id;
+    bool loc;
+    bool cost;
+  };
+
   void Init();
   void MarkChanged(int id, bool cost_dirty);
   void NoteReading(int id, int time);
-  void RefreshMember(int id, int time);
-  void RebuildMembership(int time);
-  void AttachIndex();
+  void ApplyDeltaToRegistry(const SensorDelta& delta);
+  void RefreshMember(SlotBuffer& b, int id, int time);
+  void RebuildMembership(SlotBuffer& b, int time);
+  void AttachIndex(SlotBuffer& b);
+  /// Classification half of RefreshMember for the staged path: reads the
+  /// *front* buffer's membership, applies index ops to the *back* index
+  /// (journaling them), and defers context patches to staged_patches_.
+  void StageRefreshMember(int id);
+  void StagedIndexApply(SlotBuffer& b, IndexOp op);
 
   ServingConfig config_;
   /// The sensor registry. Exclusively owned by a standalone engine;
@@ -174,9 +276,10 @@ class AcquisitionEngine : public ServingEngine {
   /// Journal context repairs into repairs_ (shard engines only).
   bool journal_repairs_ = false;
   SlotRepairs repairs_;
-  SlotContext ctx_;
-  /// id -> position in ctx_.sensors, or -1 when not a member.
-  std::vector<int> slot_pos_;
+  /// Double-buffered slot state; front_ indexes the active buffer (always
+  /// 0 in sequential mode).
+  SlotBuffer buf_[2];
+  int front_ = 0;
   /// Sensors touched since the last BeginSlot (dedup by flag).
   std::vector<int> changed_;
   std::vector<char> changed_flag_;
@@ -196,10 +299,10 @@ class AcquisitionEngine : public ServingEngine {
   /// merge_scratch_ (engine/membership_merge.h).
   SlotSlabs slab_scratch_;
   /// Slot-lifetime scratch arena handed to schedulers through
-  /// SlotContext::arena; reset at every BeginSlot.
+  /// SlotContext::arena; reset at every BeginSlot (or, pipelined, at each
+  /// ActivateStagedSlot — by which point the previous selection's scratch
+  /// is dead). One arena serves both buffers.
   SlotArena arena_;
-  std::unique_ptr<DynamicSpatialIndex> index_;
-  std::shared_ptr<SlotIndexView> view_;
   /// Intra-slot selection pool (ServingConfig::threads), handed to
   /// schedulers through SlotContext::pool. Null when threads == 1.
   std::unique_ptr<ThreadPool> pool_;
@@ -208,6 +311,28 @@ class AcquisitionEngine : public ServingEngine {
   /// One-shot approx-seed override for the next BeginSlot (replay).
   uint64_t pinned_slot_seed_ = 0;
   bool has_pinned_slot_seed_ = false;
+
+  // --- Pipelined serving state (ServingConfig::pipeline == 2) ------------
+  /// Double buffers allocated; Stage/Activate run the overlapped path.
+  bool pipelined_ = false;
+  /// Work-stealing executor the staged repair runs on. Standalone engines
+  /// own one; shard engines leave it null (the router's graph drives them
+  /// through EarlyRepairStaged).
+  std::unique_ptr<TaskGraphExecutor> graph_;
+  int staged_time_ = 0;
+  /// Engine-owned copy of the staged slot's delta (the caller's delta may
+  /// die before the early task consumes it).
+  SensorDelta staged_delta_;
+  std::vector<StagedPatch> staged_patches_;
+  /// Index ops journaled by the in-flight staging (op_log_) and the ops
+  /// of the previous staging awaiting replay onto the new back index
+  /// (replay_log_); swapped at each flip.
+  std::vector<IndexOp> op_log_;
+  std::vector<IndexOp> replay_log_;
+  /// Deferred readings feedback: (sensor id, reading slot) pairs queued
+  /// by RecordReadings while a staging is in flight, applied at the next
+  /// ActivateStagedSlot.
+  std::vector<std::pair<int, int>> pending_readings_;
 };
 
 }  // namespace psens

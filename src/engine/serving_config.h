@@ -90,6 +90,22 @@ struct ServingConfig {
   /// loop's cross-slot energy/privacy feedback. Replay uses the same
   /// default so the feedback path is replayed too.
   bool record_readings = true;
+  /// Pipelined slot execution depth. 0 or 1 (default 0): sequential —
+  /// each slot's turnover (ApplyDelta + BeginSlot) completes before its
+  /// selection starts. 2: double-buffered — the driver stages slot t+1's
+  /// delta ingestion, membership repair, and dynamic-index maintenance
+  /// on a work-stealing task graph (src/common/task_graph.h) while slot
+  /// t's selection runs, committing at a deterministic barrier
+  /// (StageNextSlot / ActivateStagedSlot). Outcomes are bit-identical to
+  /// sequential for every scheduler, thread count, and shard count; the
+  /// knob only buys sustained slots/sec (bench/fig17_pipeline_throughput).
+  /// Depths > 2 are rejected by Validate(): slot t+2's announcements
+  /// would have to freeze before slot t's readings land, reordering the
+  /// cross-slot feedback the paper's per-slot cycle defines. Pipelined
+  /// rebuild mode (incremental == false) with record_readings is rejected
+  /// for the same reason — a full rebuild re-announces every sensor in
+  /// the early phase, before the overlapped slot's readings commit.
+  int pipeline = 0;
 
   // Builder-style setters, so call sites can assemble a config in one
   // expression (`ServingConfig().WithRegion(field).WithShards(4)`).
@@ -147,6 +163,10 @@ struct ServingConfig {
   }
   ServingConfig& WithRecordReadings(bool on) {
     record_readings = on;
+    return *this;
+  }
+  ServingConfig& WithPipeline(int depth) {
+    pipeline = depth;
     return *this;
   }
 

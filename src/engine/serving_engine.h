@@ -82,6 +82,30 @@ class ServingEngine {
   /// mask from it.
   virtual const ShardMap* shard_map_ptr() const { return nullptr; }
 
+  /// Pipelined slot lifecycle (ServingConfig::pipeline == 2). The
+  /// driver's slot t sequence becomes
+  ///
+  ///   ctx = engine->ActivateStagedSlot();        // commit barrier
+  ///   engine->StageNextSlot(t + 1, delta_t1);    // overlaps with...
+  ///   r = engine->Select(queries_t, ctx, ...);   // ...slot t's selection
+  ///   engine->RecordSlotReadings(r.selected_sensors, t);  // deferred
+  ///
+  /// StageNextSlot journals the delta to the trace (serving thread),
+  /// copies it, and launches slot t+1's delta ingestion, membership
+  /// repair, and dynamic-index maintenance on the engine's work-stealing
+  /// task graph against *back* (double-buffered) slot state the
+  /// in-flight selection never reads. ActivateStagedSlot is the
+  /// deterministic commit barrier: it joins the staged work (rethrowing
+  /// any task error), applies the previous slot's deferred readings
+  /// feedback (queued by RecordReadings/RecordSlotReadings, which in
+  /// pipelined mode never touch the registry inline), stamps the slot
+  /// and flips buffers. Outcomes are bit-identical to the sequential
+  /// ApplyDelta + BeginSlot path for every scheduler, thread count, and
+  /// shard count. With pipeline < 2 both calls degrade to exactly that
+  /// sequential path, so drivers can call them unconditionally.
+  virtual void StageNextSlot(int time, const SensorDelta& delta) = 0;
+  virtual const SlotContext& ActivateStagedSlot() = 0;
+
   /// Pins the approx slot seed the *next* BeginSlot stamps, overriding
   /// the (approx.seed, time) derivation for that one slot. The trace
   /// replayer uses this to impose each recorded slot's seed.

@@ -34,7 +34,15 @@ double MsSince(const SteadyClock::time_point& start) {
 /// precedent: probes run only on the serving thread.
 class ShardRouter::ShardedIndexView : public SpatialIndex {
  public:
-  explicit ShardedIndexView(const ShardRouter* router) : router_(router) {}
+  /// Pinned to one router buffer: translations go through that buffer's
+  /// slot_pos map, so a context handed out at a pipelined flip keeps
+  /// resolving through the right membership. raw_dynamic_index() is each
+  /// shard's *front* index — immutable between flips (staged repair
+  /// mutates only back indexes), and shard flips are synchronized with
+  /// the router's, so the view stays consistent while a selection holds
+  /// it.
+  ShardedIndexView(const ShardRouter* router, const RouterBuffer* buffer)
+      : router_(router), buffer_(buffer) {}
 
   int size() const override {
     int total = 0;
@@ -49,7 +57,7 @@ class ShardRouter::ShardedIndexView : public SpatialIndex {
     out->clear();
     for (const auto& shard : router_->shards_) {
       shard->raw_dynamic_index()->RangeQuery(center, radius, &scratch_);
-      for (int id : scratch_) out->push_back(router_->slot_pos_[id]);
+      for (int id : scratch_) out->push_back(buffer_->slot_pos[id]);
     }
     std::sort(out->begin(), out->end());
   }
@@ -58,7 +66,7 @@ class ShardRouter::ShardedIndexView : public SpatialIndex {
     out->clear();
     for (const auto& shard : router_->shards_) {
       shard->raw_dynamic_index()->RectQuery(rect, &scratch_);
-      for (int id : scratch_) out->push_back(router_->slot_pos_[id]);
+      for (int id : scratch_) out->push_back(buffer_->slot_pos[id]);
     }
     std::sort(out->begin(), out->end());
   }
@@ -66,25 +74,32 @@ class ShardRouter::ShardedIndexView : public SpatialIndex {
   int Nearest(const Point& p) const override {
     // Per-shard winners tie-break by lowest id within the shard; across
     // shards, (distance, id) lexicographic min reproduces the global
-    // index's lowest-id-on-tie rule.
+    // index's lowest-id-on-tie rule. The distance reads the buffer's
+    // slot entry, not the registry: the registry may already hold the
+    // *staged* slot's position (or be mid-mutation on a graph worker),
+    // while the slot entry is exactly the location this buffer's index
+    // answered with.
     int best_id = -1;
     double best_d = std::numeric_limits<double>::infinity();
     for (const auto& shard : router_->shards_) {
       const int id = shard->raw_dynamic_index()->Nearest(p);
       if (id < 0) continue;
-      const double d = Distance(p, (*router_->registry_)[id].position());
+      const int pos = buffer_->slot_pos[id];
+      const double d =
+          Distance(p, buffer_->ctx.sensors[static_cast<size_t>(pos)].location);
       if (d < best_d || (d == best_d && id < best_id)) {
         best_d = d;
         best_id = id;
       }
     }
-    return best_id < 0 ? -1 : router_->slot_pos_[best_id];
+    return best_id < 0 ? -1 : buffer_->slot_pos[best_id];
   }
 
   const char* Name() const override { return "sharded"; }
 
  private:
   const ShardRouter* router_;
+  const RouterBuffer* buffer_;
   mutable std::vector<int> scratch_;
 };
 
@@ -101,9 +116,14 @@ ShardRouter::ShardRouter(std::vector<Sensor> sensors,
   map_ = ShardMap::Layout(config_.working_region, config_.shards,
                           static_cast<size_t>(n));
   registry_ = std::make_shared<std::vector<Sensor>>(std::move(sensors));
-  ctx_.dmax = config_.dmax;
-  ctx_.index_policy = config_.index_policy;
-  ctx_.index_auto_threshold = config_.index_auto_threshold;
+  pipelined_ = config_.pipeline == 2;
+  const int nbuf = pipelined_ ? 2 : 1;
+  for (int k = 0; k < nbuf; ++k) {
+    buf_[k].ctx.dmax = config_.dmax;
+    buf_[k].ctx.index_policy = config_.index_policy;
+    buf_[k].ctx.index_auto_threshold = config_.index_auto_threshold;
+    buf_[k].slot_pos.assign(static_cast<size_t>(n), -1);
+  }
   if (config_.threads != 1) {
     pool_ = std::make_unique<ThreadPool>(config_.threads);
   }
@@ -121,9 +141,11 @@ ShardRouter::ShardRouter(std::vector<Sensor> sensors,
     header.sample_hint = config_.approx.sample_hint;
     trace_ = TraceWriter::Open(config_.trace_path, header);
   }
-  slot_pos_.assign(static_cast<size_t>(n), -1);
-  // Shard engines: same serving knobs, but no recording (the router
-  // records pre-split), no nested pools, and a slice of the shard map.
+  // Shard engines: same serving knobs (including the pipeline depth, so
+  // pipelined shards allocate their double buffers), but no recording
+  // (the router records pre-split), no nested pools, and a slice of the
+  // shard map. Sharded slices never start their own executor — the
+  // router's graph drives their staged repair.
   ServingConfig shard_cfg = config_;
   shard_cfg.trace_path.clear();
   shard_cfg.threads = 1;
@@ -136,6 +158,19 @@ ShardRouter::ShardRouter(std::vector<Sensor> sensors,
   shard_monitors_.assign(static_cast<size_t>(map_.shards), nullptr);
   shard_turnover_ms_.assign(static_cast<size_t>(map_.shards), 0.0);
   reading_batches_.resize(static_cast<size_t>(map_.shards));
+  if (pipelined_) {
+    reading_pair_batches_.resize(static_cast<size_t>(map_.shards));
+    // Enough workers for the per-shard repair fan-out plus the reconcile
+    // tail, bounded by the configured/hardware parallelism; threads == 1
+    // still gets one worker (the overlap with the serving thread's
+    // selection is the point, not intra-graph parallelism).
+    const int workers =
+        config_.threads == 1
+            ? 1
+            : std::min(map_.shards + 1,
+                       ThreadPool::ResolveParallelism(config_.threads));
+    graph_ = std::make_unique<TaskGraphExecutor>(workers);
+  }
 }
 
 ShardRouter::~ShardRouter() = default;
@@ -187,6 +222,10 @@ void ShardRouter::ApplyTrace(const Trace& trace, int slot) {
 
 void ShardRouter::ApplyDelta(const SensorDelta& delta) {
   if (trace_ != nullptr) trace_->StageDelta(delta);
+  ApplyDeltaToRegistry(delta);
+}
+
+void ShardRouter::ApplyDeltaToRegistry(const SensorDelta& delta) {
   // Single-writer mutation in the exact field order the single engine
   // uses (arrivals, departures, moves, price changes); each mutation
   // notifies the owner(s) using the live pre-/post-mutation positions,
@@ -218,17 +257,18 @@ void ShardRouter::ApplyDelta(const SensorDelta& delta) {
 }
 
 const SlotContext& ShardRouter::BeginSlot(int time) {
+  RouterBuffer& b = buf_[front_];
   arena_.Reset();
-  ctx_.time = time;
-  ctx_.arena = &arena_;
-  ctx_.pool = pool_.get();
-  ctx_.approx = config_.approx;
-  ctx_.approx.slot_seed = ApproxSlotSeed(config_.approx, time);
+  b.ctx.time = time;
+  b.ctx.arena = &arena_;
+  b.ctx.pool = pool_.get();
+  b.ctx.approx = config_.approx;
+  b.ctx.approx.slot_seed = ApproxSlotSeed(config_.approx, time);
   if (has_pinned_slot_seed_) {
-    ctx_.approx.slot_seed = pinned_slot_seed_;
+    b.ctx.approx.slot_seed = pinned_slot_seed_;
     has_pinned_slot_seed_ = false;
   }
-  if (trace_ != nullptr) trace_->BeginSlot(time, ctx_.approx.slot_seed);
+  if (trace_ != nullptr) trace_->BeginSlot(time, b.ctx.approx.slot_seed);
   // Fan the per-shard turnover out. Safe concurrently: each shard engine
   // writes only its own state and reads the shared registry through
   // const accessors (Sensor::Cost/PrivacyLoss cache nothing), and the
@@ -252,26 +292,27 @@ const SlotContext& ShardRouter::BeginSlot(int time) {
     monitors->NotifySlotEnd(time, ms);
   }
   Reconcile();
-  AttachIndex();
-  return ctx_;
+  AttachIndex(b);
+  return b.ctx;
 }
 
 void ShardRouter::Reconcile() {
+  RouterBuffer& b = buf_[front_];
   // 1. Payload patches for continuing members. Journal `patched` entries
   // are continuing members of their shard, hence continuing global
   // members: their merged-context positions are valid before the merge.
   const auto patch_from = [&](int shard, int id) {
-    const int pos = slot_pos_[id];
+    const int pos = b.slot_pos[id];
     assert(pos >= 0 && "patched sensors are continuing global members");
     const SlotSensor* e = shards_[static_cast<size_t>(shard)]->MemberEntry(id);
-    SlotSensor& g = ctx_.sensors[static_cast<size_t>(pos)];
+    SlotSensor& g = b.ctx.sensors[static_cast<size_t>(pos)];
     g.location = e->location;
     g.cost = e->cost;
     g.inaccuracy = e->inaccuracy;
     g.trust = e->trust;
     // Keep the merged context's SoA columns in lockstep with the patch.
-    ctx_.slabs.SetRowFrom(static_cast<size_t>(pos), g,
-                          (*registry_)[static_cast<size_t>(id)]);
+    b.ctx.slabs.SetRowFrom(static_cast<size_t>(pos), g,
+                           (*registry_)[static_cast<size_t>(id)]);
   };
   journal_ins_.clear();
   journal_rem_.clear();
@@ -319,7 +360,8 @@ void ShardRouter::Reconcile() {
   // ascending id order, so a single cursor tracks the owner list.
   size_t cursor = 0;
   MergeSortedMembership(
-      &ctx_.sensors, &merge_scratch_, &slot_pos_, net_inserts_, net_removes_,
+      &b.ctx.sensors, &merge_scratch_, &b.slot_pos, net_inserts_,
+      net_removes_,
       [&](SlotSensor& ss, int id) {
         while (net_inserts_[cursor] != id) ++cursor;
         const SlotSensor* e =
@@ -330,33 +372,225 @@ void ShardRouter::Reconcile() {
         ss.inaccuracy = e->inaccuracy;
         ss.trust = e->trust;
       },
-      &ctx_.slabs, &slab_scratch_,
+      &b.ctx.slabs, &slab_scratch_,
       [&](SlotSlabs& out, size_t row, const SlotSensor& ss, int id) {
         out.SetRowFrom(row, ss, (*registry_)[static_cast<size_t>(id)]);
       });
 }
 
-void ShardRouter::AttachIndex() {
+void ShardRouter::AttachIndex(RouterBuffer& b) {
   // Mirrors the single engine's attach condition over the *global*
   // member count, so the indexed/unindexed decision — and therefore the
   // query evaluation order — matches the unsharded run exactly.
-  const int n = static_cast<int>(ctx_.sensors.size());
+  const int n = static_cast<int>(b.ctx.sensors.size());
   const bool want =
       config_.index_policy != SlotIndexPolicy::kNone && n > 0 &&
       !(config_.index_policy == SlotIndexPolicy::kAuto &&
         n < config_.index_auto_threshold);
   if (!want) {
-    ctx_.index.reset();
+    b.ctx.index.reset();
     return;
   }
-  if (view_ == nullptr) {
-    view_ = std::make_shared<ShardedIndexView>(this);
+  if (b.view == nullptr) {
+    b.view = std::make_shared<ShardedIndexView>(this, &b);
   }
-  ctx_.index = view_;
+  b.ctx.index = b.view;
 }
+
+// --- Pipelined slot lifecycle ----------------------------------------------
+
+void ShardRouter::StageNextSlot(int time, const SensorDelta& delta) {
+  if (!pipelined_) {
+    // Sequential degradation: exactly the ApplyDelta + (deferred)
+    // BeginSlot path, so drivers can call Stage/Activate unconditionally.
+    ApplyDelta(delta);
+    staged_time_ = time;
+    return;
+  }
+  // Trace staging stays on the serving thread, preserving the recorded
+  // stream order (slot t's queries were staged before this call).
+  if (trace_ != nullptr) trace_->StageDelta(delta);
+  staged_time_ = time;
+  staged_delta_ = delta;
+  // Delta application first (single writer), then every shard's staged
+  // repair concurrently, then one reconcile tail folding the staged
+  // journals into the merged back context.
+  const TaskGraphExecutor::TaskId d =
+      graph_->AddTask([this] { ApplyDeltaToRegistry(staged_delta_); });
+  std::vector<TaskGraphExecutor::TaskId> repairs;
+  repairs.reserve(static_cast<size_t>(map_.shards));
+  for (int s = 0; s < map_.shards; ++s) {
+    repairs.push_back(graph_->AddTask(
+        [this, s] {
+          const SteadyClock::time_point start = SteadyClock::now();
+          shards_[static_cast<size_t>(s)]->EarlyRepairStaged(staged_time_);
+          shard_turnover_ms_[static_cast<size_t>(s)] = MsSince(start);
+        },
+        {d}));
+  }
+  graph_->AddTask([this] { StagedReconcile(); }, repairs);
+  graph_->Launch();
+}
+
+void ShardRouter::StagedReconcile() {
+  RouterBuffer& f = buf_[front_];
+  RouterBuffer& b = buf_[front_ ^ 1];
+  b.ctx.time = staged_time_;
+  journal_ins_.clear();
+  journal_rem_.clear();
+  journal_patch_.clear();
+  for (int s = 0; s < map_.shards; ++s) {
+    const AcquisitionEngine::SlotRepairs& r =
+        shards_[static_cast<size_t>(s)]->last_repairs();
+    for (int id : r.patched) journal_patch_.emplace_back(id, s);
+    for (int id : r.inserted) journal_ins_.emplace_back(id, s);
+    for (int id : r.removed) journal_rem_.emplace_back(id, s);
+  }
+  // Net cross-shard migrations into patches (same rule as Reconcile).
+  std::sort(journal_ins_.begin(), journal_ins_.end());
+  std::sort(journal_rem_.begin(), journal_rem_.end());
+  net_inserts_.clear();
+  net_insert_shard_.clear();
+  net_removes_.clear();
+  size_t ii = 0;
+  size_t ri = 0;
+  while (ii < journal_ins_.size() || ri < journal_rem_.size()) {
+    if (ri >= journal_rem_.size() ||
+        (ii < journal_ins_.size() &&
+         journal_ins_[ii].first < journal_rem_[ri].first)) {
+      net_inserts_.push_back(journal_ins_[ii].first);
+      net_insert_shard_.push_back(journal_ins_[ii].second);
+      ++ii;
+    } else if (ii >= journal_ins_.size() ||
+               journal_rem_[ri].first < journal_ins_[ii].first) {
+      net_removes_.push_back(journal_rem_[ri].first);
+      ++ri;
+    } else {
+      journal_patch_.emplace_back(journal_ins_[ii].first,
+                                  journal_ins_[ii].second);
+      ++ii;
+      ++ri;
+    }
+  }
+  // Cross-buffer membership merge: always runs (zero events degenerate
+  // to a straight copy) — the back buffer's member array and slot_pos
+  // map are two slots stale, so unlike Reconcile there is no
+  // nothing-changed early-out.
+  size_t cursor = 0;
+  MergeSortedMembershipInto(
+      f.ctx.sensors, f.ctx.slabs, f.slot_pos, &b.ctx.sensors, &b.ctx.slabs,
+      &b.slot_pos, net_inserts_, net_removes_,
+      [&](SlotSensor& ss, int id) {
+        while (net_inserts_[cursor] != id) ++cursor;
+        const SlotSensor* e =
+            shards_[static_cast<size_t>(net_insert_shard_[cursor])]
+                ->StagedMemberEntry(id);
+        ss.location = e->location;
+        ss.cost = e->cost;
+        ss.inaccuracy = e->inaccuracy;
+        ss.trust = e->trust;
+      },
+      [&](SlotSlabs& out, size_t row, const SlotSensor& ss, int id) {
+        out.SetRowFrom(row, ss, (*registry_)[static_cast<size_t>(id)]);
+      });
+  // Payload patches for continuing members, deferred to post-merge back
+  // positions (patched ids are disjoint, so application order between
+  // shard journals and netted migrations is immaterial).
+  for (const std::pair<int, int>& p : journal_patch_) {
+    const int pos = b.slot_pos[p.first];
+    assert(pos >= 0 && "patched sensors are continuing global members");
+    const SlotSensor* e =
+        shards_[static_cast<size_t>(p.second)]->StagedMemberEntry(p.first);
+    SlotSensor& g = b.ctx.sensors[static_cast<size_t>(pos)];
+    g.location = e->location;
+    g.cost = e->cost;
+    g.inaccuracy = e->inaccuracy;
+    g.trust = e->trust;
+    b.ctx.slabs.SetRowFrom(static_cast<size_t>(pos), g,
+                           (*registry_)[static_cast<size_t>(p.first)]);
+  }
+  AttachIndex(b);
+}
+
+const SlotContext& ShardRouter::ActivateStagedSlot() {
+  if (!pipelined_) return BeginSlot(staged_time_);
+  graph_->Join();  // commit barrier; rethrows staged-task errors
+  // Serial monitor dispatch with the staged repair timings (monitors are
+  // not thread-safe; the graph tasks only record durations).
+  for (int s = 0; s < map_.shards; ++s) {
+    MonitorSet* monitors = shard_monitors_[static_cast<size_t>(s)];
+    if (monitors == nullptr) continue;
+    const double ms = shard_turnover_ms_[static_cast<size_t>(s)];
+    monitors->NotifyTurnover(staged_time_, ms);
+    monitors->NotifySlotEnd(staged_time_, ms);
+  }
+  RouterBuffer& b = buf_[front_ ^ 1];
+  if (!pending_readings_.empty()) {
+    // Deferred readings feedback, grouped by the *current* (post-delta)
+    // owner so the charging shard is the one whose staged membership
+    // carries the sensor — per-sensor state is independent, so the
+    // regrouping is order-safe and outcome-neutral.
+    for (std::vector<std::pair<int, int>>& batch : reading_pair_batches_) {
+      batch.clear();
+    }
+    const std::vector<Sensor>& sensors = *registry_;
+    for (const std::pair<int, int>& r : pending_readings_) {
+      const int owner =
+          map_.ShardOf(sensors[static_cast<size_t>(r.first)].position());
+      reading_pair_batches_[static_cast<size_t>(owner)].push_back(r);
+    }
+    for (int s = 0; s < map_.shards; ++s) {
+      const std::vector<std::pair<int, int>>& batch =
+          reading_pair_batches_[static_cast<size_t>(s)];
+      if (!batch.empty()) {
+        shards_[static_cast<size_t>(s)]->LateFeedbackStaged(batch,
+                                                            staged_time_);
+      }
+    }
+    // Mirror the shards' re-costed announcements into the merged back
+    // rows (the reconcile ran before the feedback landed).
+    for (const std::pair<int, int>& r : pending_readings_) {
+      const int pos = b.slot_pos[r.first];
+      if (pos < 0) continue;
+      const Sensor& s = sensors[static_cast<size_t>(r.first)];
+      SlotSensor& g = b.ctx.sensors[static_cast<size_t>(pos)];
+      g.cost = s.Cost(staged_time_);
+      b.ctx.slabs.cost[static_cast<size_t>(pos)] = g.cost;
+      b.ctx.slabs.energy[static_cast<size_t>(pos)] = s.RemainingEnergy();
+    }
+    pending_readings_.clear();
+  }
+  arena_.Reset();
+  b.ctx.time = staged_time_;
+  b.ctx.arena = &arena_;
+  b.ctx.pool = pool_.get();
+  b.ctx.approx = config_.approx;
+  b.ctx.approx.slot_seed = ApproxSlotSeed(config_.approx, staged_time_);
+  if (has_pinned_slot_seed_) {
+    b.ctx.approx.slot_seed = pinned_slot_seed_;
+    has_pinned_slot_seed_ = false;
+  }
+  if (trace_ != nullptr) {
+    trace_->BeginSlot(staged_time_, b.ctx.approx.slot_seed);
+  }
+  // Flip every shard in lockstep with the router's buffers.
+  for (const std::unique_ptr<AcquisitionEngine>& shard : shards_) {
+    shard->FlipStaged();
+  }
+  front_ ^= 1;
+  return buf_[front_].ctx;
+}
+
+// ---------------------------------------------------------------------------
 
 void ShardRouter::RecordReadings(const std::vector<int>& sensor_ids,
                                  int time) {
+  if (pipelined_) {
+    // A staging may be in flight: defer — ActivateStagedSlot applies the
+    // queue at the commit barrier.
+    for (int id : sensor_ids) pending_readings_.emplace_back(id, time);
+    return;
+  }
   // Group by owning shard (the member shard: positions are unchanged
   // since BeginSlot) and let each owner charge its own sensors, so
   // reading bookkeeping and privacy-decay enrollment land exactly where
@@ -378,15 +612,24 @@ void ShardRouter::RecordReadings(const std::vector<int>& sensor_ids,
 
 void ShardRouter::RecordSlotReadings(const std::vector<int>& slot_indices,
                                      int time) {
+  const SlotContext& ctx = buf_[front_].ctx;
+  if (pipelined_) {
+    for (int si : slot_indices) {
+      pending_readings_.emplace_back(
+          ctx.sensors[static_cast<size_t>(si)].sensor_id, time);
+    }
+    return;
+  }
   reading_ids_.clear();
   for (int si : slot_indices) {
-    reading_ids_.push_back(ctx_.sensors[static_cast<size_t>(si)].sensor_id);
+    reading_ids_.push_back(ctx.sensors[static_cast<size_t>(si)].sensor_id);
   }
   RecordReadings(reading_ids_, time);
 }
 
 const char* ShardRouter::IndexBackendName() const {
-  return ctx_.index == nullptr ? "none" : ctx_.index->Name();
+  const SlotContext& ctx = buf_[front_].ctx;
+  return ctx.index == nullptr ? "none" : ctx.index->Name();
 }
 
 std::unique_ptr<ServingEngine> MakeServingEngine(std::vector<Sensor> sensors,

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/task_graph.h"
 #include "common/thread_pool.h"
 #include "core/sensor.h"
 #include "core/slot.h"
@@ -74,6 +75,20 @@ class ShardRouter : public ServingEngine {
   void ApplyTrace(const Trace& trace, int slot) override;
   void ApplyDelta(const SensorDelta& delta) override;
   const SlotContext& BeginSlot(int time) override;
+
+  /// Pipelined slot lifecycle (see ServingEngine). With
+  /// ServingConfig::pipeline == 2 the router drives the overlap from its
+  /// own work-stealing task graph: StageNextSlot launches one
+  /// delta-application task, then every shard's EarlyRepairStaged as
+  /// concurrent dependents, then a reconcile task that folds the staged
+  /// shard journals into the merged *back* context — all overlapping the
+  /// caller's in-flight selection over the *front* context.
+  /// ActivateStagedSlot joins the graph, applies deferred readings
+  /// feedback, stamps the slot, and flips the router and every shard in
+  /// lockstep. With pipeline < 2 both degrade to the sequential path.
+  void StageNextSlot(int time, const SensorDelta& delta) override;
+  const SlotContext& ActivateStagedSlot() override;
+
   void RecordReadings(const std::vector<int>& sensor_ids, int time) override;
   void RecordSlotReadings(const std::vector<int>& slot_indices,
                           int time) override;
@@ -108,34 +123,57 @@ class ShardRouter : public ServingEngine {
   /// sensor ids to merged-context slot positions.
   class ShardedIndexView;
 
+  /// One copy of the merged global slot state. Sequential serving uses
+  /// buf_[0] only; pipelined serving double-buffers so the staged
+  /// reconcile of slot t+1 writes the back buffer while slot t's
+  /// selection reads the front one. Each buffer's fan-out view is pinned
+  /// to that buffer's slot_pos map.
+  struct RouterBuffer {
+    /// Merged global slot context selection runs against.
+    SlotContext ctx;
+    /// id -> position in ctx.sensors, or -1 (global membership).
+    std::vector<int> slot_pos;
+    std::shared_ptr<ShardedIndexView> view;
+  };
+
   /// Routes one registry mutation: notifies the shard owning the
   /// pre-mutation position and, if different, the post-mutation owner.
   void NotifyOwners(int id, const Point& pre, const Point& post,
                     bool cost_dirty);
+  /// Single-writer registry mutation + owner notification (the delta
+  /// application minus trace staging; shared by the sequential
+  /// ApplyDelta and the staged graph's delta task).
+  void ApplyDeltaToRegistry(const SensorDelta& delta);
   /// Folds the shards' repair journals into the merged global context:
   /// payload patches for continuing members first (positions are
   /// pre-merge), cross-shard migrations netted into patches, then one
   /// ascending-id membership merge.
   void Reconcile();
-  void AttachIndex();
+  /// Staged counterpart: folds the shards' *staged* journals and back
+  /// entries into the router's back buffer with a cross-buffer merge
+  /// (always runs — the back buffer is two slots stale), patching
+  /// continuing members at post-merge positions.
+  void StagedReconcile();
+  void AttachIndex(RouterBuffer& b);
 
   ServingConfig config_;
   ShardMap map_;
   /// Shared sensor registry; the router is its single writer.
   std::shared_ptr<std::vector<Sensor>> registry_;
   std::vector<std::unique_ptr<AcquisitionEngine>> shards_;
-  /// Merged global slot context selection runs against.
-  SlotContext ctx_;
-  /// id -> position in ctx_.sensors, or -1 (global membership).
-  std::vector<int> slot_pos_;
+  /// Double-buffered merged slot state; front_ indexes the active buffer
+  /// (always 0 in sequential mode).
+  RouterBuffer buf_[2];
+  int front_ = 0;
   std::vector<SlotSensor> merge_scratch_;
   /// Slab-column merge target for the merged context (lockstep with
   /// merge_scratch_; engine/membership_merge.h).
   SlotSlabs slab_scratch_;
   /// Slot-lifetime scratch arena for the merged context's selection run;
-  /// reset at every BeginSlot.
+  /// reset at every BeginSlot (or, pipelined, at each ActivateStagedSlot
+  /// — by which point the previous selection's scratch is dead). One
+  /// arena serves both buffers.
   SlotArena arena_;
-  std::shared_ptr<ShardedIndexView> view_;
   /// Fans per-shard turnover out, then serves intra-slot selection
   /// through SlotContext::pool (phases are sequential, never nested).
   std::unique_ptr<ThreadPool> pool_;
@@ -147,11 +185,28 @@ class ShardRouter : public ServingEngine {
   // Reconcile/readings scratch (persisted capacity).
   std::vector<std::pair<int, int>> journal_ins_;  // (id, shard)
   std::vector<std::pair<int, int>> journal_rem_;
+  std::vector<std::pair<int, int>> journal_patch_;  // staged reconcile only
   std::vector<int> net_inserts_;
   std::vector<int> net_insert_shard_;
   std::vector<int> net_removes_;
   std::vector<std::vector<int>> reading_batches_;
   std::vector<int> reading_ids_;
+
+  // --- Pipelined serving state (ServingConfig::pipeline == 2) ------------
+  /// Double buffers allocated; Stage/Activate run the overlapped path.
+  bool pipelined_ = false;
+  /// Work-stealing executor the staged graph (delta task -> per-shard
+  /// repairs -> reconcile) runs on.
+  std::unique_ptr<TaskGraphExecutor> graph_;
+  int staged_time_ = 0;
+  /// Router-owned copy of the staged slot's delta (the caller's delta
+  /// may die before the graph's delta task consumes it).
+  SensorDelta staged_delta_;
+  /// Deferred readings feedback: (sensor id, reading slot) pairs queued
+  /// while a staging is in flight, applied at ActivateStagedSlot.
+  std::vector<std::pair<int, int>> pending_readings_;
+  /// Per-shard late-feedback batches (persisted capacity).
+  std::vector<std::vector<std::pair<int, int>>> reading_pair_batches_;
 };
 
 }  // namespace psens

@@ -104,6 +104,60 @@ INSTANTIATE_TEST_SUITE_P(
       return info.param.name;
     });
 
+// Pipelined serving (pipeline == 2) overlaps the next slot's per-shard
+// repair with the current slot's merged selection. The commit barrier
+// must keep every shard count bit-identical to the unsharded sequential
+// reference — the shard-invariance and pipeline-invisibility contracts
+// composed.
+class PipelinedShardInvarianceTest
+    : public testing::TestWithParam<SchedulerCase> {};
+
+TEST_P(PipelinedShardInvarianceTest, PipelinedMatchesSequentialReference) {
+  const ChurnScenarioSetup setup = MakeSetup();
+  const ClosedLoopResult reference =
+      RunChurnClosedLoop(setup, MakeLoopConfig(GetParam().scheduler, 1));
+  EXPECT_GT(reference.total_payment, 0.0);
+  EXPECT_GT(reference.valuation_calls, 0);
+  for (int shards : {1, 2, 4, 8}) {
+    SCOPED_TRACE(testing::Message() << "shards=" << shards);
+    ClosedLoopConfig pipelined = MakeLoopConfig(GetParam().scheduler, shards);
+    pipelined.serving.pipeline = 2;
+    ASSERT_TRUE(pipelined.serving.Validate().empty())
+        << pipelined.serving.Validate();
+    const ClosedLoopResult overlapped = RunChurnClosedLoop(setup, pipelined);
+    ExpectSameOutcomes(reference.outcomes, overlapped.outcomes);
+    EXPECT_EQ(reference.total_payment, overlapped.total_payment);
+    EXPECT_EQ(reference.valuation_calls, overlapped.valuation_calls);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, PipelinedShardInvarianceTest,
+    testing::Values(SchedulerCase{"exact", GreedyEngine::kEager},
+                    SchedulerCase{"lazy", GreedyEngine::kLazy},
+                    SchedulerCase{"stochastic", GreedyEngine::kStochastic},
+                    SchedulerCase{"sieve", GreedyEngine::kSieve}),
+    [](const testing::TestParamInfo<SchedulerCase>& info) {
+      return info.param.name;
+    });
+
+// Pipelined + pooled fan-out: the router's task graph sizes itself from
+// ServingConfig::threads; neither the graph's worker count nor the
+// selection pool may leak into outcomes.
+TEST(PipelinedShardThreadsTest, ThreadCountDoesNotChangePipelinedOutcomes) {
+  const ChurnScenarioSetup setup = MakeSetup();
+  const ClosedLoopResult reference =
+      RunChurnClosedLoop(setup, MakeLoopConfig(GreedyEngine::kLazy, 1));
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    ClosedLoopConfig pipelined = MakeLoopConfig(GreedyEngine::kLazy, 4);
+    pipelined.serving.pipeline = 2;
+    pipelined.serving.threads = threads;
+    const ClosedLoopResult overlapped = RunChurnClosedLoop(setup, pipelined);
+    ExpectSameOutcomes(reference.outcomes, overlapped.outcomes);
+  }
+}
+
 // Fanning the per-shard turnover across worker threads must not change
 // anything either (the shard engines only touch disjoint slices; the
 // merge is deterministic regardless of completion order).
@@ -224,6 +278,40 @@ TEST(ServingConfigTest, ValidateRejectsBrokenConfigs) {
   EXPECT_TRUE(
       ServingConfig().WithShards(2).WithIncremental(true).Validate().empty());
   EXPECT_FALSE(ServingConfig().WithEpsilon(0.0).Validate().empty());
+}
+
+TEST(ServingConfigTest, ValidateChecksPipelineDepth) {
+  // 0/1 mean sequential; 2 is the double-buffered overlap.
+  EXPECT_TRUE(ServingConfig().WithPipeline(0).Validate().empty());
+  EXPECT_TRUE(ServingConfig().WithPipeline(1).Validate().empty());
+  EXPECT_TRUE(ServingConfig().WithPipeline(2).Validate().empty());
+  EXPECT_FALSE(ServingConfig().WithPipeline(-1).Validate().empty());
+  // Depth > 2 would freeze slot t+2's announcements before slot t's
+  // readings land — rejected, not silently clamped.
+  EXPECT_FALSE(ServingConfig().WithPipeline(3).Validate().empty());
+  EXPECT_FALSE(ServingConfig().WithPipeline(4).Validate().empty());
+}
+
+TEST(ServingConfigTest, ValidateRejectsPipelinedReadingsInRebuildMode) {
+  // The rebuild reference path re-announces every sensor in the early
+  // (overlapped) phase, before the current slot's readings commit; the
+  // reordering combo is rejected. Dropping either side is fine.
+  EXPECT_FALSE(ServingConfig()
+                   .WithPipeline(2)
+                   .WithIncremental(false)
+                   .Validate()
+                   .empty());
+  EXPECT_TRUE(ServingConfig()
+                  .WithPipeline(2)
+                  .WithIncremental(false)
+                  .WithRecordReadings(false)
+                  .Validate()
+                  .empty());
+  EXPECT_TRUE(ServingConfig()
+                  .WithPipeline(2)
+                  .WithIncremental(true)
+                  .Validate()
+                  .empty());
 }
 
 TEST(ServingConfigTest, ValidateChecksShardSchedulerShapes) {

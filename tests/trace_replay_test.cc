@@ -125,6 +125,53 @@ TEST(TraceReplayTest, DecodeThreadCountDoesNotChangeOutcomes) {
   std::remove(path.c_str());
 }
 
+// Pipelined replay (ServingConfig::pipeline == 2) routes through
+// SlotServer::ServeLoop, overlapping slot t+1's staged turnover with
+// slot t's selection; outcomes must still reproduce the live sequential
+// run bit for bit, for any decode-thread count.
+TEST(TraceReplayTest, PipelinedReplayReproducesSequentialLiveRun) {
+  const ChurnScenarioSetup setup = MakeSetup();
+  const std::string path = TracePath("replay_pipelined.trc");
+  const ClosedLoopResult live =
+      RunChurnClosedLoop(setup, MakeLoopConfig(GreedyEngine::kStochastic, path));
+  EXPECT_GT(live.total_payment, 0.0);
+
+  for (int decode_threads : {1, 4}) {
+    SCOPED_TRACE(testing::Message() << "decode_threads=" << decode_threads);
+    ReplayConfig rcfg;
+    rcfg.serving.scheduler = GreedyEngine::kStochastic;
+    rcfg.serving.pipeline = 2;
+    rcfg.decode_threads = decode_threads;
+    const ReplayResult replayed =
+        TraceReplayer(rcfg).Replay(path, setup.scenario.sensors);
+    ASSERT_TRUE(replayed.ok) << replayed.error;
+    ExpectSameOutcomes(live.outcomes, replayed.outcomes);
+  }
+  std::remove(path.c_str());
+}
+
+// A trace recorded under pipelined serving is interchangeable with a
+// sequentially recorded one: the overlapped schedule stages the trace
+// writer's records in the sequential statement order (BeginSlot t ->
+// queries t -> StageDelta t+1), so a sequential replay of a pipelined
+// recording reproduces the pipelined live run.
+TEST(TraceReplayTest, PipelinedRecordingReplaysSequentially) {
+  const ChurnScenarioSetup setup = MakeSetup();
+  const std::string path = TracePath("replay_pipelined_rec.trc");
+  ClosedLoopConfig lcfg = MakeLoopConfig(GreedyEngine::kLazy, path);
+  lcfg.serving.pipeline = 2;
+  const ClosedLoopResult live = RunChurnClosedLoop(setup, lcfg);
+  EXPECT_GT(live.total_payment, 0.0);
+
+  ReplayConfig rcfg;
+  rcfg.serving.scheduler = GreedyEngine::kLazy;
+  const ReplayResult replayed =
+      TraceReplayer(rcfg).Replay(path, setup.scenario.sensors);
+  ASSERT_TRUE(replayed.ok) << replayed.error;
+  ExpectSameOutcomes(live.outcomes, replayed.outcomes);
+  std::remove(path.c_str());
+}
+
 // The ApproxSlotSeed persistence regression (the satellite fix): every
 // slot record carries the seed the recording engine stamped, and the
 // replayer pins it, so a stochastic replay reproduces the live
