@@ -24,9 +24,15 @@ BENCH_pr.json artifact and diffs it against the committed baseline
      over the exact engine AND a realized utility ratio of at least
      --min-fig13-utility (default 0.95); utility ratios are deterministic
      for a fixed seed, so a drop is a real quality regression, not noise.
-     The sieve row only warns below its single-pass sanity floor (0.4);
-     valuation-call counts diff against the baseline like other
-     deterministic work metrics. The same fig13 run also carries the SoA
+     The sieve row at the same gate population gates too: its refinement
+     pass (core/sieve_streaming.cc) must hold a utility ratio of at least
+     --min-sieve-utility (default 0.8) while keeping a median speedup of
+     at least --min-sieve-speedup (default 20x) over the exact engine —
+     quality without the speedup would mean the refinement re-greedies
+     the whole population, speedup without the quality would mean it
+     stopped refining. Valuation-call counts diff against the baseline
+     like other deterministic work metrics. The same fig13 run also
+     carries the SoA
      kernel gate on its exact row: `soa_identical: false` (the slab
      kernels diverged from the AoS scalar reference) fails, zero
      tolerance, on every host, and `soa_speedup` at the gate population
@@ -93,17 +99,35 @@ BENCH_pr.json artifact and diffs it against the committed baseline
      warning (bit-equality still gates), and --update refuses to record
      such a row into the baseline — it would freeze a misleading ~1x
      speedup measured on hardware that cannot show the win — preserving
-     the previously committed row instead.
+     the previously committed row instead;
+ 12. when --fig18 is given: the adaptive-SLO gate — any adaptive row
+     whose recorded version-2 trace did not replay bit-identically
+     (`replay_identical: false`) fails, zero tolerance, on every host:
+     the replayer pins the recorded engine choices, so divergence is a
+     determinism bug, never timing noise. The deadline checks are
+     hardware-gated at >= 2 hardware threads (a 1-core container's
+     wall-clock jitter makes hit/miss classification meaningless): the
+     medium-SLO adaptive run must hit at least --min-fig18-hit-rate
+     (default 0.95) of its deadlines while the medium-SLO *static* run
+     misses at least half its spike-phase deadlines (otherwise the
+     workload no longer stresses the SLO and the adaptive hit rate is
+     vacuous), the medium-SLO adaptive run must recover (the
+     post-spike phase back on the lazy ceiling), and the loose-SLO
+     adaptive run must stay undegraded (all slots on lazy — the policy
+     must not give away quality it has budget for).
 
 Usage:
   check_bench_regression.py --fig11 fig11.json [--fig12 fig12.json]
       [--fig13 fig13.json] [--fig14 fig14.json] [--fig15 fig15.json]
-      [--fig16 fig16.json] [--fig17 fig17.json] [--schedulers sched.json]
+      [--fig16 fig16.json] [--fig17 fig17.json] [--fig18 fig18.json]
+      [--schedulers sched.json]
       --baseline bench/BENCH_baseline.json --out BENCH_pr.json
       [--min-speedup 10] [--min-fig12-speedup 4]
       [--min-fig13-speedup 3] [--min-fig13-utility 0.95]
+      [--min-sieve-utility 0.8] [--min-sieve-speedup 20]
       [--min-fig14-speedup 0.9] [--fig15-gate-shards 4]
       [--min-soa-speedup 1.5] [--min-fig17-speedup 1.3]
+      [--min-fig18-hit-rate 0.95]
       [--tolerance 0.2] [--strict-time] [--update]
 
 --update rewrites the baseline from the current run instead of checking.
@@ -142,6 +166,7 @@ def main():
     ap.add_argument("--fig15", help="fig15_shard_sweep --json output")
     ap.add_argument("--fig16", help="fig16_kernel_microbench --json output")
     ap.add_argument("--fig17", help="fig17_pipeline_throughput --json output")
+    ap.add_argument("--fig18", help="fig18_adaptive_slo --json output")
     ap.add_argument("--schedulers", help="bench_schedulers --benchmark_out JSON")
     ap.add_argument("--baseline", required=True)
     ap.add_argument("--out", default="BENCH_pr.json")
@@ -161,6 +186,13 @@ def main():
     # engine's slowness — ~4x is what the gate scenario now measures.
     ap.add_argument("--min-fig13-speedup", type=float, default=3.0)
     ap.add_argument("--min-fig13-utility", type=float, default=0.95)
+    # The sieve refinement pass re-greedies only the buckets' member
+    # union (population-independent), so it buys back most of the
+    # one-pass threshold loss without surrendering the asymptotic win:
+    # ~0.9 utility at ~40x is what the gate scenario measures, floored
+    # with headroom at 0.8 / 20x.
+    ap.add_argument("--min-sieve-utility", type=float, default=0.8)
+    ap.add_argument("--min-sieve-speedup", type=float, default=20.0)
     # Just under 1.0: the gate asserts the replayer holds the live
     # closed-loop slot rate, but live and replay rates are two separate
     # wall-clock measurements of the same selection work and jitter a few
@@ -182,6 +214,10 @@ def main():
     # binary run), so the floor is host-normalized by construction;
     # 1.5x sits well under the ~2x measured on the gate scenario.
     ap.add_argument("--min-soa-speedup", type=float, default=1.5)
+    # 0.95 over a 48+-slot run allows the policy's two optimistic trial
+    # slots (the first stochastic and the first sieve entry during the
+    # spike) to overrun while every modeled slot must hit.
+    ap.add_argument("--min-fig18-hit-rate", type=float, default=0.95)
     ap.add_argument("--parallel-gate-threads", type=int, default=8,
                     help="minimum requested thread count (and hardware "
                          "threads) for the parallel speedup gate to arm")
@@ -199,6 +235,7 @@ def main():
     fig15 = load(args.fig15) if args.fig15 else None
     fig16 = load(args.fig16) if args.fig16 else None
     fig17 = load(args.fig17) if args.fig17 else None
+    fig18 = load(args.fig18) if args.fig18 else None
     schedulers = load(args.schedulers) if args.schedulers else None
 
     # Per-shard monitor records are observability artifacts, not
@@ -217,6 +254,7 @@ def main():
         "fig15": fig15_rows,
         "fig16": (fig16 or {}).get("results", []),
         "fig17": (fig17 or {}).get("results", []),
+        "fig18": (fig18 or {}).get("results", []),
         "scheduler_times_ms": google_benchmark_times(schedulers),
     }
     with open(args.out, "w") as f:
@@ -247,6 +285,8 @@ def main():
             updated["fig16"] = old["fig16"]
         if fig17 is None and old.get("fig17"):
             updated["fig17"] = old["fig17"]
+        if fig18 is None and old.get("fig18"):
+            updated["fig18"] = old["fig18"]
         if schedulers is None and old.get("scheduler_times_ms"):
             updated["scheduler_times_ms"] = old["scheduler_times_ms"]
         if fig12 is not None:
@@ -550,12 +590,86 @@ def main():
                       f"{r['speedup_vs_sequential']:.2f}x sequential "
                       f"(>= {args.min_fig17_speedup:.2f}x)")
 
+    # 12. fig18 adaptive-SLO gate (only when the run provided it).
+    if fig18 is not None:
+        if not pr["fig18"]:
+            failures.append("fig18 produced no results")
+
+        def fig18_row(mode, label):
+            for r in pr["fig18"]:
+                if r.get("mode") == mode and r.get("slo_label") == label:
+                    return r
+            return None
+
+        # Replay bit-identity of every recorded adaptive trace: fatal on
+        # every host. The replayer pins the recorded engine choices, so a
+        # divergence is a determinism bug, never timing noise.
+        for r in pr["fig18"]:
+            if (r.get("mode") == "adaptive"
+                    and not r.get("replay_identical", False)):
+                failures.append(
+                    f"fig18 adaptive slo={r.get('slo_label', '?')}: recorded "
+                    "trace did not replay bit-identically")
+
+        med_ad = fig18_row("adaptive", "medium")
+        med_st = fig18_row("static", "medium")
+        loose_ad = fig18_row("adaptive", "loose")
+        if med_ad is None or med_st is None or loose_ad is None:
+            failures.append(
+                "fig18 missing gate rows (medium static/adaptive and loose "
+                "adaptive)")
+        else:
+            hardware = med_ad.get("hardware_threads", 0)
+            if hardware < 2:
+                warnings.append(
+                    "fig18 deadline checks SKIPPED — host has "
+                    f"{hardware} hardware thread(s), wall-clock hit/miss "
+                    "classification needs >= 2 (replay bit-identity still "
+                    "enforced)")
+            else:
+                if med_st["spike_hit_rate"] > 0.5:
+                    failures.append(
+                        "fig18 static medium SLO: spike hit rate "
+                        f"{med_st['spike_hit_rate']:.2f} > 0.5 — the spike "
+                        "no longer stresses the SLO, so the adaptive hit "
+                        "rate proves nothing")
+                else:
+                    print(f"ok: fig18 static medium SLO misses the spike "
+                          f"(spike hit rate {med_st['spike_hit_rate']:.2f})")
+                if med_ad["hit_rate"] < args.min_fig18_hit_rate:
+                    failures.append(
+                        f"fig18 adaptive medium SLO: hit rate "
+                        f"{med_ad['hit_rate']:.3f} < required "
+                        f"{args.min_fig18_hit_rate:.2f}")
+                else:
+                    print(f"ok: fig18 adaptive medium SLO hit rate "
+                          f"{med_ad['hit_rate']:.3f} "
+                          f"(>= {args.min_fig18_hit_rate:.2f})")
+                if not med_ad.get("recovered", False):
+                    failures.append(
+                        "fig18 adaptive medium SLO: recover phase did not "
+                        "return to the lazy ceiling after the spike")
+                else:
+                    print("ok: fig18 adaptive medium SLO recovered to the "
+                          "lazy ceiling after the spike")
+                if loose_ad.get("lazy_slots", 0) != loose_ad.get("slots", -1):
+                    failures.append(
+                        f"fig18 adaptive loose SLO: degraded "
+                        f"({loose_ad.get('lazy_slots', 0)}/"
+                        f"{loose_ad.get('slots', 0)} slots on lazy) with "
+                        "budget to spare — the policy gives away quality")
+                else:
+                    print("ok: fig18 adaptive loose SLO stayed undegraded "
+                          f"({loose_ad['lazy_slots']}/{loose_ad['slots']} "
+                          "slots on lazy)")
+
     # 5. fig13 approximation gate (only when the run provided it). The
     # utility ratio is deterministic for a fixed seed — below-bar quality
     # is a real regression in the scheduler, not measurement noise.
     if fig13 is not None:
         fig13_gate_rows = 0
         soa_gate_rows = 0
+        sieve_gate_rows = 0
         for r in pr["fig13"]:
             # SoA bit-equality is fatal on every row that carries the
             # flag, not just the gate scenario: a divergence is a kernel
@@ -599,17 +713,40 @@ def main():
                     print(f"ok: fig13 stochastic n={r['sensors']} utility "
                           f"ratio {r['utility_ratio']:.4f} "
                           f"(>= {args.min_fig13_utility:.2f})")
-            if r.get("engine") == "sieve" and r["utility_ratio"] < 0.4:
-                warnings.append(
-                    f"fig13 sieve n={r['sensors']}: utility ratio "
-                    f"{r['utility_ratio']:.4f} below the single-pass sanity "
-                    "floor 0.40")
+            if r.get("engine") == "sieve":
+                # The refinement pass (core/sieve_streaming.cc) closed the
+                # one-pass quality gap; both sides of the trade gate:
+                # utility without the speedup would mean the refinement
+                # re-greedies the population, speedup without the utility
+                # would mean it stopped refining.
+                sieve_gate_rows += 1
+                if r["utility_ratio"] < args.min_sieve_utility:
+                    failures.append(
+                        f"fig13 sieve n={r['sensors']}: utility ratio "
+                        f"{r['utility_ratio']:.4f} < required "
+                        f"{args.min_sieve_utility:.2f}")
+                else:
+                    print(f"ok: fig13 sieve n={r['sensors']} utility ratio "
+                          f"{r['utility_ratio']:.4f} "
+                          f"(>= {args.min_sieve_utility:.2f})")
+                if r["speedup_vs_exact"] < args.min_sieve_speedup:
+                    failures.append(
+                        f"fig13 sieve n={r['sensors']}: speedup "
+                        f"{r['speedup_vs_exact']:.1f}x vs exact < required "
+                        f"{args.min_sieve_speedup:.1f}x")
+                else:
+                    print(f"ok: fig13 sieve n={r['sensors']} speedup "
+                          f"{r['speedup_vs_exact']:.1f}x vs exact "
+                          f"(>= {args.min_sieve_speedup:.1f}x)")
         if fig13_gate_rows == 0:
             failures.append(
                 "fig13 produced no gate row (stochastic @ 100k sensors)")
         if soa_gate_rows == 0:
             failures.append(
                 "fig13 produced no SoA gate row (exact @ 100k sensors)")
+        if sieve_gate_rows == 0:
+            failures.append(
+                "fig13 produced no sieve gate row (sieve @ 100k sensors)")
 
     # 10. fig16 kernel-microbench gate (only when the run provided it).
     # Bit-equality is fatal everywhere; digest equality against the

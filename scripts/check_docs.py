@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Documentation lint for the repo's markdown set.
+
+Checked files: README.md, ROADMAP.md, and every docs/*.md. Three checks,
+all fatal (exit 1) so the CI docs job fails loudly:
+
+  1. Intra-repo links resolve. Every inline markdown link whose target is
+     not external (http/https/mailto) or a pure in-page anchor must point
+     at an existing file or directory. Targets resolve relative to the
+     linking file; a leading "/" resolves from the repo root. Fragments
+     ("FILE.md#section") are stripped before the existence check — anchor
+     names are rendering-dependent, file existence is not.
+
+  2. Fenced snippets are sane. Code fences must balance per file (an odd
+     count means a snippet swallowed the rest of the document in
+     rendering), and no fenced block may be empty — an empty block is
+     always an editing accident.
+
+  3. figNN references have bench sources. Any "figNN" token in the docs
+     must correspond to a bench/figNN_*.cc file, so the docs cannot
+     reference a figure the suite no longer (or never) builds.
+
+Usage: scripts/check_docs.py [repo-root]   (defaults to the script's
+parent repo). Pure stdlib; no build required.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links: [text](target "optional title"). Reference-style links and
+# autolinks are rare in these docs; inline is the contract.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FIG_RE = re.compile(r"\bfig(\d{2})")
+FENCE_RE = re.compile(r"^(`{3,})(.*)$")
+
+
+def doc_files(root: Path):
+    files = [root / "README.md", root / "ROADMAP.md"]
+    files += sorted((root / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def check_links(root: Path, path: Path, text: str, errors: list):
+    # Links inside code fences are illustrative, not navigational — a
+    # snippet showing markdown syntax must not fail the link check.
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):
+                continue  # in-page anchor
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            if target.startswith("/"):
+                resolved = (root / target.lstrip("/")).resolve()
+            else:
+                resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{path.relative_to(root)}:{lineno}: broken link "
+                    f"-> {m.group(1)}"
+                )
+
+
+def check_fences(root: Path, path: Path, text: str, errors: list):
+    open_line = None
+    block_lines = 0
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if FENCE_RE.match(line.strip()):
+            if open_line is None:
+                open_line = lineno
+                block_lines = 0
+            else:
+                if block_lines == 0:
+                    errors.append(
+                        f"{path.relative_to(root)}:{open_line}: empty "
+                        "fenced code block"
+                    )
+                open_line = None
+        elif open_line is not None and line.strip():
+            block_lines += 1
+    if open_line is not None:
+        errors.append(
+            f"{path.relative_to(root)}:{open_line}: unbalanced code fence "
+            "(no closing ```)"
+        )
+
+
+def check_fig_refs(root: Path, path: Path, text: str, errors: list):
+    benches = {p.name.split("_", 1)[0] for p in (root / "bench").glob("fig*_*.cc")}
+    for num in sorted(set(FIG_RE.findall(text))):
+        fig = f"fig{num}"
+        if fig not in benches:
+            errors.append(
+                f"{path.relative_to(root)}: references {fig} but no "
+                f"bench/{fig}_*.cc exists"
+            )
+
+
+def main():
+    root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else (
+        Path(__file__).resolve().parent.parent
+    )
+    errors = []
+    files = doc_files(root)
+    if not files:
+        print(f"check_docs: no markdown files found under {root}", file=sys.stderr)
+        return 1
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        check_links(root, path, text, errors)
+        check_fences(root, path, text, errors)
+        check_fig_refs(root, path, text, errors)
+    for e in errors:
+        print(f"error: {e}", file=sys.stderr)
+    print(
+        f"check_docs: {len(files)} files, "
+        f"{len(errors)} error(s): {'FAIL' if errors else 'PASS'}"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

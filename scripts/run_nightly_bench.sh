@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Runs the full (non --quick) fig02-fig17 benchmark suite and bundles the
+# Runs the full (non --quick) fig02-fig18 benchmark suite and bundles the
 # machine-readable outputs into one BENCH_nightly.json. Used by the
 # scheduled nightly workflow (.github/workflows/nightly.yml) so the
 # PR-path bench gate can stay on the fast --quick settings; also runnable
@@ -66,6 +66,11 @@ run fig16_kernel_microbench --json "$LOG_DIR/fig16_nightly.json"
 # non-zero by itself if any pipelined outcome diverges from its
 # sequential twin.
 run fig17_pipeline_throughput --json "$LOG_DIR/fig17_nightly.json"
+# Adaptive SLO scheduling: base -> spike -> recover loops at the full
+# population, static-vs-adaptive hit rates plus the fatal
+# replay-identity column. Exits non-zero by itself if any adaptive run
+# fails to degrade, recover, or replay bit-identically.
+run fig18_adaptive_slo --json "$LOG_DIR/fig18_nightly.json"
 
 python3 - "$OUT" "$LOG_DIR" <<'PY'
 import json, os, sys, time
@@ -87,6 +92,7 @@ fig14 = load("fig14_nightly.json") or {}
 fig15 = load("fig15_nightly.json") or {}
 fig16 = load("fig16_nightly.json") or {}
 fig17 = load("fig17_nightly.json") or {}
+fig18 = load("fig18_nightly.json") or {}
 
 # Split the per-shard monitor records (turnover-latency histogram +
 # index-repair stats, one JSON object per shard) out of each fig15 row
@@ -117,6 +123,7 @@ doc = {
     "fig15": fig15_rows,
     "fig16": fig16.get("results", []),
     "fig17": fig17.get("results", []),
+    "fig18": fig18.get("results", []),
     "logs": sorted(f for f in os.listdir(log_dir) if f.endswith(".log")),
 }
 with open(out_path, "w") as f:

@@ -78,6 +78,10 @@ void AcquisitionEngine::Init() {
   }
   if (!config_.trace_path.empty()) {
     TraceHeader header;
+    // Adaptive runs record their per-slot engine choices, which needs the
+    // version-2 record layout; plain runs keep writing version-1 bytes.
+    header.version =
+        config_.slo_ms > 0.0 ? kTraceVersionAdaptive : kTraceVersion;
     header.registry_count = static_cast<uint32_t>(n);
     header.registry_checksum = RegistryChecksum(sensors_);
     header.dmax = config_.dmax;

@@ -1,5 +1,7 @@
 #include "engine/serving_config.h"
 
+#include <cmath>
+
 namespace psens {
 
 std::string ServingConfig::Validate() const {
@@ -39,6 +41,9 @@ std::string ServingConfig::Validate() const {
     return "pipeline depth > 2 would reorder cross-slot feedback (slot t+2's "
            "announcements would freeze before slot t's readings land); only "
            "0/1 (sequential) and 2 (double-buffered) are supported";
+  }
+  if (!std::isfinite(slo_ms) || slo_ms < 0.0) {
+    return "slo_ms must be finite and >= 0 (0 disables adaptive scheduling)";
   }
   if (pipeline == 2 && record_readings && !incremental) {
     return "pipeline == 2 with record_readings requires incremental mode "

@@ -106,6 +106,22 @@ struct ServingConfig {
   /// for the same reason — a full rebuild re-announces every sensor in
   /// the early phase, before the overlapped slot's readings commit.
   int pipeline = 0;
+  /// Per-slot latency budget in milliseconds for the adaptive scheduler
+  /// (src/engine/adaptive_policy.h). 0 (default): static scheduling —
+  /// `scheduler` (or `shard_schedulers`) runs every slot exactly as
+  /// configured. > 0: ServingEngine::Select consults an AdaptivePolicy
+  /// each slot, treating `scheduler` as the quality *ceiling* and
+  /// degrading down the ladder (lazy -> stochastic -> sieve) when the
+  /// policy's per-engine cost model predicts the ceiling would blow the
+  /// remaining budget (slo_ms minus the slot's measured turnover time).
+  /// Chosen engines are recorded per slot in version-2 traces, so an
+  /// adaptive run — whose live choices depend on wall-clock observations —
+  /// still replays bit-identically (the replayer pins the recorded
+  /// choices via PinNextSelectEngines). Under shard_schedulers the policy
+  /// picks one degradation level per slot and each pass runs the
+  /// min-quality of its configured engine and that level (sieve excluded
+  /// from passes, as always).
+  double slo_ms = 0.0;
 
   // Builder-style setters, so call sites can assemble a config in one
   // expression (`ServingConfig().WithRegion(field).WithShards(4)`).
@@ -167,6 +183,10 @@ struct ServingConfig {
   }
   ServingConfig& WithPipeline(int depth) {
     pipeline = depth;
+    return *this;
+  }
+  ServingConfig& WithSloMs(double ms) {
+    slo_ms = ms;
     return *this;
   }
 

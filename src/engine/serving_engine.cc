@@ -1,35 +1,179 @@
 #include "engine/serving_engine.h"
 
 #include <cassert>
+#include <chrono>
+#include <utility>
 
 #include "core/sieve_streaming.h"
+#include "engine/adaptive_policy.h"
 #include "shard/shard_map.h"
+#include "trace/trace_writer.h"
 
 namespace psens {
+namespace {
+
+// Quality rank for degrade composition: lazy and eager are quality-
+// identical (same selections), stochastic trades a bounded utility gap,
+// the sieve the largest.
+int QualityRank(GreedyEngine e) {
+  switch (e) {
+    case GreedyEngine::kLazy:
+    case GreedyEngine::kEager:
+      return 2;
+    case GreedyEngine::kStochastic:
+      return 1;
+    case GreedyEngine::kSieve:
+      return 0;
+  }
+  return 0;
+}
+
+// The lower-quality of a configured pass engine and the policy's chosen
+// degradation level; ties keep the configured engine (so a lazy pass
+// stays lazy, not eager, when the level is eager-grade).
+GreedyEngine MinQuality(GreedyEngine configured, GreedyEngine level) {
+  return QualityRank(level) < QualityRank(configured) ? level : configured;
+}
+
+double MsBetween(std::chrono::steady_clock::time_point a,
+                 std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
 
 ServingEngine::ServingEngine() = default;
 ServingEngine::~ServingEngine() = default;
 
+void ServingEngine::PinNextSelectEngines(std::vector<GreedyEngine> engines) {
+  pinned_engines_ = std::move(engines);
+  pinned_ = !pinned_engines_.empty();
+}
+
 SelectionResult ServingEngine::Select(const std::vector<MultiQuery*>& queries,
                                       const SlotContext& slot,
                                       const SensorDelta& delta) {
-  if (!config().shard_schedulers.empty() && shard_count() > 1) {
-    return SelectShardPasses(queries, slot);
+  const ServingConfig& cfg = config();
+  const bool shard_mode = !cfg.shard_schedulers.empty() && shard_count() > 1;
+
+  // Replay pinning overrides everything: the recorded run already made
+  // the (wall-clock-dependent) choice, and re-deriving it would diverge.
+  if (pinned_) {
+    pinned_ = false;
+    std::vector<GreedyEngine> engines = std::move(pinned_engines_);
+    pinned_engines_.clear();
+    SelectionResult r;
+    if (shard_mode) {
+      if (static_cast<int>(engines.size()) != shard_count()) {
+        // A single-mode recording replayed sharded (or a shard-count
+        // change): expand the recorded level across the configured
+        // passes, sieve clamped to stochastic as always.
+        const GreedyEngine level = engines[0] == GreedyEngine::kSieve
+                                       ? GreedyEngine::kStochastic
+                                       : engines[0];
+        engines.assign(cfg.shard_schedulers.begin(),
+                       cfg.shard_schedulers.end());
+        for (GreedyEngine& e : engines) e = MinQuality(e, level);
+      }
+      r = SelectShardPasses(queries, slot, &engines);
+    } else {
+      r = SelectSingle(queries, slot, delta, engines[0]);
+      engines.resize(1);
+    }
+    last_select_engines_ = std::move(engines);
+    if (TraceWriter* writer = trace_writer()) {
+      writer->StageEngineChoices(last_select_engines_);
+    }
+    return r;
   }
-  if (config().scheduler == GreedyEngine::kSieve) {
-    if (sieve_ == nullptr) {
+
+  // Adaptive path (ServingConfig::slo_ms > 0): choose, run self-timed,
+  // feed the realized latency back, and record the choice.
+  if (cfg.slo_ms > 0.0) {
+    if (policy_ == nullptr) {
+      // Sharded heterogeneous mode degrades relative to each pass's
+      // configured engine, so the policy models the degradation *level*
+      // with a full ladder (lazy ceiling).
+      policy_ = std::make_unique<AdaptivePolicy>(
+          cfg.slo_ms, shard_mode ? GreedyEngine::kLazy : cfg.scheduler);
+    }
+    AdaptivePolicy::SlotFeatures features;
+    features.members = static_cast<int>(slot.sensors.size());
+    features.churn = static_cast<int>(
+        delta.arrivals.size() + delta.departures.size() + delta.moves.size() +
+        delta.price_changes.size());
+    features.queries = static_cast<int>(queries.size());
+    const GreedyEngine level = policy_->Choose(features, last_turnover_ms_);
+
+    const auto start = std::chrono::steady_clock::now();
+    SelectionResult r;
+    if (shard_mode) {
+      // One degradation level per slot, composed per pass; the sieve has
+      // no per-pass home (cross-slot bucket state), so passes floor at
+      // stochastic.
+      const GreedyEngine pass_level = level == GreedyEngine::kSieve
+                                          ? GreedyEngine::kStochastic
+                                          : level;
+      last_select_engines_.assign(cfg.shard_schedulers.begin(),
+                                  cfg.shard_schedulers.end());
+      for (GreedyEngine& e : last_select_engines_) {
+        e = MinQuality(e, pass_level);
+      }
+      r = SelectShardPasses(queries, slot, &last_select_engines_);
+    } else {
+      last_select_engines_.assign(1, level);
+      r = SelectSingle(queries, slot, delta, level);
+    }
+    policy_->Observe(level, features,
+                     MsBetween(start, std::chrono::steady_clock::now()));
+    if (TraceWriter* writer = trace_writer()) {
+      writer->StageEngineChoices(last_select_engines_);
+    }
+    return r;
+  }
+
+  // Static paths — exactly the pre-adaptive behavior.
+  if (shard_mode) {
+    last_select_engines_ = cfg.shard_schedulers;
+    return SelectShardPasses(queries, slot, nullptr);
+  }
+  last_select_engines_.assign(1, cfg.scheduler);
+  return SelectSingle(queries, slot, delta, cfg.scheduler);
+}
+
+SelectionResult ServingEngine::SelectSingle(
+    const std::vector<MultiQuery*>& queries, const SlotContext& slot,
+    const SensorDelta& delta, GreedyEngine engine) {
+  if (engine == GreedyEngine::kSieve) {
+    // Re-entering the sieve after another engine's slots: the carried
+    // buckets missed those slots' deltas, so the state is stale — rebuild
+    // (SelectDelta falls back to a full re-stream). Keyed purely on the
+    // choice sequence, so pinned replay choices reproduce the same
+    // resets. A static all-sieve run never transitions and keeps its
+    // cross-slot state exactly as before.
+    const bool stale =
+        has_last_single_ && last_single_engine_ != GreedyEngine::kSieve;
+    if (sieve_ == nullptr || stale) {
       sieve_ = std::make_unique<SieveStreamingScheduler>(config().approx);
     }
+    has_last_single_ = true;
+    last_single_engine_ = engine;
     return sieve_->SelectDelta(queries, slot, delta);
   }
-  return GreedySensorSelection(queries, slot, nullptr, config().scheduler);
+  has_last_single_ = true;
+  last_single_engine_ = engine;
+  return GreedySensorSelection(queries, slot, nullptr, engine);
 }
 
 SelectionResult ServingEngine::SelectShardPasses(
-    const std::vector<MultiQuery*>& queries, const SlotContext& slot) {
+    const std::vector<MultiQuery*>& queries, const SlotContext& slot,
+    const std::vector<GreedyEngine>* engines) {
   const ShardMap* map = shard_map_ptr();
   assert(map != nullptr && "shard passes need the router's shard map");
+  const std::vector<GreedyEngine>& pass_engines =
+      engines != nullptr ? *engines : config().shard_schedulers;
   const int passes = shard_count();
+  assert(static_cast<int>(pass_engines.size()) == passes);
   const size_t n = slot.sensors.size();
   const int64_t calls_before = TotalValuationCalls(queries);
 
@@ -50,8 +194,8 @@ SelectionResult ServingEngine::SelectShardPasses(
     // every earlier pass's commitments, so its marginals shrink exactly as
     // one global run's would. A sensor belongs to exactly one shard, so no
     // sensor is selectable in two passes.
-    SelectionResult r = GreedySensorSelection(queries, pass, nullptr,
-                                              config().shard_schedulers[s]);
+    SelectionResult r =
+        GreedySensorSelection(queries, pass, nullptr, pass_engines[s]);
     merged.selected_sensors.insert(merged.selected_sensors.end(),
                                    r.selected_sensors.begin(),
                                    r.selected_sensors.end());

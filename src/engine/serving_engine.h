@@ -14,6 +14,7 @@
 
 namespace psens {
 
+class AdaptivePolicy;
 class SieveStreamingScheduler;
 class TraceWriter;
 struct ShardMap;
@@ -125,19 +126,66 @@ class ServingEngine {
   /// absorbs it instead of re-streaming the population; the other
   /// schedulers ignore it). Not virtual: selection is global and shared —
   /// sharding lives entirely inside BeginSlot's context assembly.
+  ///
+  /// With ServingConfig::slo_ms > 0 the scheduler is chosen per slot by
+  /// an AdaptivePolicy (the configured scheduler is the quality ceiling),
+  /// the realized selection latency is fed back to the policy's cost
+  /// model, and the chosen engines are staged onto the slot's trace
+  /// record (version-2 traces). A pinned choice (PinNextSelectEngines —
+  /// the replay path) overrides both the policy and the static config.
   SelectionResult Select(const std::vector<MultiQuery*>& queries,
                          const SlotContext& slot, const SensorDelta& delta);
+
+  /// Reports the measured ApplyDelta+BeginSlot latency of the slot about
+  /// to be selected; the adaptive policy subtracts it from slo_ms to get
+  /// Select's remaining budget. SlotServer calls this each slot; callers
+  /// that never do simply leave the full SLO as Select's budget.
+  void NoteTurnoverMs(double ms) { last_turnover_ms_ = ms; }
+
+  /// Pins the engine choice(s) for the *next* Select call, overriding the
+  /// adaptive policy and the static config for that one slot: entry 0 in
+  /// single-engine mode, one entry per shard pass under shard_schedulers.
+  /// The trace replayer imposes each recorded slot's choices this way, so
+  /// an adaptive run replays bit-identically without re-deriving choices
+  /// from (machine-dependent) wall-clock observations.
+  void PinNextSelectEngines(std::vector<GreedyEngine> engines);
+
+  /// The engines the most recent Select actually ran: one entry in
+  /// single-engine mode, one per shard pass otherwise. What fig18 reads
+  /// to report the adaptive engine mix.
+  const std::vector<GreedyEngine>& last_select_engines() const {
+    return last_select_engines_;
+  }
 
  private:
   /// Heterogeneous per-shard selection (ServingConfig::shard_schedulers):
   /// one sequential pass per shard in ascending shard order, each pass
   /// confined by an ownership-derived SlotContext::eligible mask. See the
-  /// shard_schedulers field doc for the determinism contract.
+  /// shard_schedulers field doc for the determinism contract. `engines`,
+  /// when non-null, overrides the configured per-pass engine list (the
+  /// adaptive/pinned paths; must have shard_count() entries).
   SelectionResult SelectShardPasses(const std::vector<MultiQuery*>& queries,
-                                    const SlotContext& slot);
+                                    const SlotContext& slot,
+                                    const std::vector<GreedyEngine>* engines);
+  /// Runs one engine over the slot, owning the sieve lifecycle: the
+  /// cross-slot sieve state is reset when the choice sequence re-enters
+  /// kSieve from a different engine (the carried buckets missed the
+  /// intervening deltas), a rule that depends only on the choice sequence
+  /// so replayed choices reproduce the same resets.
+  SelectionResult SelectSingle(const std::vector<MultiQuery*>& queries,
+                               const SlotContext& slot,
+                               const SensorDelta& delta, GreedyEngine engine);
   /// Cross-slot sieve bucket state (GreedyEngine::kSieve only), built
   /// lazily from config().approx on the first Select.
   std::unique_ptr<SieveStreamingScheduler> sieve_;
+  /// Latency-SLO policy (ServingConfig::slo_ms > 0), built lazily.
+  std::unique_ptr<AdaptivePolicy> policy_;
+  double last_turnover_ms_ = 0.0;
+  bool pinned_ = false;
+  std::vector<GreedyEngine> pinned_engines_;
+  std::vector<GreedyEngine> last_select_engines_;
+  bool has_last_single_ = false;
+  GreedyEngine last_single_engine_ = GreedyEngine::kLazy;
 };
 
 /// Builds the serving engine the config describes: a plain

@@ -131,6 +131,10 @@ ShardRouter::ShardRouter(std::vector<Sensor> sensors,
     // Same header a single engine writes: the trace carries no shard
     // count, so it replays under any.
     TraceHeader header;
+    // Adaptive runs record their per-slot engine choices, which needs the
+    // version-2 record layout; plain runs keep writing version-1 bytes.
+    header.version =
+        config_.slo_ms > 0.0 ? kTraceVersionAdaptive : kTraceVersion;
     header.registry_count = static_cast<uint32_t>(n);
     header.registry_checksum = RegistryChecksum(*registry_);
     header.dmax = config_.dmax;

@@ -44,6 +44,9 @@ SlotOutcome SlotServer::ServeSlot(int time, const SensorDelta& delta,
     slot = &engine_->BeginSlot(time);
     out.turnover_ms = MsSince(start);
   }
+  // The adaptive policy budgets Select against slo_ms minus this slot's
+  // turnover; a no-op for static (slo_ms == 0) engines.
+  engine_->NoteTurnoverMs(out.turnover_ms);
   if (monitors_ != nullptr) monitors_->NotifyTurnover(time, out.turnover_ms);
 
   // Recording: the delta was journaled by ApplyDelta; the queries attach
@@ -112,6 +115,9 @@ ServeLoopResult SlotServer::ServeLoop(SlotInputSource* source,
     do {
       pace(i++);
       if (cur.pin_seed) engine_->PinNextSlotSeed(cur.slot_seed);
+      if (!cur.pin_engines.empty()) {
+        engine_->PinNextSelectEngines(cur.pin_engines);
+      }
       result.outcomes.push_back(ServeSlot(cur.time, cur.delta, cur.queries));
     } while (source->Next(&cur));
     result.wall_ms = MsSince(loop_start);
@@ -134,9 +140,13 @@ ServeLoopResult SlotServer::ServeLoop(SlotInputSource* source,
     {
       const SteadyClock::time_point start = SteadyClock::now();
       if (cur.pin_seed) engine_->PinNextSlotSeed(cur.slot_seed);
+      if (!cur.pin_engines.empty()) {
+        engine_->PinNextSelectEngines(cur.pin_engines);
+      }
       slot = &engine_->ActivateStagedSlot();
       out.turnover_ms = MsSince(start);
     }
+    engine_->NoteTurnoverMs(out.turnover_ms);
     if (monitors_ != nullptr) {
       monitors_->NotifyTurnover(cur.time, out.turnover_ms);
     }

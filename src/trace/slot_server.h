@@ -41,13 +41,18 @@ struct SlotOutcome {
 bool SameOutcome(const SlotOutcome& a, const SlotOutcome& b);
 
 /// One slot's full input for a pulled serving loop: the churn delta, the
-/// query arrivals, and (replay) the recorded slot seed to pin.
+/// query arrivals, and (replay) the recorded slot seed and adaptive
+/// engine choices to pin.
 struct SlotInput {
   int time = 0;
   SensorDelta delta;
   SlotQueryBatch queries;
   bool pin_seed = false;
   uint64_t slot_seed = 0;
+  /// Non-empty on replay of an adaptive (version-2) trace: the engines
+  /// the recorded run chose for this slot, pinned via
+  /// ServingEngine::PinNextSelectEngines before the slot is served.
+  std::vector<GreedyEngine> pin_engines;
 };
 
 /// Pull-style input stream for SlotServer::ServeLoop. Next() fills the

@@ -213,9 +213,10 @@ bool DecodeHeader(const char* data, size_t size, uint64_t file_size,
     *error = "trace truncated: header fields incomplete";
     return false;
   }
-  if (header->version != kTraceVersion) {
+  if (header->version < kTraceVersion || header->version > kTraceVersionMax) {
     *error = "version skew: trace version " + std::to_string(header->version) +
-             ", reader supports version " + std::to_string(kTraceVersion);
+             ", reader supports versions " + std::to_string(kTraceVersion) +
+             ".." + std::to_string(kTraceVersionMax);
     return false;
   }
   if (header_bytes != kTraceHeaderBytes) {
@@ -240,7 +241,8 @@ bool DecodeHeader(const char* data, size_t size, uint64_t file_size,
   return true;
 }
 
-void EncodeSlotRecord(const TraceSlotRecord& record, std::string* out) {
+void EncodeSlotRecord(const TraceSlotRecord& record, std::string* out,
+                      uint32_t version) {
   PutU32(kSlotRecordMagic, out);
   PutI32(record.time, out);
   PutU64(record.slot_seed, out);
@@ -283,10 +285,18 @@ void EncodeSlotRecord(const TraceSlotRecord& record, std::string* out) {
     PutF64(p.sensing_range, out);
     PutF64(p.cell_size, out);
   }
+  // Version >= 2: the adaptive engine-choice section. Version-gated so
+  // every v1 record byte stays exactly what the golden fixture pins.
+  if (version >= kTraceVersionAdaptive) {
+    PutU32(static_cast<uint32_t>(record.engine_choices.size()), out);
+    for (GreedyEngine e : record.engine_choices) {
+      PutI32(static_cast<int32_t>(e), out);
+    }
+  }
 }
 
 bool DecodeSlotRecord(const char* data, size_t size, TraceSlotRecord* record,
-                      std::string* error) {
+                      std::string* error, uint32_t version) {
   Cursor c(data, size);
   uint32_t magic = 0;
   if (!c.GetU32(&magic) || magic != kSlotRecordMagic) {
@@ -360,6 +370,26 @@ bool DecodeSlotRecord(const char* data, size_t size, TraceSlotRecord* record,
     c.GetF64(&p.budget);
     c.GetF64(&p.sensing_range);
     c.GetF64(&p.cell_size);
+  }
+  record->engine_choices.clear();
+  if (version >= kTraceVersionAdaptive) {
+    if (!c.GetCount(sizeof(int32_t), &n)) {
+      *error = "corrupt slot record: engine-choice count exceeds record "
+               "payload";
+      return false;
+    }
+    record->engine_choices.resize(n);
+    for (GreedyEngine& e : record->engine_choices) {
+      int32_t raw = 0;
+      c.GetI32(&raw);
+      if (raw < static_cast<int32_t>(GreedyEngine::kLazy) ||
+          raw > static_cast<int32_t>(GreedyEngine::kSieve)) {
+        *error = "corrupt slot record: engine choice " + std::to_string(raw) +
+                 " out of range";
+        return false;
+      }
+      e = static_cast<GreedyEngine>(raw);
+    }
   }
   if (!c.AtEnd()) {
     *error = "corrupt slot record: " + std::to_string(c.remaining()) +

@@ -7,6 +7,7 @@
 
 #include "common/geometry.h"
 #include "core/aggregate_query.h"
+#include "core/greedy.h"
 #include "core/point_query.h"
 #include "core/sensor.h"
 #include "core/sensor_delta.h"
@@ -35,12 +36,25 @@ namespace psens {
 ///            u64 slot_seed |
 ///            u32 n + entries for: arrivals, departures, moves,
 ///            price_changes, point queries, aggregate queries
+///            [version >= 2] u32 n + i32 engine per adaptive engine
+///            choice (empty on slots where Select never ran)
+///
+/// Version 2 (kTraceVersionAdaptive) appends the per-slot engine-choice
+/// section so an adaptively scheduled run (ServingConfig::slo_ms) can be
+/// replayed bit-identically: live, the choice depends on wall-clock cost
+/// observations; replayed, the recorded choice is pinned. Non-adaptive
+/// runs keep recording version 1, whose bytes are unchanged (the golden
+/// v1 fixture still pins them).
 ///
 /// `slot_count` is written as kSlotCountOpen while the writer is live and
 /// patched by Finish(); a reader seeing kSlotCountOpen knows the trace
 /// was never finalized (crash mid-record) and counts records itself.
 inline constexpr char kTraceMagic[8] = {'P', 'S', 'E', 'N', 'S', 'T', 'R', 'C'};
 inline constexpr uint32_t kTraceVersion = 1;
+/// Trace version carrying per-slot adaptive engine choices.
+inline constexpr uint32_t kTraceVersionAdaptive = 2;
+/// Highest version this reader/writer pair supports.
+inline constexpr uint32_t kTraceVersionMax = 2;
 inline constexpr uint32_t kTraceHeaderBytes = 96;
 inline constexpr uint32_t kSlotRecordMagic = 0x544F4C53u;  // "SLOT"
 inline constexpr uint32_t kSlotCountOpen = 0xFFFFFFFFu;
@@ -75,6 +89,13 @@ struct TraceSlotRecord {
   SensorDelta delta;
   std::vector<PointQuery> point_queries;
   std::vector<AggregateQuery::Params> aggregate_queries;
+  /// Version >= 2 only: the engines the adaptive policy chose for this
+  /// slot's Select — one entry in single-engine mode, one per shard pass
+  /// under shard_schedulers, empty when Select never ran (query-free
+  /// slots) or the run was not adaptive. Replay pins them
+  /// (ServingEngine::PinNextSelectEngines) so the schedule reproduces
+  /// bit for bit.
+  std::vector<GreedyEngine> engine_choices;
 };
 
 /// Fully decoded trace.
@@ -92,14 +113,17 @@ uint64_t RegistryChecksum(const std::vector<Sensor>& sensors);
 /// Serializes `record` (without the leading payload_bytes field) onto
 /// `out`. Deterministic byte-for-byte: the same record always encodes to
 /// the same bytes, which is what the golden round-trip test pins.
-void EncodeSlotRecord(const TraceSlotRecord& record, std::string* out);
+/// `version` selects the record layout: 1 omits the engine-choice
+/// section (v1 bytes are unchanged by the v2 extension), 2 appends it.
+void EncodeSlotRecord(const TraceSlotRecord& record, std::string* out,
+                      uint32_t version = kTraceVersion);
 
-/// Decodes one slot-record payload (the bytes after payload_bytes).
-/// Returns false and sets `*error` on any malformed input — bad magic,
-/// counts exceeding the payload, trailing bytes — without reading out of
-/// bounds.
+/// Decodes one slot-record payload (the bytes after payload_bytes) laid
+/// out per `version` (the containing trace header's). Returns false and
+/// sets `*error` on any malformed input — bad magic, counts exceeding
+/// the payload, trailing bytes — without reading out of bounds.
 bool DecodeSlotRecord(const char* data, size_t size, TraceSlotRecord* record,
-                      std::string* error);
+                      std::string* error, uint32_t version = kTraceVersion);
 
 /// Serializes the 96-byte header.
 void EncodeHeader(const TraceHeader& header, std::string* out);

@@ -105,6 +105,9 @@ class RecordInputSource : public SlotInputSource {
     out->queries.aggregates = std::move(record->aggregate_queries);
     out->pin_seed = pin_seeds_;
     out->slot_seed = record->slot_seed;
+    // Version-2 (adaptive) traces carry the recorded engine choices;
+    // ServeLoop pins them so the replayed schedule matches bit for bit.
+    out->pin_engines = std::move(record->engine_choices);
     ++i_;
     return true;
   }
@@ -214,6 +217,9 @@ ReplayResult TraceReplayer::Replay(const TraceFile& trace,
       std::this_thread::sleep_until(due);
     }
     if (config_.pin_slot_seeds) engine->PinNextSlotSeed(record->slot_seed);
+    if (!record->engine_choices.empty()) {
+      engine->PinNextSelectEngines(std::move(record->engine_choices));
+    }
     SlotQueryBatch batch;
     batch.points = std::move(record->point_queries);
     batch.aggregates = std::move(record->aggregate_queries);

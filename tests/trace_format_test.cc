@@ -243,7 +243,7 @@ TEST_F(TraceCorruptionTest, BadMagicRejected) {
 
 TEST_F(TraceCorruptionTest, VersionSkewRejectedWithClearMessage) {
   std::string bad = bytes_;
-  PatchU32(&bad, 8, kTraceVersion + 1);
+  PatchU32(&bad, 8, kTraceVersionMax + 1);
   ExpectLoadError(bad, "version");
 }
 
